@@ -1,0 +1,79 @@
+//! One Criterion benchmark per paper artifact.
+//!
+//! Each benchmark regenerates its table/figure end-to-end (at a reduced
+//! protocol scale so a full `cargo bench` stays tractable) and reports how
+//! long the regeneration takes. The *numbers* the paper reports come from
+//! `cargo run -p pv-bench --bin repro -- all`, which runs the full-length
+//! protocol; these benches exercise exactly the same code paths.
+
+use accubench::experiments::{self, study, ExperimentConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+/// Small-but-representative protocol: long enough that devices heat into
+/// their throttle bands, short enough to iterate.
+fn bench_cfg() -> ExperimentConfig {
+    ExperimentConfig {
+        scale: 0.12,
+        iterations: 1,
+    }
+}
+
+fn bench_artifacts(c: &mut Criterion) {
+    let cfg = bench_cfg();
+    let mut group = c.benchmark_group("artifacts");
+    group.sample_size(10);
+
+    group.bench_function("table1", |b| {
+        b.iter(|| black_box(experiments::table1::run().unwrap()))
+    });
+    group.bench_function("fig1", |b| {
+        b.iter(|| black_box(experiments::fig1::run(&cfg).unwrap()))
+    });
+    group.bench_function("fig2", |b| {
+        b.iter(|| black_box(experiments::fig2::run(&cfg).unwrap()))
+    });
+    group.bench_function("fig3", |b| {
+        b.iter(|| black_box(experiments::fig3::run(&cfg).unwrap()))
+    });
+    group.bench_function("fig4_fig5", |b| {
+        b.iter(|| black_box(experiments::fig45::run(&cfg).unwrap()))
+    });
+    group.bench_function("fig6_sd800", |b| {
+        b.iter(|| black_box(study::plans::nexus5(&cfg).unwrap()))
+    });
+    group.bench_function("fig7_sd810", |b| {
+        b.iter(|| black_box(study::plans::nexus6p(&cfg).unwrap()))
+    });
+    group.bench_function("fig8_sd820", |b| {
+        b.iter(|| black_box(study::plans::lg_g5(&cfg).unwrap()))
+    });
+    group.bench_function("fig9_sd821", |b| {
+        b.iter(|| black_box(study::plans::pixel(&cfg).unwrap()))
+    });
+    group.bench_function("fig10", |b| {
+        b.iter(|| black_box(experiments::fig10::run(&cfg).unwrap()))
+    });
+    group.bench_function("fig11_fig12", |b| {
+        b.iter(|| black_box(experiments::fig1112::run(&cfg).unwrap()))
+    });
+    group.bench_function("fig13", |b| {
+        b.iter(|| black_box(experiments::fig13::run(&cfg).unwrap()))
+    });
+    group.bench_function("table2", |b| {
+        b.iter(|| black_box(experiments::table2::run(&cfg).unwrap()))
+    });
+    group.bench_function("rsd", |b| {
+        b.iter(|| black_box(experiments::rsd::run(&cfg).unwrap()))
+    });
+    group.bench_function("cluster", |b| {
+        b.iter(|| black_box(experiments::cluster::run(&cfg, 10, 3, 7).unwrap()))
+    });
+    group.bench_function("ablation", |b| {
+        b.iter(|| black_box(experiments::ablation::run(&cfg).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_artifacts);
+criterion_main!(benches);

@@ -1,0 +1,144 @@
+//! Microbenchmarks of the simulation substrates.
+//!
+//! These quantify the cost of the building blocks the experiment harness is
+//! made of — including the *real* π-spigot workload the paper's app runs
+//! (one iteration at the paper's 4,285-digit size).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pv_silicon::binning::{nexus5, voltage_bin_table, BinId};
+use pv_silicon::power::PowerParams;
+use pv_silicon::{DieSample, ProcessNode};
+use pv_soc::catalog;
+use pv_soc::device::{CpuDemand, FrequencyMode};
+use pv_stats::kmeans::kmeans_1d;
+use pv_thermal::network::ThermalNetworkBuilder;
+use pv_thermal::thermabox::{ThermaBox, ThermaBoxConfig};
+use pv_units::{Celsius, MegaHertz, Seconds, ThermalCapacitance, ThermalResistance, Volts, Watts};
+use pv_workload::pi;
+use std::hint::black_box;
+
+fn bench_pi(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pi_spigot");
+    group.sample_size(10);
+    // The paper's actual work unit: 4,285 digits of π.
+    group.bench_function("paper_iteration_4285_digits", |b| {
+        b.iter(|| black_box(pi::pi_iteration()))
+    });
+    group.bench_function("digits_500", |b| {
+        b.iter(|| black_box(pi::pi_digits(500).unwrap()))
+    });
+    group.finish();
+}
+
+fn bench_device(c: &mut Criterion) {
+    let mut group = c.benchmark_group("device");
+    group.bench_function("nexus5_step_100ms", |b| {
+        let mut device = catalog::nexus5(BinId(2)).unwrap();
+        b.iter(|| {
+            black_box(
+                device
+                    .step(
+                        Seconds(0.1),
+                        CpuDemand::busy(),
+                        FrequencyMode::Unconstrained,
+                    )
+                    .unwrap(),
+            )
+        })
+    });
+    group.bench_function("nexus6p_biglittle_step_100ms", |b| {
+        let mut device = catalog::nexus6p(0.5, "bench").unwrap();
+        b.iter(|| {
+            black_box(
+                device
+                    .step(
+                        Seconds(0.1),
+                        CpuDemand::busy(),
+                        FrequencyMode::Unconstrained,
+                    )
+                    .unwrap(),
+            )
+        })
+    });
+    group.finish();
+}
+
+fn bench_thermal(c: &mut Criterion) {
+    let mut group = c.benchmark_group("thermal");
+    group.bench_function("network_step", |b| {
+        let mut builder = ThermalNetworkBuilder::new();
+        let die = builder
+            .add_node("die", ThermalCapacitance(3.0), Celsius(26.0))
+            .unwrap();
+        let pkg = builder
+            .add_node("pkg", ThermalCapacitance(10.0), Celsius(26.0))
+            .unwrap();
+        let case = builder
+            .add_node("case", ThermalCapacitance(6.0), Celsius(26.0))
+            .unwrap();
+        let amb = builder.add_boundary("amb", Celsius(26.0)).unwrap();
+        builder.connect(die, pkg, ThermalResistance(3.0)).unwrap();
+        builder.connect(pkg, case, ThermalResistance(3.0)).unwrap();
+        builder.connect(case, amb, ThermalResistance(9.0)).unwrap();
+        let mut net = builder.build().unwrap();
+        b.iter(|| {
+            net.step(Seconds(0.1), &[(die, Watts(4.0))]).unwrap();
+            black_box(net.temperature(die))
+        })
+    });
+    group.bench_function("thermabox_step", |b| {
+        let mut chamber = ThermaBox::new(ThermaBoxConfig::default()).unwrap();
+        b.iter(|| {
+            chamber.step(Seconds(1.0), Watts(4.0)).unwrap();
+            black_box(chamber.air_temp())
+        })
+    });
+    group.finish();
+}
+
+fn bench_silicon(c: &mut Criterion) {
+    let mut group = c.benchmark_group("silicon");
+    group.bench_function("power_laws", |b| {
+        let params =
+            PowerParams::new(0.42e-9, Watts(0.13), Volts(0.9), Celsius(26.0), 2.0, 0.029).unwrap();
+        let die = DieSample::from_grade(ProcessNode::PLANAR_28NM, 0.3).unwrap();
+        b.iter(|| {
+            black_box(params.total_power(
+                &die,
+                Volts(1.05),
+                MegaHertz(2265.0),
+                Celsius(70.0),
+                4.0,
+                4.0,
+            ))
+        })
+    });
+    group.bench_function("voltage_bin_table", |b| {
+        let slow = nexus5::reference_table(BinId(0)).unwrap();
+        let fast = nexus5::reference_table(BinId(6)).unwrap();
+        let die = DieSample::from_grade(ProcessNode::PLANAR_28NM, 0.37).unwrap();
+        b.iter(|| black_box(voltage_bin_table(&slow, &fast, &die).unwrap()))
+    });
+    group.finish();
+}
+
+fn bench_stats(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stats");
+    group.bench_function("kmeans_1d_300pts", |b| {
+        let values: Vec<f64> = (0..300)
+            .map(|i| f64::from(i % 7) + f64::from(i) * 1e-4)
+            .collect();
+        b.iter(|| black_box(kmeans_1d(&values, 7, 100, 42).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_pi,
+    bench_device,
+    bench_thermal,
+    bench_silicon,
+    bench_stats
+);
+criterion_main!(benches);

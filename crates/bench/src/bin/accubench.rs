@@ -1,0 +1,210 @@
+//! `accubench` — measure one simulated device, the way the paper's app did.
+//!
+//! ```text
+//! accubench --device nexus5:2 [options]
+//!
+//! options:
+//!   --device <model:selector>   nexus5:<bin 0-6> | nexus6|nexus6p|lgg5|pixel|pixel2:<grade>
+//!   --mode unconstrained|<MHz>  workload mode (default: unconstrained)
+//!   --iterations <n>            back-to-back iterations (default: 5)
+//!   --ambient <°C>              fixed ambient instead of the THERMABOX
+//!   --scale <f>                 shrink warmup/workload durations (default: 1.0)
+//!   --trace <file.csv>          dump the last iteration's full trace as CSV
+//!   --json                      emit the session as JSON
+//! ```
+//!
+//! Examples:
+//!
+//! ```text
+//! accubench --device nexus5:0
+//! accubench --device pixel:0.8 --mode 998 --iterations 3
+//! accubench --device lgg5:0.5 --ambient 35 --trace g5.csv
+//! ```
+
+use accubench::harness::{Ambient, Harness};
+use accubench::protocol::Protocol;
+use pv_soc::catalog;
+use pv_units::{Celsius, MegaHertz, Seconds};
+use std::process::ExitCode;
+
+struct Options {
+    device: String,
+    mode: String,
+    iterations: usize,
+    ambient: Option<f64>,
+    scale: f64,
+    trace: Option<String>,
+    json: bool,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        device: String::new(),
+        mode: "unconstrained".to_owned(),
+        iterations: 5,
+        ambient: None,
+        scale: 1.0,
+        trace: None,
+        json: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        match arg.as_str() {
+            "--device" => opts.device = value("--device")?,
+            "--mode" => opts.mode = value("--mode")?,
+            "--iterations" => {
+                opts.iterations = value("--iterations")?
+                    .parse()
+                    .map_err(|_| "--iterations must be a positive integer".to_owned())?
+            }
+            "--ambient" => {
+                opts.ambient = Some(
+                    value("--ambient")?
+                        .parse()
+                        .map_err(|_| "--ambient must be a temperature in °C".to_owned())?,
+                )
+            }
+            "--scale" => {
+                opts.scale = value("--scale")?
+                    .parse()
+                    .map_err(|_| "--scale must be a positive number".to_owned())?
+            }
+            "--trace" => opts.trace = Some(value("--trace")?),
+            "--json" => opts.json = true,
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown option: {other}")),
+        }
+    }
+    if opts.device.is_empty() {
+        return Err("--device is required".to_owned());
+    }
+    if opts.iterations == 0 {
+        return Err("--iterations must be at least 1".to_owned());
+    }
+    if !(opts.scale > 0.0 && opts.scale <= 1.0) {
+        return Err("--scale must be in (0, 1]".to_owned());
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(msg) => {
+            if !msg.is_empty() {
+                eprintln!("error: {msg}\n");
+            }
+            eprintln!(
+                "usage: accubench --device <model:selector> [--mode unconstrained|<MHz>] \
+                 [--iterations N] [--ambient °C] [--scale F] [--trace out.csv] [--json]"
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut device = match catalog::parse_device(&opts.device) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut protocol = if opts.mode == "unconstrained" {
+        Protocol::unconstrained()
+    } else {
+        match opts.mode.parse::<f64>() {
+            Ok(mhz) if mhz > 0.0 => Protocol::fixed_frequency(MegaHertz(mhz)),
+            _ => {
+                eprintln!("error: --mode must be 'unconstrained' or a frequency in MHz");
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+    protocol = protocol
+        .with_warmup(Seconds(protocol.warmup.value() * opts.scale))
+        .with_workload(Seconds(protocol.workload.value() * opts.scale));
+    if opts.trace.is_some() {
+        protocol = protocol.with_trace();
+    }
+
+    let ambient = match opts.ambient {
+        Some(t) => Ambient::Fixed(Celsius(t)),
+        None => match Ambient::paper_chamber() {
+            Ok(a) => a,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+    };
+
+    let mut harness = match Harness::new(protocol, ambient) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    eprintln!(
+        "measuring {device}: {} iteration(s), mode {} ...",
+        opts.iterations, opts.mode
+    );
+    let session = match harness.run_session(&mut device, opts.iterations) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if let Some(path) = &opts.trace {
+        let csv = session
+            .iterations
+            .last()
+            .map(|it| it.full_trace.to_csv())
+            .unwrap_or_default();
+        if let Err(e) = std::fs::write(path, csv) {
+            eprintln!("error: could not write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("trace written to {path}");
+    }
+
+    if opts.json {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&session).expect("session serializes")
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    println!("{session}");
+    match (session.performance_summary(), session.energy_summary()) {
+        (Ok(perf), Ok(energy)) => {
+            println!(
+                "performance: {:.1} iterations (RSD {:.2}%)",
+                perf.mean(),
+                perf.rsd_percent()
+            );
+            println!(
+                "energy:      {:.1} J (RSD {:.2}%)",
+                energy.mean(),
+                energy.rsd_percent()
+            );
+            if session.any_cooldown_timed_out() {
+                println!("warning: at least one cooldown timed out (workload started warm)");
+            }
+            ExitCode::SUCCESS
+        }
+        _ => {
+            eprintln!("error: empty session");
+            ExitCode::FAILURE
+        }
+    }
+}

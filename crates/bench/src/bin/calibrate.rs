@@ -1,0 +1,92 @@
+//! Calibration probe: prints every experiment's headline numbers next to
+//! the paper's targets so catalog constants can be tuned.
+
+use accubench::experiments::{self, ExperimentConfig};
+
+fn main() {
+    let arg = std::env::args().nth(1).unwrap_or_default();
+    let cfg = if arg == "paper" {
+        ExperimentConfig::paper()
+    } else {
+        ExperimentConfig::quick()
+    };
+    println!("config: {cfg:?}\n");
+
+    match experiments::table2::run(&cfg) {
+        Ok(t2) => {
+            println!("{}", t2.render());
+            for s in &t2.studies {
+                println!("{}", s.render().unwrap());
+            }
+            let fig13 = experiments::fig13::from_studies(&t2.studies);
+            println!("{}", fig13.render());
+            println!("SD-805 dip present: {}\n", fig13.sd805_dip());
+        }
+        Err(e) => println!("table2 failed: {e}"),
+    }
+
+    match experiments::fig1::run(&cfg) {
+        Ok(f) => println!(
+            "{}\nfig1 energy excess {:.1}%, time excess {:.1}%\n",
+            f.render(),
+            f.energy_excess_fraction() * 100.0,
+            f.time_excess_fraction() * 100.0
+        ),
+        Err(e) => println!("fig1 failed: {e}"),
+    }
+
+    match experiments::fig10::run(&cfg) {
+        Ok(f) => println!("{}", f.render()),
+        Err(e) => println!("fig10 failed: {e}"),
+    }
+
+    match experiments::fig1112::run(&cfg) {
+        Ok(f) => {
+            println!(
+                "fig11 perf gap {:.1}% freq gap {:.1}%",
+                f.pixel.perf_gap_fraction() * 100.0,
+                f.pixel.freq_gap_fraction() * 100.0
+            );
+            println!(
+                "fig12 perf gap {:.1}% freq gap {:.1}%\n",
+                f.nexus5.perf_gap_fraction() * 100.0,
+                f.nexus5.freq_gap_fraction() * 100.0
+            );
+        }
+        Err(e) => println!("fig1112 failed: {e}"),
+    }
+
+    match experiments::fig45::run(&cfg) {
+        Ok(f) => println!(
+            "fig4 peak {:.1} throttled {:.0}% | fig5 peak {:.1} throttled {:.0}%\n",
+            f.unconstrained.peak_temp.value(),
+            f.unconstrained.workload_throttled_fraction * 100.0,
+            f.fixed.peak_temp.value(),
+            f.fixed.workload_throttled_fraction * 100.0
+        ),
+        Err(e) => println!("fig45 failed: {e}"),
+    }
+
+    match experiments::fig3::run(&cfg) {
+        Ok(f) => println!(
+            "fig3 mean {:.2} worst {:.2} rsd {:.3}%\n",
+            f.air_stats.mean(),
+            f.worst_excursion,
+            f.air_stats.rsd_percent()
+        ),
+        Err(e) => println!("fig3 failed: {e}"),
+    }
+
+    match experiments::fig2::run(&cfg) {
+        Ok(f) => {
+            for s in &f.sweeps {
+                println!(
+                    "fig2 {} growth {:.1}%",
+                    s.label,
+                    s.energy_growth_fraction() * 100.0
+                );
+            }
+        }
+        Err(e) => println!("fig2 failed: {e}"),
+    }
+}

@@ -1,0 +1,338 @@
+//! `repro` — regenerates every table and figure of the paper.
+//!
+//! ```text
+//! repro <experiment> [--quick]
+//! repro all [--quick]
+//! repro list
+//! ```
+//!
+//! Experiments: `table1 fig1 fig2 fig3 fig4 fig5 fig10 fig11 fig12 fig13
+//! table2 rsd cluster ablation` (`fig6`–`fig9` are the per-SoC studies and
+//! run as part of `table2`, or individually as `fig6 fig7 fig8 fig9`).
+//!
+//! By default the paper's full protocol is used (3 min warmup, 5 min
+//! workload, 5 iterations); `--quick` shrinks it for a fast smoke pass,
+//! `--json` emits machine-readable results instead of text tables, and
+//! `--export <dir>` additionally writes plot-ready `.dat` files for the
+//! figure experiments.
+
+use accubench::experiments::{self, study, ExperimentConfig};
+use std::process::ExitCode;
+
+const EXPERIMENTS: &[&str] = &[
+    "table1",
+    "fig1",
+    "fig2",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13",
+    "table2",
+    "rsd",
+    "cluster",
+    "ablation",
+    "ambient",
+    "ranking",
+    "lowerbound",
+    "forecast",
+    "load",
+    "skin",
+    "aging",
+    "governor",
+];
+
+fn usage() -> ExitCode {
+    eprintln!("usage: repro <experiment|all|list> [--quick]");
+    eprintln!("experiments: {}", EXPERIMENTS.join(" "));
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let json = args.iter().any(|a| a == "--json");
+    let export_dir = args
+        .iter()
+        .position(|a| a == "--export")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    let mut positional = args.iter().filter(|a| !a.starts_with("--"));
+    let target = match positional.next() {
+        Some(t) => t.clone(),
+        None => return usage(),
+    };
+    // The value following --export is consumed by the flag, not a target.
+    let target = if Some(&target) == export_dir.as_ref() {
+        match positional.next() {
+            Some(t) => t.clone(),
+            None => return usage(),
+        }
+    } else {
+        target
+    };
+    if target == "list" {
+        println!("{}", EXPERIMENTS.join("\n"));
+        return ExitCode::SUCCESS;
+    }
+    let cfg = if quick {
+        ExperimentConfig::quick()
+    } else {
+        ExperimentConfig::paper()
+    };
+
+    let emit = |value: serde_json::Value| {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&value).expect("results serialize")
+        );
+    };
+    let exporter = match &export_dir {
+        Some(dir) => match accubench::export::FigureExporter::new(dir) {
+            Ok(e) => Some(e),
+            Err(e) => {
+                eprintln!("--export: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
+    };
+    let run_one = |name: &str| -> Result<(), accubench::BenchError> {
+        if let Some(exporter) = &exporter {
+            match name {
+                "fig2" => {
+                    let paths = exporter.export_fig2(&experiments::fig2::run(&cfg)?)?;
+                    eprintln!("exported {} file(s) for fig2", paths.len());
+                }
+                "fig4" | "fig5" => {
+                    let paths = exporter.export_fig45(&experiments::fig45::run(&cfg)?)?;
+                    eprintln!("exported {} file(s) for fig4/fig5", paths.len());
+                }
+                "fig11" | "fig12" => {
+                    let paths = exporter.export_fig1112(&experiments::fig1112::run(&cfg)?)?;
+                    eprintln!("exported {} file(s) for fig11/fig12", paths.len());
+                }
+                "fig6" => {
+                    exporter.export_study("fig6", &study::plans::nexus5(&cfg)?)?;
+                }
+                "fig7" => {
+                    exporter.export_study("fig7", &study::plans::nexus6p(&cfg)?)?;
+                }
+                "fig8" => {
+                    exporter.export_study("fig8", &study::plans::lg_g5(&cfg)?)?;
+                }
+                "fig9" => {
+                    exporter.export_study("fig9", &study::plans::pixel(&cfg)?)?;
+                }
+                _ => {}
+            }
+        }
+        if json {
+            let value = match name {
+                "table1" => serde_json::to_value(experiments::table1::run()?),
+                "fig1" => serde_json::to_value(experiments::fig1::run(&cfg)?),
+                "fig2" => serde_json::to_value(experiments::fig2::run(&cfg)?),
+                "fig3" => serde_json::to_value(experiments::fig3::run(&cfg)?),
+                "fig4" | "fig5" => serde_json::to_value(experiments::fig45::run(&cfg)?),
+                "fig6" => serde_json::to_value(study::plans::nexus5(&cfg)?),
+                "fig7" => serde_json::to_value(study::plans::nexus6p(&cfg)?),
+                "fig8" => serde_json::to_value(study::plans::lg_g5(&cfg)?),
+                "fig9" => serde_json::to_value(study::plans::pixel(&cfg)?),
+                "fig10" => serde_json::to_value(experiments::fig10::run(&cfg)?),
+                "fig11" | "fig12" => serde_json::to_value(experiments::fig1112::run(&cfg)?),
+                "fig13" => serde_json::to_value(experiments::fig13::run(&cfg)?),
+                "table2" => serde_json::to_value(experiments::table2::run(&cfg)?),
+                "rsd" => serde_json::to_value(experiments::rsd::run(&cfg)?),
+                "cluster" => serde_json::to_value(experiments::cluster::run(&cfg, 30, 4, 2024)?),
+                "ablation" => serde_json::to_value(experiments::ablation::run(&cfg)?),
+                "ambient" => serde_json::to_value(experiments::ambient_estimate::run(&cfg)?),
+                "ranking" => serde_json::to_value(experiments::ranking::run(&cfg, 20, 2024)?),
+                "lowerbound" => {
+                    serde_json::to_value(experiments::lowerbound::run(&cfg, 500, 40, 31337)?)
+                }
+                "forecast" => serde_json::to_value(experiments::forecast::run(&cfg)?),
+                "load" => serde_json::to_value(experiments::load_sensitivity::run(&cfg)?),
+                "skin" => serde_json::to_value(experiments::skin::run(&cfg)?),
+                "aging" => serde_json::to_value(experiments::aging::run(&cfg)?),
+                "governor" => serde_json::to_value(experiments::governor_study::run(&cfg)?),
+                other => {
+                    eprintln!("unknown experiment: {other}");
+                    return Err(accubench::BenchError::InvalidProtocol("unknown experiment"));
+                }
+            };
+            emit(value.expect("results serialize"));
+            return Ok(());
+        }
+        match name {
+            "table1" => {
+                let t = experiments::table1::run()?;
+                println!("{}", t.render());
+                println!(
+                    "worst model-vs-kernel deviation: {} mV\n",
+                    t.worst_deviation_mv()
+                );
+            }
+            "fig1" => {
+                let f = experiments::fig1::run(&cfg)?;
+                println!("{}", f.render());
+                println!(
+                    "paper: bin-4 ≈ +20% energy, ≈ +18-20% time vs bin-0; core shutdown at 80 °C",
+                );
+                println!(
+                    "measured: worst-vs-best energy +{:.0}%, time +{:.0}%\n",
+                    f.energy_excess_fraction() * 100.0,
+                    f.time_excess_fraction() * 100.0
+                );
+            }
+            "fig2" => {
+                let f = experiments::fig2::run(&cfg)?;
+                println!("{}", f.render());
+                for s in &f.sweeps {
+                    println!(
+                        "{}: energy growth cool→hot {:.0}% (paper: 25-30%+)",
+                        s.label,
+                        s.energy_growth_fraction() * 100.0
+                    );
+                }
+                println!();
+            }
+            "fig3" => {
+                let f = experiments::fig3::run(&cfg)?;
+                println!("{}", f.render());
+                println!("paper: holds 26 ± 0.5 °C\n");
+            }
+            "fig4" => {
+                let f = experiments::fig45::run(&cfg)?;
+                println!("{}", f.unconstrained.render());
+            }
+            "fig5" => {
+                let f = experiments::fig45::run(&cfg)?;
+                println!("{}", f.fixed.render());
+            }
+            "fig6" => print_study(study::plans::nexus5(&cfg)?, 14.0, 19.0)?,
+            "fig7" => print_study(study::plans::nexus6p(&cfg)?, 10.0, 12.0)?,
+            "fig8" => print_study(study::plans::lg_g5(&cfg)?, 4.0, 10.0)?,
+            "fig9" => print_study(study::plans::pixel(&cfg)?, 5.0, 9.0)?,
+            "fig10" => {
+                let f = experiments::fig10::run(&cfg)?;
+                println!("{}", f.render());
+                println!("paper: nominal-voltage Monsoon ≈ 20% throttled; 4.4 V ≈ battery",);
+                println!(
+                    "measured: nominal/battery {:.3}, max/battery {:.3}\n",
+                    f.nominal_vs_battery(),
+                    f.max_vs_battery()
+                );
+            }
+            "fig11" => {
+                let f = experiments::fig1112::run(&cfg)?;
+                println!("{}", f.pixel.render());
+                println!("paper: 7% perf gap matching the mean-frequency gap\n");
+            }
+            "fig12" => {
+                let f = experiments::fig1112::run(&cfg)?;
+                println!("{}", f.nexus5.render());
+                println!("paper: 11% perf gap matching the mean-frequency gap\n");
+            }
+            "fig13" => {
+                let f = experiments::fig13::run(&cfg)?;
+                println!("{}", f.render());
+                println!(
+                    "SD-805 dip (paper: present): {}; efficiency trend slope: {:+.3}/gen\n",
+                    f.sd805_dip(),
+                    f.trend()?.slope
+                );
+            }
+            "table2" => {
+                let t2 = experiments::table2::run(&cfg)?;
+                println!("{}", t2.render());
+            }
+            "rsd" => {
+                let r = experiments::rsd::run(&cfg)?;
+                println!("{}", r.render());
+                println!("paper: average 1.1% RSD over ~300 iterations\n");
+            }
+            "cluster" => {
+                let c = experiments::cluster::run(&cfg, 30, 4, 2024)?;
+                println!("{}", c.render());
+            }
+            "ablation" => {
+                let a = experiments::ablation::run(&cfg)?;
+                println!("{}", a.render());
+            }
+            "ambient" => {
+                let a = experiments::ambient_estimate::run(&cfg)?;
+                println!("{}", a.render());
+                println!("paper (§VI): cooldown-based ambient estimation called 'encouraging'\n");
+            }
+            "ranking" => {
+                let r = experiments::ranking::run(&cfg, 20, 2024)?;
+                println!("{}", r.render());
+            }
+            "lowerbound" => {
+                let mc = experiments::lowerbound::run(&cfg, 500, 40, 31337)?;
+                println!("{}", mc.render()?);
+                println!("paper (§VII): Table II spreads are minimum lower bounds\n");
+            }
+            "forecast" => {
+                let f = experiments::forecast::run(&cfg)?;
+                println!("{}", f.render()?);
+            }
+            "load" => {
+                let l = experiments::load_sensitivity::run(&cfg)?;
+                println!("{}", l.render());
+            }
+            "skin" => {
+                let s = experiments::skin::run(&cfg)?;
+                println!("{}", s.render());
+            }
+            "aging" => {
+                let a = experiments::aging::run(&cfg)?;
+                println!("{}", a.render());
+                println!("paper (§IV-C): input-voltage throttling 'reminiscent of old iPhones being throttled'\n");
+            }
+            "governor" => {
+                let g = experiments::governor_study::run(&cfg)?;
+                println!("{}", g.render());
+            }
+            other => {
+                eprintln!("unknown experiment: {other}");
+                return Err(accubench::BenchError::InvalidProtocol("unknown experiment"));
+            }
+        }
+        Ok(())
+    };
+
+    let targets: Vec<&str> = if target == "all" {
+        EXPERIMENTS.to_vec()
+    } else {
+        vec![target.as_str()]
+    };
+    for t in targets {
+        println!("==== {t} ====");
+        if let Err(e) = run_one(t) {
+            eprintln!("{t} failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn print_study(
+    s: study::SocStudy,
+    paper_perf: f64,
+    paper_energy: f64,
+) -> Result<(), accubench::BenchError> {
+    println!("{}", s.render()?);
+    println!(
+        "paper: perf variation {paper_perf:.0}%, energy variation {paper_energy:.0}% | measured: perf {:.1}%, energy {:.1}%\n",
+        s.perf_spread_percent()?,
+        s.energy_spread_percent()?
+    );
+    Ok(())
+}

@@ -1,0 +1,1 @@
+//! Benchmark harness crate. See benches/ and src/bin/repro.rs.

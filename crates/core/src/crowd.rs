@@ -1,0 +1,235 @@
+//! Crowd database and device ranking — the paper's §VI vision.
+//!
+//! "Our goal would be to gather sufficient data from devices of various
+//! smartphone models via crowdsourcing and then using this data to rank
+//! other devices, thereby helping users and researchers determine the
+//! characteristics of their smartphone and how it compares to other
+//! smartphones of the same model."
+//!
+//! [`CrowdDatabase`] collects per-device ACCUBENCH scores with the "strict
+//! filters" the paper prescribes (submissions with high iteration-to-
+//! iteration RSD are rejected as thermally uncontrolled), and answers the
+//! two §VI questions: *where does my device rank within its model?* and
+//! *how wide is the spread for this model?*
+
+use crate::report::TextTable;
+use crate::BenchError;
+use core::fmt;
+use pv_stats::Summary;
+
+/// One accepted crowd submission.
+#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+pub struct CrowdScore {
+    /// Device model (`"Nexus 5"` …). Scores only compare within a model.
+    pub model: String,
+    /// Submitting device's label/id.
+    pub device: String,
+    /// Mean ACCUBENCH performance (iterations per workload window).
+    pub score: f64,
+    /// Iteration-to-iteration RSD (%) of the submission.
+    pub rsd: f64,
+}
+
+/// A crowdsourced score database with admission filtering.
+#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+pub struct CrowdDatabase {
+    max_rsd: f64,
+    scores: Vec<CrowdScore>,
+    rejected: usize,
+}
+
+impl CrowdDatabase {
+    /// Creates a database that rejects submissions with RSD above
+    /// `max_rsd_percent` — the paper's "strict filters" against
+    /// measurements taken without thermal control.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BenchError::InvalidProtocol`] for a non-positive filter.
+    pub fn new(max_rsd_percent: f64) -> Result<Self, BenchError> {
+        if !(max_rsd_percent > 0.0 && max_rsd_percent.is_finite()) {
+            return Err(BenchError::InvalidProtocol("max_rsd must be > 0"));
+        }
+        Ok(Self {
+            max_rsd: max_rsd_percent,
+            scores: Vec::new(),
+            rejected: 0,
+        })
+    }
+
+    /// Submits a score. Returns `true` if accepted, `false` if filtered.
+    pub fn submit(&mut self, score: CrowdScore) -> bool {
+        if !score.score.is_finite() || score.score <= 0.0 {
+            self.rejected += 1;
+            return false;
+        }
+        if !score.rsd.is_finite() || score.rsd > self.max_rsd {
+            self.rejected += 1;
+            return false;
+        }
+        self.scores.push(score);
+        true
+    }
+
+    /// Accepted submissions.
+    pub fn scores(&self) -> &[CrowdScore] {
+        &self.scores
+    }
+
+    /// Number of filtered-out submissions.
+    pub fn rejected(&self) -> usize {
+        self.rejected
+    }
+
+    /// All accepted scores for one model.
+    pub fn model_scores(&self, model: &str) -> Vec<f64> {
+        self.scores
+            .iter()
+            .filter(|s| s.model == model)
+            .map(|s| s.score)
+            .collect()
+    }
+
+    /// Percentile (0–100) of `score` within its model's accepted scores:
+    /// the fraction of submissions it beats. Returns `None` when the model
+    /// has no data.
+    pub fn percentile(&self, model: &str, score: f64) -> Option<f64> {
+        let scores = self.model_scores(model);
+        if scores.is_empty() {
+            return None;
+        }
+        let beaten = scores.iter().filter(|&&s| s < score).count();
+        Some(beaten as f64 / scores.len() as f64 * 100.0)
+    }
+
+    /// Peak-to-peak performance spread (%) of a model's accepted scores —
+    /// the §VI "range of quality for a particular device model". `None`
+    /// with fewer than two submissions.
+    pub fn model_spread_percent(&self, model: &str) -> Option<f64> {
+        let scores = self.model_scores(model);
+        if scores.len() < 2 {
+            return None;
+        }
+        Summary::from_slice(&scores)
+            .ok()
+            .map(|s| s.spread_percent_of_max())
+    }
+
+    /// Submissions of `model`, best first.
+    pub fn ranking(&self, model: &str) -> Vec<&CrowdScore> {
+        let mut rows: Vec<&CrowdScore> = self.scores.iter().filter(|s| s.model == model).collect();
+        rows.sort_by(|a, b| b.score.partial_cmp(&a.score).expect("scores are finite"));
+        rows
+    }
+
+    /// Renders a model's leaderboard.
+    pub fn render_model(&self, model: &str) -> String {
+        let mut t = TextTable::new(vec!["rank", "device", "score", "RSD", "percentile"]);
+        for (i, s) in self.ranking(model).iter().enumerate() {
+            let pct = self.percentile(model, s.score).unwrap_or(0.0);
+            t.row(vec![
+                (i + 1).to_string(),
+                s.device.clone(),
+                format!("{:.1}", s.score),
+                format!("{:.2}%", s.rsd),
+                format!("{pct:.0}"),
+            ]);
+        }
+        format!(
+            "{model}: {} submissions ({} rejected), spread {}\n{}",
+            self.model_scores(model).len(),
+            self.rejected,
+            self.model_spread_percent(model)
+                .map_or_else(|| "n/a".to_owned(), |s| format!("{s:.1}%")),
+            t
+        )
+    }
+}
+
+impl fmt::Display for CrowdDatabase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "crowd database: {} accepted, {} rejected (filter {:.1}% RSD)",
+            self.scores.len(),
+            self.rejected,
+            self.max_rsd
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn score(model: &str, device: &str, value: f64, rsd: f64) -> CrowdScore {
+        CrowdScore {
+            model: model.to_owned(),
+            device: device.to_owned(),
+            score: value,
+            rsd,
+        }
+    }
+
+    fn seeded_db() -> CrowdDatabase {
+        let mut db = CrowdDatabase::new(2.0).unwrap();
+        for (d, v) in [("a", 100.0), ("b", 95.0), ("c", 90.0), ("d", 86.0)] {
+            assert!(db.submit(score("Nexus 5", d, v, 0.5)));
+        }
+        assert!(db.submit(score("Pixel", "p1", 1200.0, 0.3)));
+        db
+    }
+
+    #[test]
+    fn filters_noisy_and_invalid_submissions() {
+        let mut db = CrowdDatabase::new(2.0).unwrap();
+        assert!(!db.submit(score("Nexus 5", "hot-car", 80.0, 9.0)));
+        assert!(!db.submit(score("Nexus 5", "nan", f64::NAN, 0.1)));
+        assert!(!db.submit(score("Nexus 5", "zero", 0.0, 0.1)));
+        assert!(db.submit(score("Nexus 5", "ok", 100.0, 1.9)));
+        assert_eq!(db.rejected(), 3);
+        assert_eq!(db.scores().len(), 1);
+    }
+
+    #[test]
+    fn percentile_is_fraction_beaten() {
+        let db = seeded_db();
+        assert_eq!(db.percentile("Nexus 5", 100.0), Some(75.0));
+        assert_eq!(db.percentile("Nexus 5", 86.0), Some(0.0));
+        assert_eq!(db.percentile("Nexus 5", 9999.0), Some(100.0));
+        assert_eq!(db.percentile("Galaxy", 100.0), None);
+    }
+
+    #[test]
+    fn spread_matches_paper_metric() {
+        let db = seeded_db();
+        // (100-86)/100 = 14%, the paper's Nexus 5 performance spread.
+        assert!((db.model_spread_percent("Nexus 5").unwrap() - 14.0).abs() < 1e-9);
+        assert_eq!(db.model_spread_percent("Pixel"), None);
+    }
+
+    #[test]
+    fn ranking_is_best_first_and_model_scoped() {
+        let db = seeded_db();
+        let ranked = db.ranking("Nexus 5");
+        assert_eq!(ranked.len(), 4);
+        assert_eq!(ranked[0].device, "a");
+        assert_eq!(ranked[3].device, "d");
+        assert_eq!(db.ranking("Pixel").len(), 1);
+    }
+
+    #[test]
+    fn renders_leaderboard() {
+        let db = seeded_db();
+        let s = db.render_model("Nexus 5");
+        assert!(s.contains("spread 14.0%"));
+        assert!(s.contains("rank"));
+        assert!(!format!("{db}").is_empty());
+    }
+
+    #[test]
+    fn invalid_filter_rejected() {
+        assert!(CrowdDatabase::new(0.0).is_err());
+        assert!(CrowdDatabase::new(f64::NAN).is_err());
+    }
+}

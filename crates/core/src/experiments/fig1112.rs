@@ -1,0 +1,219 @@
+//! Figs 11 & 12 — frequency and temperature distributions over time.
+//!
+//! For two units of the same model, the paper overlays the distribution of
+//! observed CPU frequencies and temperatures during an iteration and shows:
+//!
+//! * the mean-frequency gap matches the performance gap (Fig 11: ≈7 % on
+//!   the Pixel pair; Fig 12: ≈11 % on the Nexus 5 pair), and
+//! * "time spent at temperature" does **not** predict throttling — the
+//!   device spending more time hot can be the one throttling *less*.
+
+use crate::experiments::ExperimentConfig;
+use crate::harness::{Ambient, Harness};
+use crate::protocol::Protocol;
+use crate::report::TextTable;
+use crate::BenchError;
+use pv_silicon::binning::BinId;
+use pv_soc::catalog;
+use pv_soc::device::Device;
+use pv_stats::histogram::Histogram;
+use pv_units::Celsius;
+
+/// Distribution data for one device of the pair.
+#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+pub struct DeviceDistribution {
+    /// Device label.
+    pub label: String,
+    /// Iterations completed during the traced workload.
+    pub performance: f64,
+    /// Time-weighted mean frequency of the primary cluster (MHz).
+    pub mean_freq_mhz: f64,
+    /// Histogram of primary-cluster frequency over the workload (MHz bins).
+    pub freq_hist: Histogram,
+    /// Histogram of die temperature over the workload (°C bins).
+    pub temp_hist: Histogram,
+    /// Fraction of workload time at or above the hot threshold.
+    pub time_hot_fraction: f64,
+    /// Fraction of workload time throttled.
+    pub throttled_fraction: f64,
+}
+
+/// A two-device distribution comparison.
+#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+pub struct DistributionPair {
+    /// Which figure this reproduces (`"fig11"` / `"fig12"`).
+    pub name: &'static str,
+    /// The better device first.
+    pub devices: [DeviceDistribution; 2],
+}
+
+impl DistributionPair {
+    /// Performance gap: best over worst, minus one.
+    pub fn perf_gap_fraction(&self) -> f64 {
+        self.devices[0].performance / self.devices[1].performance - 1.0
+    }
+
+    /// Mean-frequency gap: best over worst, minus one.
+    pub fn freq_gap_fraction(&self) -> f64 {
+        self.devices[0].mean_freq_mhz / self.devices[1].mean_freq_mhz - 1.0
+    }
+
+    /// Renders gap statistics and both histograms.
+    pub fn render(&self) -> String {
+        let mut t = TextTable::new(vec![
+            "device",
+            "perf (iters)",
+            "mean freq",
+            "time hot",
+            "throttled",
+        ]);
+        for d in &self.devices {
+            t.row(vec![
+                d.label.clone(),
+                format!("{:.1}", d.performance),
+                format!("{:.0} MHz", d.mean_freq_mhz),
+                format!("{:.0}%", d.time_hot_fraction * 100.0),
+                format!("{:.0}%", d.throttled_fraction * 100.0),
+            ]);
+        }
+        format!(
+            "{}: perf gap {:.1}%, mean-frequency gap {:.1}%\n{}\n{} frequency distribution:\n{}\n{} frequency distribution:\n{}",
+            self.name,
+            self.perf_gap_fraction() * 100.0,
+            self.freq_gap_fraction() * 100.0,
+            t,
+            self.devices[0].label,
+            self.devices[0].freq_hist,
+            self.devices[1].label,
+            self.devices[1].freq_hist,
+        )
+    }
+}
+
+/// Both figures.
+#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+pub struct Fig1112 {
+    /// Fig 11: the Pixel pair (device-488 vs device-653).
+    pub pixel: DistributionPair,
+    /// Fig 12: the Nexus 5 pair (bin-1 vs bin-3).
+    pub nexus5: DistributionPair,
+}
+
+fn measure(
+    mut device: Device,
+    hot_threshold: Celsius,
+    freq_range: (f64, f64),
+    cfg: &ExperimentConfig,
+) -> Result<DeviceDistribution, BenchError> {
+    let mut harness = Harness::new(
+        cfg.scaled(Protocol::unconstrained()).with_trace(),
+        Ambient::paper_chamber()?,
+    )?;
+    let it = harness.run_iteration(&mut device)?;
+    let mut freq_hist =
+        Histogram::new(freq_range.0, freq_range.1, 16).map_err(BenchError::Stats)?;
+    let mut temp_hist = Histogram::new(25.0, 95.0, 14).map_err(BenchError::Stats)?;
+    for s in it.workload_trace.samples() {
+        if let Some(f) = s.cluster_freqs.first() {
+            freq_hist.add_weighted(f.value(), s.dt.value());
+        }
+        temp_hist.add_weighted(s.die_temp.value(), s.dt.value());
+    }
+    Ok(DeviceDistribution {
+        label: device.label().to_owned(),
+        performance: it.iterations_completed,
+        mean_freq_mhz: it.workload_mean_freqs.first().map_or(0.0, |f| f.value()),
+        freq_hist,
+        temp_hist,
+        time_hot_fraction: it.workload_trace.fraction_time_at_or_above(hot_threshold),
+        throttled_fraction: it.throttled_fraction,
+    })
+}
+
+/// Runs both distribution comparisons.
+///
+/// # Errors
+///
+/// Propagates harness errors.
+pub fn run(cfg: &ExperimentConfig) -> Result<Fig1112, BenchError> {
+    // Fig 11: Pixel device-488 (best) vs device-653.
+    let px_a = measure(
+        catalog::pixel(0.20, "device-488")?,
+        Celsius(70.0),
+        (200.0, 2300.0),
+        cfg,
+    )?;
+    let px_b = measure(
+        catalog::pixel(0.82, "device-653")?,
+        Celsius(70.0),
+        (200.0, 2300.0),
+        cfg,
+    )?;
+
+    // Fig 12: Nexus 5 bin-1 vs bin-3.
+    let n5_a = measure(
+        catalog::nexus5(BinId(1))?,
+        Celsius(70.0),
+        (200.0, 2400.0),
+        cfg,
+    )?;
+    let n5_b = measure(
+        catalog::nexus5(BinId(3))?,
+        Celsius(70.0),
+        (200.0, 2400.0),
+        cfg,
+    )?;
+
+    Ok(Fig1112 {
+        pixel: DistributionPair {
+            name: "fig11",
+            devices: [px_a, px_b],
+        },
+        nexus5: DistributionPair {
+            name: "fig12",
+            devices: [n5_a, n5_b],
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frequency_gap_tracks_performance_gap() {
+        let fig = run(&ExperimentConfig::quick()).unwrap();
+        for pair in [&fig.pixel, &fig.nexus5] {
+            let perf_gap = pair.perf_gap_fraction();
+            let freq_gap = pair.freq_gap_fraction();
+            assert!(perf_gap > 0.0, "{}: no perf gap", pair.name);
+            assert!(freq_gap > 0.0, "{}: no freq gap", pair.name);
+            // The paper's observation: the two gaps match. Perf is weighted
+            // across clusters while the gap uses the primary cluster, so
+            // allow a couple points of slack.
+            assert!(
+                (perf_gap - freq_gap).abs() < 0.05,
+                "{}: perf gap {perf_gap:.3} vs freq gap {freq_gap:.3}",
+                pair.name
+            );
+            // Histograms carry weight.
+            for d in &pair.devices {
+                assert!(d.freq_hist.total_weight() > 0.0);
+                assert!(d.temp_hist.total_weight() > 0.0);
+            }
+        }
+        assert!(fig.pixel.render().contains("fig11"));
+    }
+
+    #[test]
+    fn worse_device_throttles_more() {
+        let fig = run(&ExperimentConfig::quick()).unwrap();
+        for pair in [&fig.pixel, &fig.nexus5] {
+            assert!(
+                pair.devices[1].throttled_fraction >= pair.devices[0].throttled_fraction,
+                "{}: worse device should throttle at least as much",
+                pair.name
+            );
+        }
+    }
+}

@@ -1,0 +1,144 @@
+//! Fig 13 — relative efficiency of SoC generations.
+//!
+//! Iterations-per-joule (fixed-frequency workload, fleet mean) per SoC.
+//! Efficiency improves across generations with the shrinking process — with
+//! the paper's notable exception that the SD-805, pushed to 2,649 MHz on
+//! the same 28 nm process, is *less* efficient than the SD-800.
+
+use crate::experiments::study::{plans, SocStudy};
+use crate::experiments::ExperimentConfig;
+use crate::report::{ratio, TextTable};
+use crate::BenchError;
+use pv_stats::regression::{linear_fit, LinearFit};
+
+/// Efficiency of one SoC generation.
+#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+pub struct SocEfficiency {
+    /// SoC name.
+    pub soc: &'static str,
+    /// Handset model.
+    pub model: &'static str,
+    /// Fleet-mean iterations per joule.
+    pub iterations_per_joule: f64,
+}
+
+/// The Fig 13 dataset, in release order.
+#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+pub struct Fig13 {
+    /// SD-800, SD-805, SD-810, SD-820, SD-821.
+    pub generations: Vec<SocEfficiency>,
+}
+
+impl Fig13 {
+    /// Whether the SD-805 regression below the SD-800 is present.
+    pub fn sd805_dip(&self) -> bool {
+        let sd800 = self.generations.iter().find(|g| g.soc == "SD-800");
+        let sd805 = self.generations.iter().find(|g| g.soc == "SD-805");
+        match (sd800, sd805) {
+            (Some(a), Some(b)) => b.iterations_per_joule < a.iterations_per_joule,
+            _ => false,
+        }
+    }
+
+    /// OLS fit of efficiency against generation index — positive slope
+    /// means efficiency improves over time overall.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BenchError::Stats`] with fewer than two generations.
+    pub fn trend(&self) -> Result<LinearFit, BenchError> {
+        let x: Vec<f64> = (0..self.generations.len()).map(|i| i as f64).collect();
+        let y: Vec<f64> = self
+            .generations
+            .iter()
+            .map(|g| g.iterations_per_joule)
+            .collect();
+        Ok(linear_fit(&x, &y)?)
+    }
+
+    /// Renders efficiency normalized to the SD-800.
+    pub fn render(&self) -> String {
+        let base = self
+            .generations
+            .first()
+            .map_or(1.0, |g| g.iterations_per_joule);
+        let mut t = TextTable::new(vec!["SoC", "model", "iters/J", "vs SD-800"]);
+        for g in &self.generations {
+            t.row(vec![
+                g.soc.to_owned(),
+                g.model.to_owned(),
+                format!("{:.3}", g.iterations_per_joule),
+                ratio(g.iterations_per_joule / base),
+            ]);
+        }
+        format!("Fig 13: relative efficiency of smartphone SoCs\n{t}")
+    }
+}
+
+fn efficiency_of(study: &SocStudy) -> SocEfficiency {
+    SocEfficiency {
+        soc: study.soc,
+        model: study.model,
+        iterations_per_joule: study.mean_efficiency(),
+    }
+}
+
+/// Runs the fixed-frequency studies for all five SoCs and extracts the
+/// efficiency metric.
+///
+/// # Errors
+///
+/// Propagates harness errors.
+pub fn run(cfg: &ExperimentConfig) -> Result<Fig13, BenchError> {
+    Ok(Fig13 {
+        generations: vec![
+            efficiency_of(&plans::nexus5(cfg)?),
+            efficiency_of(&plans::nexus6(cfg)?),
+            efficiency_of(&plans::nexus6p(cfg)?),
+            efficiency_of(&plans::lg_g5(cfg)?),
+            efficiency_of(&plans::pixel(cfg)?),
+        ],
+    })
+}
+
+/// Builds the figure from already-run studies (so Table II and Fig 13 can
+/// share one expensive pass).
+pub fn from_studies(studies: &[SocStudy]) -> Fig13 {
+    Fig13 {
+        generations: studies.iter().map(efficiency_of).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn efficiency_improves_overall_with_sd805_dip() {
+        let fig = run(&ExperimentConfig::quick()).unwrap();
+        assert_eq!(fig.generations.len(), 5);
+
+        // The paper's two claims: overall upward trend, SD-805 dip.
+        assert!(
+            fig.sd805_dip(),
+            "SD-805 should be less efficient than SD-800"
+        );
+        let trend = fig.trend().unwrap();
+        assert!(
+            trend.slope > 0.0,
+            "efficiency should improve across generations: slope {}",
+            trend.slope
+        );
+
+        // FinFET parts beat every 28/20 nm part.
+        let eff: Vec<f64> = fig
+            .generations
+            .iter()
+            .map(|g| g.iterations_per_joule)
+            .collect();
+        assert!(eff[3] > eff[0] && eff[3] > eff[1] && eff[3] > eff[2]);
+        assert!(eff[4] > eff[0] && eff[4] > eff[1] && eff[4] > eff[2]);
+
+        assert!(fig.render().contains("SD-821"));
+    }
+}

@@ -1,0 +1,169 @@
+//! Figs 4 & 5 — ACCUBENCH phase timelines.
+//!
+//! Fig 4 (UNCONSTRAINED): the die heats through warmup, throttles, is
+//! normalised by the cooldown, then throttle-oscillates through the
+//! workload. Fig 5 (FIXED-FREQUENCY): the same protocol at a low pinned
+//! frequency never reaches throttling temperatures.
+
+use crate::experiments::ExperimentConfig;
+use crate::harness::{Ambient, Harness};
+use crate::protocol::Protocol;
+use crate::BenchError;
+use pv_silicon::binning::BinId;
+use pv_soc::catalog;
+use pv_soc::trace::Trace;
+use pv_units::{Celsius, MegaHertz, Seconds};
+
+/// One protocol timeline.
+#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+pub struct PhaseTimeline {
+    /// Which figure this reproduces (`"fig4"` / `"fig5"`).
+    pub name: &'static str,
+    /// End of the warmup phase.
+    pub warmup_end: Seconds,
+    /// End of the cooldown phase (= workload start).
+    pub workload_start: Seconds,
+    /// End of the workload phase.
+    pub workload_end: Seconds,
+    /// Full per-step trace of the iteration.
+    pub trace: Trace,
+    /// Peak die temperature over the iteration.
+    pub peak_temp: Celsius,
+    /// Fraction of workload time spent throttled.
+    pub workload_throttled_fraction: f64,
+}
+
+impl PhaseTimeline {
+    /// Renders a coarse ASCII timeline of die temperature (one row per
+    /// ~1/40th of the run).
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "{}: warmup 0–{:.0}s, cooldown –{:.0}s, workload –{:.0}s, peak {:.1}, throttled {:.0}% of workload\n",
+            self.name,
+            self.warmup_end.value(),
+            self.workload_start.value(),
+            self.workload_end.value(),
+            self.peak_temp,
+            self.workload_throttled_fraction * 100.0
+        );
+        let samples = self.trace.samples();
+        if samples.is_empty() {
+            return out;
+        }
+        let stride = (samples.len() / 40).max(1);
+        for s in samples.iter().step_by(stride) {
+            let bar = ((s.die_temp.value() - 20.0).max(0.0) / 1.8) as usize;
+            out.push_str(&format!(
+                "  t={:>6.0}s {:>6.1}°C {:>5.0}MHz |{}\n",
+                s.t.value(),
+                s.die_temp.value(),
+                s.cluster_freqs.first().map_or(0.0, |f| f.value()),
+                "█".repeat(bar.min(60))
+            ));
+        }
+        out
+    }
+}
+
+/// Both timelines (Fig 4 then Fig 5), measured on a mid-grade Nexus 5.
+#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+pub struct Fig45 {
+    /// The UNCONSTRAINED timeline (Fig 4).
+    pub unconstrained: PhaseTimeline,
+    /// The FIXED-FREQUENCY timeline (Fig 5).
+    pub fixed: PhaseTimeline,
+}
+
+fn run_one(
+    name: &'static str,
+    protocol: Protocol,
+    bin: BinId,
+) -> Result<PhaseTimeline, BenchError> {
+    let mut device = catalog::nexus5(bin)?;
+    let mut harness = Harness::new(protocol.with_trace(), Ambient::paper_chamber()?)?;
+    let it = harness.run_iteration(&mut device)?;
+    let warmup_end = protocol.warmup;
+    let workload_start = Seconds(warmup_end.value() + it.cooldown_duration.value());
+    let workload_end = Seconds(workload_start.value() + protocol.workload.value());
+    Ok(PhaseTimeline {
+        name,
+        warmup_end,
+        workload_start,
+        workload_end,
+        peak_temp: it.peak_temp,
+        workload_throttled_fraction: it.throttled_fraction,
+        trace: it.full_trace,
+    })
+}
+
+/// Runs both protocol variants on the same device model.
+///
+/// # Errors
+///
+/// Propagates harness errors.
+pub fn run(cfg: &ExperimentConfig) -> Result<Fig45, BenchError> {
+    let unconstrained = run_one("fig4", cfg.scaled(Protocol::unconstrained()), BinId(2))?;
+    let fixed = run_one(
+        "fig5",
+        cfg.scaled(Protocol::fixed_frequency(MegaHertz(960.0))),
+        BinId(2),
+    )?;
+    Ok(Fig45 {
+        unconstrained,
+        fixed,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unconstrained_throttles_fixed_does_not() {
+        let fig = run(&ExperimentConfig::quick()).unwrap();
+
+        // Fig 4: device reaches throttling territory during the run.
+        assert!(
+            fig.unconstrained.workload_throttled_fraction > 0.3,
+            "unconstrained throttled only {:.2}",
+            fig.unconstrained.workload_throttled_fraction
+        );
+        assert!(fig.unconstrained.peak_temp.value() > 69.0);
+
+        // Fig 5: never throttles, stays well below trip.
+        assert_eq!(fig.fixed.workload_throttled_fraction, 0.0);
+        assert!(
+            fig.fixed.peak_temp.value() < 68.0,
+            "fixed peak {}",
+            fig.fixed.peak_temp
+        );
+
+        // Phase boundaries are ordered and traces non-empty.
+        for tl in [&fig.unconstrained, &fig.fixed] {
+            assert!(tl.warmup_end < tl.workload_start);
+            assert!(tl.workload_start < tl.workload_end);
+            assert!(!tl.trace.is_empty());
+        }
+        assert!(fig.unconstrained.render().contains("fig4"));
+    }
+
+    #[test]
+    fn cooldown_normalises_thermal_state() {
+        // The die temperature at workload start is far below the warmup
+        // peak — the mechanism that makes back-to-back runs repeatable.
+        let fig = run(&ExperimentConfig::quick()).unwrap();
+        let tl = &fig.unconstrained;
+        let at_workload_start = tl
+            .trace
+            .samples()
+            .iter()
+            .find(|s| s.t >= tl.workload_start)
+            .map(|s| s.die_temp.value())
+            .unwrap();
+        assert!(
+            at_workload_start < tl.peak_temp.value() - 15.0,
+            "workload started at {at_workload_start} °C vs peak {}",
+            tl.peak_temp
+        );
+    }
+}

@@ -1,0 +1,143 @@
+//! Beyond the paper — how much load does it take to expose variation?
+//!
+//! The paper's workload saturates every core. Real usage is bursty and
+//! partial, so a natural question for anyone adopting the methodology:
+//! does a lighter workload still separate good silicon from bad? This
+//! experiment sweeps per-core utilisation and measures the bin-0 vs bin-3
+//! gaps at each level. The answer has two halves:
+//!
+//! * the **energy-per-work** gap is *largest at light load* — with little
+//!   dynamic power, leakage is the whole story, so a leaky die's overhead
+//!   is proportionally worst when the phone is barely busy (the battery-
+//!   life complaint of an unlucky unit);
+//! * the **performance** gap requires thermal throttling: within a short
+//!   window light load never trips, while with long windows the leakage
+//!   feedback eventually drags even a 20 %-loaded leaky die over its trip —
+//!   which is why ACCUBENCH's all-cores π workload is the fastest reliable
+//!   probe for the paper's performance claims.
+
+use crate::experiments::ExperimentConfig;
+use crate::report::TextTable;
+use crate::BenchError;
+use pv_power::EnergyMeter;
+use pv_silicon::binning::BinId;
+use pv_soc::catalog;
+use pv_soc::device::{CpuDemand, FrequencyMode};
+use pv_units::{Celsius, Seconds};
+
+/// The two gaps measured at one utilisation level.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize)]
+pub struct LoadPoint {
+    /// Per-core utilisation of the workload.
+    pub utilization: f64,
+    /// bin-0 over bin-3 performance, minus one.
+    pub perf_gap: f64,
+    /// bin-3 over bin-0 energy **per unit of work**, minus one.
+    pub efficiency_gap: f64,
+}
+
+/// The utilisation sweep.
+#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+pub struct LoadSensitivity {
+    /// Points in ascending utilisation order.
+    pub points: Vec<LoadPoint>,
+}
+
+impl LoadSensitivity {
+    /// Renders the sweep.
+    pub fn render(&self) -> String {
+        let mut t = TextTable::new(vec!["utilization", "perf gap", "energy/work gap"]);
+        for p in &self.points {
+            t.row(vec![
+                format!("{:.0}%", p.utilization * 100.0),
+                format!("{:+.1}%", p.perf_gap * 100.0),
+                format!("{:+.1}%", p.efficiency_gap * 100.0),
+            ]);
+        }
+        format!("Variation vs workload intensity (Nexus 5 bin-0 vs bin-3)\n{t}")
+    }
+}
+
+/// Measures one device at one utilisation: work done and energy over a
+/// fixed window starting from thermal equilibrium at 26 °C.
+fn measure(bin: u8, util: f64, window: Seconds) -> Result<(f64, f64), BenchError> {
+    let mut device = catalog::nexus5(BinId(bin))?;
+    device.reset_thermal(Celsius(26.0))?;
+    let mut meter = EnergyMeter::new();
+    let mut work = 0.0;
+    let mut remaining = window.value();
+    let dt = Seconds(0.25);
+    while remaining > 0.0 {
+        let step = Seconds(remaining.min(dt.value()));
+        let r = device.step(step, CpuDemand::Busy { util }, FrequencyMode::Unconstrained)?;
+        meter
+            .record(r.supply_power, step)
+            .map_err(pv_soc::SocError::from)?;
+        work += r.work_cycles;
+        remaining -= step.value();
+    }
+    Ok((work, meter.energy().value()))
+}
+
+/// Runs the sweep over utilisation levels.
+///
+/// # Errors
+///
+/// Propagates device errors.
+pub fn run(cfg: &ExperimentConfig) -> Result<LoadSensitivity, BenchError> {
+    let window = Seconds(480.0 * cfg.scale.max(0.1));
+    let mut points = Vec::new();
+    for util in [0.2, 0.4, 0.6, 0.8, 1.0] {
+        let (work0, energy0) = measure(0, util, window)?;
+        let (work3, energy3) = measure(3, util, window)?;
+        points.push(LoadPoint {
+            utilization: util,
+            perf_gap: work0 / work3 - 1.0,
+            efficiency_gap: (energy3 / work3) / (energy0 / work0) - 1.0,
+        });
+    }
+    Ok(LoadSensitivity { points })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn energy_gap_peaks_light_perf_gap_peaks_heavy() {
+        let fig = run(&ExperimentConfig::quick()).unwrap();
+        assert_eq!(fig.points.len(), 5);
+        let first = fig.points.first().unwrap();
+        let last = fig.points.last().unwrap();
+
+        // Leakage never sleeps: the per-work energy overhead is positive at
+        // every load and *largest* at the lightest one.
+        for p in &fig.points {
+            assert!(
+                p.efficiency_gap > 0.0,
+                "efficiency gap vanished at {:.0}% load",
+                p.utilization * 100.0
+            );
+            assert!(p.efficiency_gap <= first.efficiency_gap + 1e-9);
+        }
+        assert!(
+            first.efficiency_gap > 0.10,
+            "light-load leakage overhead {:.3}",
+            first.efficiency_gap
+        );
+
+        // Perf gap is a throttling phenomenon: absent at light load,
+        // substantial at full load.
+        assert!(
+            first.perf_gap.abs() < 0.02,
+            "light load should not throttle-separate: {:.3}",
+            first.perf_gap
+        );
+        assert!(
+            last.perf_gap > 0.04,
+            "full-load perf gap {:.3}",
+            last.perf_gap
+        );
+        assert!(fig.render().contains("workload intensity"));
+    }
+}

@@ -1,0 +1,123 @@
+//! Reproductions of every table and figure in the paper's evaluation.
+//!
+//! Each submodule regenerates one artifact (see DESIGN.md §4 for the full
+//! index with workloads, parameters and tolerances):
+//!
+//! | Module | Paper artifact |
+//! |--------|----------------|
+//! | [`table1`] | Table I — Nexus 5 voltage/frequency ladder across bins |
+//! | [`fig1`] | Fig 1 — energy/time/temperature across Nexus 5 bins (fixed work) |
+//! | [`fig2`] | Fig 2 — energy vs ambient temperature on two devices |
+//! | [`fig3`] | Fig 3 — THERMABOX regulation quality |
+//! | [`fig45`] | Figs 4/5 — ACCUBENCH phase timelines (UNCONSTRAINED / FIXED-FREQUENCY) |
+//! | [`study`] | Figs 6–9 — per-SoC performance & energy variation studies |
+//! | [`fig10`] | Fig 10 — LG G5 input-voltage throttling anomaly |
+//! | [`fig1112`] | Figs 11/12 — frequency/temperature distributions |
+//! | [`fig13`] | Fig 13 — relative efficiency across SoC generations |
+//! | [`table2`] | Table II — summary of energy-performance variations |
+//! | [`rsd`] | §VII — methodology repeatability (≈1.1 % average RSD) |
+//! | [`cluster`] | §VI future work — k-means bin inference from crowd data |
+//! | [`ambient_estimate`] | §VI future work — ambient recovery from cooldown curves |
+//! | [`ranking`] | §VI future work — crowdsourced filtering, binning and ranking |
+//! | [`lowerbound`] | §VII — Monte Carlo quantification of the lower-bound claim |
+//! | [`forecast`] | beyond the paper — Fig 13 extended to a 10 nm part |
+//! | [`load_sensitivity`] | beyond the paper — variation vs workload intensity |
+//! | [`governor_study`] | beyond the paper — variation under demand-driven governors |
+//! | [`skin`] | beyond the paper — skin temperature across bins (§V motivation) |
+//! | [`aging`] | §IV-C discussion — battery aging vs input-voltage throttling |
+//! | [`ablation`] | DESIGN.md §5 — leakage-feedback / warmup / chamber ablations |
+
+pub mod ablation;
+pub mod aging;
+pub mod ambient_estimate;
+pub mod cluster;
+pub mod fig1;
+pub mod fig10;
+pub mod fig1112;
+pub mod fig13;
+pub mod fig2;
+pub mod fig3;
+pub mod fig45;
+pub mod forecast;
+pub mod governor_study;
+pub mod load_sensitivity;
+pub mod lowerbound;
+pub mod ranking;
+pub mod rsd;
+pub mod skin;
+pub mod study;
+pub mod table1;
+pub mod table2;
+
+use crate::protocol::Protocol;
+use pv_units::Seconds;
+
+/// How long and how often to run each experiment.
+///
+/// [`ExperimentConfig::paper`] is the full §III protocol (3 min warmup,
+/// 5 min workload, 5 iterations). [`ExperimentConfig::quick`] shrinks the
+/// phase durations and iteration count so the whole suite fits in a test
+/// run; the *shape* conclusions (who wins, by roughly how much) hold at
+/// both scales because the devices reach thermal quasi-steady state well
+/// within the shortened windows.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize)]
+pub struct ExperimentConfig {
+    /// Multiplier on warmup/workload durations (1.0 = paper lengths).
+    pub scale: f64,
+    /// Back-to-back iterations per device per workload (paper: 5).
+    pub iterations: usize,
+}
+
+impl ExperimentConfig {
+    /// The paper's full protocol.
+    pub fn paper() -> Self {
+        Self {
+            scale: 1.0,
+            iterations: 5,
+        }
+    }
+
+    /// A shrunk configuration for fast test runs.
+    pub fn quick() -> Self {
+        Self {
+            scale: 0.45,
+            iterations: 2,
+        }
+    }
+
+    /// Applies the scale to a protocol's phase durations.
+    pub fn scaled(&self, protocol: Protocol) -> Protocol {
+        protocol
+            .with_warmup(Seconds(protocol.warmup.value() * self.scale))
+            .with_workload(Seconds(protocol.workload.value() * self.scale))
+    }
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaling_shrinks_phases() {
+        let cfg = ExperimentConfig {
+            scale: 0.5,
+            iterations: 3,
+        };
+        let p = cfg.scaled(Protocol::unconstrained());
+        assert_eq!(p.warmup, Seconds(90.0));
+        assert_eq!(p.workload, Seconds(150.0));
+    }
+
+    #[test]
+    fn paper_config_is_default() {
+        assert_eq!(ExperimentConfig::default(), ExperimentConfig::paper());
+        assert_eq!(ExperimentConfig::paper().iterations, 5);
+        assert!(ExperimentConfig::quick().scale < 1.0);
+    }
+}

@@ -1,0 +1,132 @@
+//! §VII — methodology repeatability.
+//!
+//! The paper's headline for the methodology itself: "an average error of
+//! 1.1 % RSD over roughly 300 iterations of our workloads". This experiment
+//! runs many back-to-back sessions across the catalog and reports the mean
+//! per-session RSD of the performance metric.
+
+use crate::experiments::ExperimentConfig;
+use crate::harness::{Ambient, Harness};
+use crate::protocol::Protocol;
+use crate::report::TextTable;
+use crate::BenchError;
+use pv_silicon::binning::BinId;
+use pv_soc::catalog;
+use pv_units::MegaHertz;
+
+/// One device's repeatability measurement.
+#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+pub struct RepeatabilityRow {
+    /// Device label.
+    pub label: String,
+    /// Which workload was run (`"unconstrained"` / `"fixed"`).
+    pub workload: &'static str,
+    /// Number of iterations in the session.
+    pub iterations: usize,
+    /// RSD (%) of performance across those iterations.
+    pub perf_rsd: f64,
+}
+
+/// The repeatability summary.
+#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+pub struct Repeatability {
+    /// Per-device, per-workload rows.
+    pub rows: Vec<RepeatabilityRow>,
+}
+
+impl Repeatability {
+    /// Mean RSD over all sessions — the paper's 1.1 % figure.
+    pub fn average_rsd(&self) -> f64 {
+        if self.rows.is_empty() {
+            return 0.0;
+        }
+        self.rows.iter().map(|r| r.perf_rsd).sum::<f64>() / self.rows.len() as f64
+    }
+
+    /// Total iterations across all sessions.
+    pub fn total_iterations(&self) -> usize {
+        self.rows.iter().map(|r| r.iterations).sum()
+    }
+
+    /// Renders the per-session table plus the average.
+    pub fn render(&self) -> String {
+        let mut t = TextTable::new(vec!["device", "workload", "iterations", "perf RSD"]);
+        for r in &self.rows {
+            t.row(vec![
+                r.label.clone(),
+                r.workload.to_owned(),
+                r.iterations.to_string(),
+                format!("{:.2}%", r.perf_rsd),
+            ]);
+        }
+        format!(
+            "Methodology repeatability: average RSD {:.2}% over {} iterations\n{}",
+            self.average_rsd(),
+            self.total_iterations(),
+            t
+        )
+    }
+}
+
+/// Runs repeatability sessions on a spread of devices and both workloads.
+///
+/// # Errors
+///
+/// Propagates harness errors.
+pub fn run(cfg: &ExperimentConfig) -> Result<Repeatability, BenchError> {
+    let mut rows = Vec::new();
+    let devices: Vec<(pv_soc::device::Device, MegaHertz)> = vec![
+        (catalog::nexus5(BinId(0))?, MegaHertz(960.0)),
+        (catalog::nexus5(BinId(3))?, MegaHertz(960.0)),
+        (catalog::nexus6p(0.5, "device-541")?, MegaHertz(384.0)),
+        (catalog::pixel(0.5, "device-570")?, MegaHertz(998.0)),
+    ];
+    for (mut device, fixed_freq) in devices {
+        for (workload, protocol) in [
+            ("unconstrained", Protocol::unconstrained()),
+            ("fixed", Protocol::fixed_frequency(fixed_freq)),
+        ] {
+            let mut harness = Harness::new(cfg.scaled(protocol), Ambient::paper_chamber()?)?;
+            let session = harness.run_session(&mut device, cfg.iterations)?;
+            rows.push(RepeatabilityRow {
+                label: device.label().to_owned(),
+                workload,
+                iterations: session.iterations.len(),
+                perf_rsd: session.performance_summary()?.rsd_percent(),
+            });
+        }
+    }
+    Ok(Repeatability { rows })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn average_rsd_is_paper_grade() {
+        let cfg = ExperimentConfig {
+            iterations: 3,
+            ..ExperimentConfig::quick()
+        };
+        let rep = run(&cfg).unwrap();
+        assert_eq!(rep.rows.len(), 8);
+        // The paper reports 1.1 % average; hold the simulation to < 2 %.
+        assert!(
+            rep.average_rsd() < 2.0,
+            "average RSD {:.2}%",
+            rep.average_rsd()
+        );
+        // Fixed-frequency sessions are the tightest.
+        for r in rep.rows.iter().filter(|r| r.workload == "fixed") {
+            assert!(
+                r.perf_rsd < 1.0,
+                "{}: fixed RSD {:.2}%",
+                r.label,
+                r.perf_rsd
+            );
+        }
+        assert!(rep.total_iterations() >= 24);
+        assert!(rep.render().contains("repeatability"));
+    }
+}

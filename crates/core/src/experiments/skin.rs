@@ -1,0 +1,146 @@
+//! Beyond the paper — skin temperature across bins.
+//!
+//! The related work the paper cites (§V: Straume et al., Mercati et al.,
+//! Therminator) studies *skin* temperature, the thermal quantity users
+//! actually feel. The device model carries a case node, so the question is
+//! free to ask: does process variation reach the user's hand? This
+//! experiment runs the UNCONSTRAINED workload across Nexus 5 bins and
+//! reports peak case temperature alongside performance — leaky silicon is
+//! not just slower, it is literally hotter to hold.
+
+use crate::experiments::ExperimentConfig;
+use crate::harness::{Ambient, Harness};
+use crate::protocol::Protocol;
+use crate::report::TextTable;
+use crate::BenchError;
+use pv_silicon::binning::BinId;
+use pv_soc::catalog;
+use pv_units::Celsius;
+
+/// One bin's skin-temperature outcome.
+#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+pub struct SkinOutcome {
+    /// Device label.
+    pub label: String,
+    /// Peak case (skin) temperature over the iteration.
+    pub peak_case: Celsius,
+    /// Time-weighted mean case temperature over the workload phase.
+    pub mean_case: Celsius,
+    /// Iterations completed (for the perf-vs-comfort tradeoff).
+    pub performance: f64,
+}
+
+/// The skin-temperature study across bins.
+#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+pub struct SkinStudy {
+    /// One outcome per bin, bin-0 first.
+    pub outcomes: Vec<SkinOutcome>,
+}
+
+impl SkinStudy {
+    /// Peak-case spread between the best and worst bin, in kelvin.
+    pub fn case_spread_kelvin(&self) -> f64 {
+        let min = self
+            .outcomes
+            .iter()
+            .map(|o| o.peak_case.value())
+            .fold(f64::INFINITY, f64::min);
+        let max = self
+            .outcomes
+            .iter()
+            .map(|o| o.peak_case.value())
+            .fold(f64::NEG_INFINITY, f64::max);
+        max - min
+    }
+
+    /// Renders the comfort table.
+    pub fn render(&self) -> String {
+        let mut t = TextTable::new(vec!["bin", "peak skin", "mean skin", "perf (iters)"]);
+        for o in &self.outcomes {
+            t.row(vec![
+                o.label.clone(),
+                format!("{:.1}", o.peak_case),
+                format!("{:.1}", o.mean_case),
+                format!("{:.1}", o.performance),
+            ]);
+        }
+        format!(
+            "Skin temperature across Nexus 5 bins (spread {:.1} K)\n{}",
+            self.case_spread_kelvin(),
+            t
+        )
+    }
+}
+
+/// Runs the skin study on bins 0–3 (the paper's working fleet).
+///
+/// # Errors
+///
+/// Propagates harness errors.
+pub fn run(cfg: &ExperimentConfig) -> Result<SkinStudy, BenchError> {
+    let mut outcomes = Vec::new();
+    for bin in [0u8, 1, 2, 3] {
+        let mut device = catalog::nexus5(BinId(bin))?;
+        let mut harness = Harness::new(
+            cfg.scaled(Protocol::unconstrained()).with_trace(),
+            Ambient::paper_chamber()?,
+        )?;
+        let it = harness.run_iteration(&mut device)?;
+        let peak_case = it
+            .workload_trace
+            .peak_case_temp()
+            .unwrap_or_else(|| device.case_temp());
+        let mean_case = {
+            let samples = it.workload_trace.samples();
+            let total: f64 = samples.iter().map(|s| s.dt.value()).sum();
+            if total > 0.0 {
+                Celsius(
+                    samples
+                        .iter()
+                        .map(|s| s.case_temp.value() * s.dt.value())
+                        .sum::<f64>()
+                        / total,
+                )
+            } else {
+                device.case_temp()
+            }
+        };
+        outcomes.push(SkinOutcome {
+            label: device.label().to_owned(),
+            peak_case,
+            mean_case,
+            performance: it.iterations_completed,
+        });
+    }
+    Ok(SkinStudy { outcomes })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leaky_bins_run_hotter_in_the_hand() {
+        let study = run(&ExperimentConfig::quick()).unwrap();
+        assert_eq!(study.outcomes.len(), 4);
+        // All cases are warm but physically plausible (< 60 °C).
+        for o in &study.outcomes {
+            assert!(
+                o.peak_case.value() > 30.0 && o.peak_case.value() < 60.0,
+                "{}: peak skin {}",
+                o.label,
+                o.peak_case
+            );
+            assert!(o.mean_case <= o.peak_case);
+        }
+        // bin-3 runs hotter than bin-0 at the skin.
+        assert!(
+            study.outcomes[3].peak_case > study.outcomes[0].peak_case,
+            "bin-3 skin {} should exceed bin-0 {}",
+            study.outcomes[3].peak_case,
+            study.outcomes[0].peak_case
+        );
+        assert!(study.case_spread_kelvin() > 0.3);
+        assert!(study.render().contains("Skin temperature"));
+    }
+}

@@ -1,0 +1,366 @@
+//! The per-SoC variation study shared by Figures 6–9 and Table II.
+//!
+//! For one device population of a single model, this runs the paper's two
+//! experiments:
+//!
+//! * **UNCONSTRAINED** sessions measure *performance* (π iterations in the
+//!   fixed workload window); differences arise from thermal throttling.
+//! * **FIXED-FREQUENCY** sessions pin the cores at a low ladder step so all
+//!   devices do the *same* work, exposing *energy* differences; they double
+//!   as the repeatability check (performance RSD should be tiny).
+
+use crate::experiments::ExperimentConfig;
+use crate::harness::{Ambient, Harness};
+use crate::protocol::Protocol;
+use crate::report::{pct, ratio, TextTable};
+use crate::BenchError;
+use pv_soc::device::Device;
+use pv_stats::Summary;
+use pv_units::MegaHertz;
+
+/// Per-device outcome of the two workloads.
+#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+pub struct DeviceResult {
+    /// Device label (`bin-0`, `device-363`, …).
+    pub label: String,
+    /// Mean iterations completed, UNCONSTRAINED workload.
+    pub perf_mean: f64,
+    /// RSD (%) of the UNCONSTRAINED performance across iterations.
+    pub perf_rsd: f64,
+    /// Mean workload energy (J), FIXED-FREQUENCY workload.
+    pub energy_mean: f64,
+    /// RSD (%) of the FIXED-FREQUENCY energy across iterations.
+    pub energy_rsd: f64,
+    /// RSD (%) of *performance* during FIXED-FREQUENCY — the paper's
+    /// setup-reliability check (≤ ~1–3 %).
+    pub fixed_perf_rsd: f64,
+    /// Mean iterations completed, FIXED-FREQUENCY workload.
+    pub fixed_perf_mean: f64,
+    /// Mean workload energy (J) during the UNCONSTRAINED workload.
+    pub perf_energy_mean: f64,
+}
+
+/// Result of a full study on one SoC.
+#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+pub struct SocStudy {
+    /// SoC name (`SD-800` …).
+    pub soc: &'static str,
+    /// Handset model (`Nexus 5` …).
+    pub model: &'static str,
+    /// The fixed frequency used for the energy workload.
+    pub fixed_freq: MegaHertz,
+    /// One row per device, in fleet order.
+    pub rows: Vec<DeviceResult>,
+}
+
+impl SocStudy {
+    /// Performance of each device normalized to the fastest (the paper's
+    /// Fig 6a/7a/8a/9a bars).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BenchError::Stats`] on an empty study.
+    pub fn perf_normalized(&self) -> Result<Vec<f64>, BenchError> {
+        Ok(pv_stats::normalize_to_max(
+            &self.rows.iter().map(|r| r.perf_mean).collect::<Vec<_>>(),
+        )?)
+    }
+
+    /// Energy of each device normalized to the most frugal (the Fig
+    /// 6b/7b/8b/9b bars).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BenchError::Stats`] on an empty study.
+    pub fn energy_normalized(&self) -> Result<Vec<f64>, BenchError> {
+        Ok(pv_stats::normalize_to_min(
+            &self.rows.iter().map(|r| r.energy_mean).collect::<Vec<_>>(),
+        )?)
+    }
+
+    /// Peak-to-peak performance variation in percent of the best device —
+    /// how the paper quotes "bin-0 is 14 % faster than bin-3".
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BenchError::Stats`] on an empty study.
+    pub fn perf_spread_percent(&self) -> Result<f64, BenchError> {
+        let s = Summary::from_iter(self.rows.iter().map(|r| r.perf_mean))?;
+        Ok(s.spread_percent_of_max())
+    }
+
+    /// Peak-to-peak energy variation in percent of the most frugal device —
+    /// "consumes 19 % more energy to do the same amount of work".
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BenchError::Stats`] on an empty study.
+    pub fn energy_spread_percent(&self) -> Result<f64, BenchError> {
+        let s = Summary::from_iter(self.rows.iter().map(|r| r.energy_mean))?;
+        Ok(s.spread_percent_of_min())
+    }
+
+    /// Worst fixed-frequency performance RSD across devices — the paper's
+    /// repeatability bound for this SoC.
+    pub fn worst_fixed_perf_rsd(&self) -> f64 {
+        self.rows
+            .iter()
+            .map(|r| r.fixed_perf_rsd)
+            .fold(0.0, f64::max)
+    }
+
+    /// Mean efficiency (iterations per joule) across the fleet during the
+    /// UNCONSTRAINED workload — the Fig 13 metric (work delivered per joule
+    /// under each SoC's own governor, as the paper measured it).
+    pub fn mean_efficiency(&self) -> f64 {
+        if self.rows.is_empty() {
+            return 0.0;
+        }
+        self.rows
+            .iter()
+            .map(|r| {
+                if r.perf_energy_mean > 0.0 {
+                    r.perf_mean / r.perf_energy_mean
+                } else {
+                    0.0
+                }
+            })
+            .sum::<f64>()
+            / self.rows.len() as f64
+    }
+
+    /// Renders the study as the paper-style normalized table.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BenchError::Stats`] on an empty study.
+    pub fn render(&self) -> Result<String, BenchError> {
+        let perf = self.perf_normalized()?;
+        let energy = self.energy_normalized()?;
+        let mut t = TextTable::new(vec![
+            "device",
+            "perf (norm)",
+            "perf RSD",
+            "energy (norm)",
+            "energy RSD",
+            "fixed-perf RSD",
+        ]);
+        for ((row, p), e) in self.rows.iter().zip(&perf).zip(&energy) {
+            t.row(vec![
+                row.label.clone(),
+                ratio(*p),
+                pct(row.perf_rsd / 100.0),
+                ratio(*e),
+                pct(row.energy_rsd / 100.0),
+                pct(row.fixed_perf_rsd / 100.0),
+            ]);
+        }
+        Ok(format!(
+            "{} ({}) — perf spread {}, energy spread {}\n{}",
+            self.soc,
+            self.model,
+            pct(self.perf_spread_percent()? / 100.0),
+            pct(self.energy_spread_percent()? / 100.0),
+            t
+        ))
+    }
+}
+
+/// Runs the two-workload study over a fleet of devices of one model.
+///
+/// # Errors
+///
+/// Returns [`BenchError::InvalidProtocol`] for an empty fleet, or any
+/// harness error.
+///
+/// # Panics
+///
+/// Never panics; all fallible paths return errors.
+pub fn run_soc_study(
+    soc: &'static str,
+    model: &'static str,
+    mut fleet: Vec<Device>,
+    fixed_freq: MegaHertz,
+    cfg: &ExperimentConfig,
+) -> Result<SocStudy, BenchError> {
+    if fleet.is_empty() {
+        return Err(BenchError::InvalidProtocol("fleet is empty"));
+    }
+    let mut rows = Vec::with_capacity(fleet.len());
+    for device in &mut fleet {
+        // UNCONSTRAINED: performance.
+        let mut harness = Harness::new(
+            cfg.scaled(Protocol::unconstrained()),
+            Ambient::paper_chamber()?,
+        )?;
+        let perf_session = harness.run_session(device, cfg.iterations)?;
+        let perf = perf_session.performance_summary()?;
+        let perf_energy = perf_session.energy_summary()?;
+
+        // FIXED-FREQUENCY: energy at equal work.
+        device.reset_thermal(harness.ambient_temp())?;
+        let mut harness = Harness::new(
+            cfg.scaled(Protocol::fixed_frequency(fixed_freq)),
+            Ambient::paper_chamber()?,
+        )?;
+        let fixed_session = harness.run_session(device, cfg.iterations)?;
+        let energy = fixed_session.energy_summary()?;
+        let fixed_perf = fixed_session.performance_summary()?;
+
+        rows.push(DeviceResult {
+            label: device.label().to_owned(),
+            perf_mean: perf.mean(),
+            perf_rsd: perf.rsd_percent(),
+            energy_mean: energy.mean(),
+            energy_rsd: energy.rsd_percent(),
+            fixed_perf_rsd: fixed_perf.rsd_percent(),
+            fixed_perf_mean: fixed_perf.mean(),
+            perf_energy_mean: perf_energy.mean(),
+        });
+    }
+    Ok(SocStudy {
+        soc,
+        model,
+        fixed_freq,
+        rows,
+    })
+}
+
+/// Study plans for the five SoCs: fleet constructor + fixed frequency.
+pub mod plans {
+    use super::*;
+    use pv_soc::catalog::fleet;
+
+    /// Fig 6: SD-800 / Nexus 5, bins 0–3, fixed at 960 MHz.
+    ///
+    /// # Errors
+    ///
+    /// Propagates harness errors.
+    pub fn nexus5(cfg: &ExperimentConfig) -> Result<SocStudy, BenchError> {
+        run_soc_study(
+            "SD-800",
+            "Nexus 5",
+            fleet::nexus5_study()?,
+            MegaHertz(960.0),
+            cfg,
+        )
+    }
+
+    /// SD-805 / Nexus 6 (no dedicated figure — "negligible variations",
+    /// §IV-A1 — but needed for Table II and Fig 13), fixed at 1032 MHz.
+    ///
+    /// # Errors
+    ///
+    /// Propagates harness errors.
+    pub fn nexus6(cfg: &ExperimentConfig) -> Result<SocStudy, BenchError> {
+        run_soc_study(
+            "SD-805",
+            "Nexus 6",
+            fleet::nexus6_study()?,
+            MegaHertz(1032.0),
+            cfg,
+        )
+    }
+
+    /// Fig 7: SD-810 / Nexus 6P, fixed at 384 MHz (both clusters share the
+    /// step; the 20 nm part runs too hot for any higher pinned step to stay
+    /// below its first trip).
+    ///
+    /// # Errors
+    ///
+    /// Propagates harness errors.
+    pub fn nexus6p(cfg: &ExperimentConfig) -> Result<SocStudy, BenchError> {
+        run_soc_study(
+            "SD-810",
+            "Nexus 6P",
+            fleet::nexus6p_study()?,
+            MegaHertz(384.0),
+            cfg,
+        )
+    }
+
+    /// Fig 8: SD-820 / LG G5, fixed at 998 MHz.
+    ///
+    /// # Errors
+    ///
+    /// Propagates harness errors.
+    pub fn lg_g5(cfg: &ExperimentConfig) -> Result<SocStudy, BenchError> {
+        run_soc_study(
+            "SD-820",
+            "LG G5",
+            fleet::lg_g5_study()?,
+            MegaHertz(998.0),
+            cfg,
+        )
+    }
+
+    /// Fig 9: SD-821 / Google Pixel, fixed at 998 MHz.
+    ///
+    /// # Errors
+    ///
+    /// Propagates harness errors.
+    pub fn pixel(cfg: &ExperimentConfig) -> Result<SocStudy, BenchError> {
+        run_soc_study(
+            "SD-821",
+            "Google Pixel",
+            fleet::pixel_study()?,
+            MegaHertz(998.0),
+            cfg,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_fleet_rejected() {
+        let cfg = ExperimentConfig::quick();
+        assert!(run_soc_study("X", "Y", Vec::new(), MegaHertz(960.0), &cfg).is_err());
+    }
+
+    #[test]
+    fn nexus5_study_shape_holds_at_quick_scale() {
+        let cfg = ExperimentConfig::quick();
+        let study = plans::nexus5(&cfg).unwrap();
+        assert_eq!(study.rows.len(), 4);
+
+        // bin-0 (slow, frugal silicon) is the best performer AND the most
+        // frugal — the paper's §IV-A1 headline.
+        let perf = study.perf_normalized().unwrap();
+        let energy = study.energy_normalized().unwrap();
+        assert!(
+            (perf[0] - 1.0).abs() < 1e-9,
+            "bin-0 should be fastest: {perf:?}"
+        );
+        assert!(
+            (energy[0] - 1.0).abs() < 1e-9,
+            "bin-0 should be most frugal: {energy:?}"
+        );
+        // Monotone orderings across bins.
+        for w in perf.windows(2) {
+            assert!(w[1] <= w[0] + 1e-9, "perf not monotone: {perf:?}");
+        }
+        for w in energy.windows(2) {
+            assert!(w[1] >= w[0] - 1e-9, "energy not monotone: {energy:?}");
+        }
+
+        // Nonzero spreads in the right ballpark even at quick scale.
+        let ps = study.perf_spread_percent().unwrap();
+        let es = study.energy_spread_percent().unwrap();
+        assert!(ps > 2.0, "perf spread {ps}%");
+        assert!(es > 5.0, "energy spread {es}%");
+
+        // Repeatability: fixed-frequency perf barely varies.
+        assert!(
+            study.worst_fixed_perf_rsd() < 3.0,
+            "fixed-perf RSD {}",
+            study.worst_fixed_perf_rsd()
+        );
+
+        let rendered = study.render().unwrap();
+        assert!(rendered.contains("bin-0"));
+        assert!(rendered.contains("SD-800"));
+    }
+}

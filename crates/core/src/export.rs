@@ -1,0 +1,248 @@
+//! Plot-ready data export.
+//!
+//! Regenerating a paper's figures ends with plotting. This module writes
+//! the experiment results as whitespace-separated `.dat` files (the format
+//! gnuplot, matplotlib and friends ingest directly), one file per figure
+//! panel, into a chosen directory. The `repro` binary exposes it as
+//! `--export <dir>`.
+
+use crate::experiments::fig1112::Fig1112;
+use crate::experiments::fig2::Fig2;
+use crate::experiments::fig45::{Fig45, PhaseTimeline};
+use crate::experiments::study::SocStudy;
+use crate::BenchError;
+use pv_stats::histogram::Histogram;
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+/// Writes figure data files into one directory.
+#[derive(Debug, Clone)]
+pub struct FigureExporter {
+    dir: PathBuf,
+}
+
+impl FigureExporter {
+    /// Creates the exporter, creating `dir` (and parents) if needed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BenchError::Io`] if the directory cannot be created.
+    pub fn new(dir: impl AsRef<Path>) -> Result<Self, BenchError> {
+        std::fs::create_dir_all(dir.as_ref()).map_err(BenchError::Io)?;
+        Ok(Self {
+            dir: dir.as_ref().to_path_buf(),
+        })
+    }
+
+    /// The output directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn write(&self, name: &str, contents: &str) -> Result<PathBuf, BenchError> {
+        let path = self.dir.join(name);
+        std::fs::write(&path, contents).map_err(BenchError::Io)?;
+        Ok(path)
+    }
+
+    /// Writes one timeline (Fig 4 or Fig 5): columns
+    /// `t_s die_c sensor_c case_c freq_mhz throttled`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BenchError::Io`] on write failure.
+    pub fn export_timeline(&self, timeline: &PhaseTimeline) -> Result<PathBuf, BenchError> {
+        let mut out = String::from("# t_s die_c sensor_c case_c freq_mhz throttled\n");
+        let _ = writeln!(
+            out,
+            "# phases: warmup 0-{:.0}s, cooldown -{:.0}s, workload -{:.0}s",
+            timeline.warmup_end.value(),
+            timeline.workload_start.value(),
+            timeline.workload_end.value()
+        );
+        for s in timeline.trace.samples() {
+            let _ = writeln!(
+                out,
+                "{:.2} {:.3} {:.3} {:.3} {:.0} {}",
+                s.t.value(),
+                s.die_temp.value(),
+                s.sensor_temp.value(),
+                s.case_temp.value(),
+                s.cluster_freqs.first().map_or(0.0, |f| f.value()),
+                u8::from(s.throttled),
+            );
+        }
+        self.write(&format!("{}.dat", timeline.name), &out)
+    }
+
+    /// Writes both ACCUBENCH timelines (`fig4.dat`, `fig5.dat`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BenchError::Io`] on write failure.
+    pub fn export_fig45(&self, fig: &Fig45) -> Result<Vec<PathBuf>, BenchError> {
+        Ok(vec![
+            self.export_timeline(&fig.unconstrained)?,
+            self.export_timeline(&fig.fixed)?,
+        ])
+    }
+
+    /// Writes the Fig 2 ambient sweep: columns
+    /// `ambient_c energy_j energy_norm time_s`, one file per device.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BenchError::Io`] on write failure.
+    pub fn export_fig2(&self, fig: &Fig2) -> Result<Vec<PathBuf>, BenchError> {
+        let mut paths = Vec::new();
+        for sweep in &fig.sweeps {
+            let base = sweep.points.first().map_or(1.0, |p| p.energy.value());
+            let mut out = String::from("# ambient_c energy_j energy_norm time_s\n");
+            for p in &sweep.points {
+                let _ = writeln!(
+                    out,
+                    "{:.1} {:.2} {:.4} {:.1}",
+                    p.ambient.value(),
+                    p.energy.value(),
+                    p.energy.value() / base,
+                    p.time.value(),
+                );
+            }
+            paths.push(self.write(&format!("fig2_{}.dat", sweep.label), &out)?);
+        }
+        Ok(paths)
+    }
+
+    /// Writes one histogram: columns `bin_lo bin_hi weight fraction`.
+    fn histogram_dat(hist: &Histogram) -> String {
+        let mut out = String::from("# bin_lo bin_hi weight fraction\n");
+        let fractions = hist.fractions();
+        for (i, (&count, fraction)) in hist.counts().iter().zip(&fractions).enumerate() {
+            let _ = writeln!(
+                out,
+                "{:.2} {:.2} {:.3} {:.5}",
+                hist.bin_edge(i),
+                hist.bin_edge(i + 1),
+                count,
+                fraction,
+            );
+        }
+        out
+    }
+
+    /// Writes the Fig 11/12 distributions: frequency and temperature
+    /// histograms per device, eight files total.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BenchError::Io`] on write failure.
+    pub fn export_fig1112(&self, fig: &Fig1112) -> Result<Vec<PathBuf>, BenchError> {
+        let mut paths = Vec::new();
+        for pair in [&fig.pixel, &fig.nexus5] {
+            for d in &pair.devices {
+                paths.push(self.write(
+                    &format!("{}_{}_freq.dat", pair.name, d.label),
+                    &Self::histogram_dat(&d.freq_hist),
+                )?);
+                paths.push(self.write(
+                    &format!("{}_{}_temp.dat", pair.name, d.label),
+                    &Self::histogram_dat(&d.temp_hist),
+                )?);
+            }
+        }
+        Ok(paths)
+    }
+
+    /// Writes a per-SoC study as the paper's normalized bar chart data:
+    /// columns `index label perf_norm perf_rsd energy_norm energy_rsd`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BenchError::Io`] on write failure, or a stats error for an
+    /// empty study.
+    pub fn export_study(&self, name: &str, study: &SocStudy) -> Result<PathBuf, BenchError> {
+        let perf = study.perf_normalized()?;
+        let energy = study.energy_normalized()?;
+        let mut out =
+            String::from("# index label perf_norm perf_rsd_pct energy_norm energy_rsd_pct\n");
+        for (i, ((row, p), e)) in study.rows.iter().zip(&perf).zip(&energy).enumerate() {
+            let _ = writeln!(
+                out,
+                "{i} {} {:.4} {:.3} {:.4} {:.3}",
+                row.label, p, row.perf_rsd, e, row.energy_rsd,
+            );
+        }
+        self.write(&format!("{name}.dat"), &out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::{fig1112, fig2, fig45, study, ExperimentConfig};
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("pv-export-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn quick() -> ExperimentConfig {
+        ExperimentConfig {
+            scale: 0.12,
+            iterations: 1,
+        }
+    }
+
+    #[test]
+    fn exports_timelines_with_phase_header() {
+        let dir = tmp_dir("fig45");
+        let exporter = FigureExporter::new(&dir).unwrap();
+        let fig = fig45::run(&quick()).unwrap();
+        let paths = exporter.export_fig45(&fig).unwrap();
+        assert_eq!(paths.len(), 2);
+        let fig4 = std::fs::read_to_string(&paths[0]).unwrap();
+        assert!(fig4.starts_with("# t_s die_c"));
+        assert!(fig4.contains("# phases: warmup"));
+        // One data row per trace sample.
+        let data_rows = fig4.lines().filter(|l| !l.starts_with('#')).count();
+        assert_eq!(data_rows, fig.unconstrained.trace.len());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn exports_fig2_per_device() {
+        let dir = tmp_dir("fig2");
+        let exporter = FigureExporter::new(&dir).unwrap();
+        let fig = fig2::run(&quick()).unwrap();
+        let paths = exporter.export_fig2(&fig).unwrap();
+        assert_eq!(paths.len(), 2);
+        for p in &paths {
+            let text = std::fs::read_to_string(p).unwrap();
+            assert_eq!(text.lines().filter(|l| !l.starts_with('#')).count(), 6);
+            // First row normalizes to 1.
+            let first = text.lines().nth(1).unwrap();
+            assert!(first.contains("1.0000"));
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn exports_distributions_and_study() {
+        let dir = tmp_dir("dist");
+        let exporter = FigureExporter::new(&dir).unwrap();
+
+        let fig = fig1112::run(&quick()).unwrap();
+        let paths = exporter.export_fig1112(&fig).unwrap();
+        assert_eq!(paths.len(), 8);
+        let sample = std::fs::read_to_string(&paths[0]).unwrap();
+        assert!(sample.starts_with("# bin_lo"));
+
+        let s = study::plans::nexus5(&quick()).unwrap();
+        let path = exporter.export_study("fig6", &s).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().filter(|l| !l.starts_with('#')).count(), 4);
+        assert!(text.contains("bin-0"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

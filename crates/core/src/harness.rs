@@ -1,0 +1,476 @@
+//! The measurement harness: runs the ACCUBENCH protocol on a device inside
+//! a (real or idealised) thermal environment.
+//!
+//! The harness mirrors the paper's automated app: it first confirms the
+//! chamber is within its target band, then executes warmup → cooldown →
+//! workload, metering energy over exactly the workload window, and repeats
+//! for back-to-back iterations. Device waste heat feeds back into the
+//! chamber, whose controller compensates — the same closed loop as the
+//! physical THERMABOX.
+
+use crate::protocol::Protocol;
+use crate::session::{Event, Iteration, Session};
+use crate::BenchError;
+use pv_power::EnergyMeter;
+use pv_soc::device::{CpuDemand, Device, FrequencyMode};
+use pv_soc::trace::Trace;
+use pv_thermal::thermabox::{ThermaBox, ThermaBoxConfig};
+use pv_units::{Celsius, Seconds, Watts};
+use pv_workload::WorkloadSpec;
+
+/// The thermal environment the device sits in.
+#[derive(Debug)]
+pub enum Ambient {
+    /// An idealised fixed ambient (infinite, perfectly-regulated air).
+    Fixed(Celsius),
+    /// A simulated THERMABOX whose controller holds the target band while
+    /// the device dumps heat into it.
+    Chamber(Box<ThermaBox>),
+}
+
+impl Ambient {
+    /// The paper's chamber: 26 ± 0.5 °C THERMABOX.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BenchError::Thermal`] if the default chamber configuration
+    /// is rejected (it never is).
+    pub fn paper_chamber() -> Result<Self, BenchError> {
+        Ok(Ambient::Chamber(Box::new(ThermaBox::new(
+            ThermaBoxConfig::default(),
+        )?)))
+    }
+
+    /// A chamber regulated to an arbitrary target (the Fig 2 ambient sweep).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BenchError::Thermal`] for invalid chamber parameters.
+    pub fn chamber_at(target: Celsius) -> Result<Self, BenchError> {
+        let cfg = ThermaBoxConfig {
+            target,
+            // Keep the room colder/hotter than any swept target reachable.
+            outside_temp: Celsius(target.value().min(22.0)),
+            ..ThermaBoxConfig::default()
+        };
+        Ok(Ambient::Chamber(Box::new(ThermaBox::new(cfg)?)))
+    }
+
+    /// Current air temperature around the device.
+    pub fn current(&self) -> Celsius {
+        match self {
+            Ambient::Fixed(t) => *t,
+            Ambient::Chamber(b) => b.air_temp(),
+        }
+    }
+
+    fn step(&mut self, dt: Seconds, device_heat: Watts) -> Result<(), BenchError> {
+        if let Ambient::Chamber(b) = self {
+            b.step(dt, device_heat)?;
+        }
+        Ok(())
+    }
+
+    fn settle(&mut self) -> Result<(), BenchError> {
+        if let Ambient::Chamber(b) = self {
+            if !b.is_stable() {
+                b.settle(Seconds::from_minutes(120.0))?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Runs [`Protocol`]s against devices.
+///
+/// # Examples
+///
+/// ```no_run
+/// use accubench::harness::{Ambient, Harness};
+/// use accubench::protocol::Protocol;
+/// use pv_silicon::binning::BinId;
+/// use pv_soc::catalog;
+///
+/// let mut device = catalog::nexus5(BinId(2))?;
+/// let mut harness = Harness::new(Protocol::unconstrained(), Ambient::paper_chamber()?)?;
+/// let iteration = harness.run_iteration(&mut device)?;
+/// println!("{:.0} iterations, {:.0}", iteration.iterations_completed, iteration.energy);
+/// # Ok::<(), accubench::BenchError>(())
+/// ```
+#[derive(Debug)]
+pub struct Harness {
+    protocol: Protocol,
+    ambient: Ambient,
+    workload_spec: WorkloadSpec,
+}
+
+impl Harness {
+    /// Creates a harness after validating the protocol.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BenchError::InvalidProtocol`] for invalid protocol fields.
+    pub fn new(protocol: Protocol, ambient: Ambient) -> Result<Self, BenchError> {
+        protocol.validate()?;
+        Ok(Self {
+            protocol,
+            ambient,
+            workload_spec: WorkloadSpec::pi_digits_default(),
+        })
+    }
+
+    /// The protocol in use.
+    pub fn protocol(&self) -> &Protocol {
+        &self.protocol
+    }
+
+    /// Current ambient temperature around the device.
+    pub fn ambient_temp(&self) -> Celsius {
+        self.ambient.current()
+    }
+
+    /// One device step with the chamber coupled: the device sees the chamber
+    /// air as its ambient, and its supply draw heats the chamber.
+    fn coupled_step(
+        &mut self,
+        device: &mut Device,
+        dt: Seconds,
+        demand: CpuDemand,
+        mode: FrequencyMode,
+    ) -> Result<pv_soc::device::StepReport, BenchError> {
+        device.set_ambient(self.ambient.current())?;
+        let report = device.step(dt, demand, mode)?;
+        self.ambient.step(dt, report.supply_power)?;
+        Ok(report)
+    }
+
+    /// Runs one full ACCUBENCH iteration on `device`.
+    ///
+    /// The device is *not* thermally reset first: back-to-back iterations
+    /// genuinely start warm, which is exactly the effect the warmup phase
+    /// neutralises.
+    ///
+    /// # Errors
+    ///
+    /// Returns a wrapped substrate error if the device or chamber fails
+    /// mid-run.
+    pub fn run_iteration(&mut self, device: &mut Device) -> Result<Iteration, BenchError> {
+        // "The app first communicates with the THERMABOX and confirms that
+        // it is within the target temperature range."
+        self.ambient.settle()?;
+
+        let mode = self.protocol.mode;
+        let mut t = Seconds::ZERO;
+        let mut full_trace = Trace::new();
+        let mut events: Vec<(Seconds, Event)> = Vec::new();
+        let record = self.protocol.record_trace;
+
+        // --- Warmup: wakelock held, all cores busy. ---
+        events.push((t, Event::WakelockAcquired));
+        let mut remaining = self.protocol.warmup.value();
+        while remaining > 0.0 {
+            let dt = Seconds(remaining.min(self.protocol.busy_dt.value()));
+            let report = self.coupled_step(device, dt, CpuDemand::busy(), mode)?;
+            t += dt;
+            if record {
+                full_trace.push(report.to_sample(t));
+            }
+            remaining -= dt.value();
+        }
+
+        // --- Cooldown: wakelock released; poll the sensor every 5 s. ---
+        events.push((t, Event::WakelockReleased));
+        let mut cooldown_elapsed = 0.0;
+        let mut since_poll = f64::INFINITY; // poll immediately
+        let mut timed_out = true;
+        while cooldown_elapsed < self.protocol.cooldown_timeout.value() {
+            if since_poll >= self.protocol.cooldown_poll.value() {
+                since_poll = 0.0;
+                let reading = device.read_sensor();
+                events.push((t, Event::CooldownPoll(reading)));
+                let target = self
+                    .protocol
+                    .cooldown_target
+                    .resolve(self.ambient.current());
+                if reading < target {
+                    timed_out = false;
+                    break;
+                }
+            }
+            let dt = Seconds(
+                self.protocol
+                    .idle_dt
+                    .value()
+                    .min(self.protocol.cooldown_poll.value()),
+            );
+            let report = self.coupled_step(device, dt, CpuDemand::Idle, mode)?;
+            t += dt;
+            cooldown_elapsed += dt.value();
+            since_poll += dt.value();
+            if record {
+                full_trace.push(report.to_sample(t));
+            }
+        }
+        let cooldown_duration = Seconds(cooldown_elapsed);
+        events.push((
+            t,
+            if timed_out && self.protocol.cooldown_timeout.value() > 0.0 {
+                Event::CooldownTimedOut
+            } else {
+                Event::WorkloadStarted
+            },
+        ));
+
+        // --- Workload: metered window. ---
+        let mut meter = EnergyMeter::new();
+        let mut workload_trace = Trace::new();
+        let mut work_cycles = 0.0;
+        let mut temp_weighted = 0.0;
+        let mut freq_weighted: Vec<f64> = Vec::new();
+        let mut throttled_time = 0.0;
+        let mut workload_time = 0.0;
+        let mut remaining = self.protocol.workload.value();
+        while remaining > 0.0 {
+            let dt = Seconds(remaining.min(self.protocol.busy_dt.value()));
+            let report = self.coupled_step(device, dt, CpuDemand::busy(), mode)?;
+            t += dt;
+            meter
+                .record(report.supply_power, dt)
+                .map_err(pv_soc::SocError::from)?;
+            work_cycles += report.work_cycles;
+            temp_weighted += report.die_temp.value() * dt.value();
+            if freq_weighted.is_empty() {
+                freq_weighted = vec![0.0; report.cluster_freqs.len()];
+            }
+            for (acc, f) in freq_weighted.iter_mut().zip(&report.cluster_freqs) {
+                *acc += f.value() * dt.value();
+            }
+            workload_time += dt.value();
+            if report.throttled {
+                throttled_time += dt.value();
+            }
+            let sample = report.to_sample(t);
+            if record {
+                full_trace.push(sample.clone());
+                workload_trace.push(sample);
+            }
+            remaining -= dt.value();
+        }
+
+        events.push((t, Event::WorkloadEnded));
+        let workload_secs = workload_time.max(f64::MIN_POSITIVE);
+        let peak_temp = full_trace
+            .peak_die_temp()
+            .unwrap_or_else(|| device.die_temp());
+        Ok(Iteration {
+            iterations_completed: work_cycles / self.workload_spec.cycles_per_iteration(),
+            energy: meter.energy(),
+            cooldown_duration,
+            cooldown_timed_out: timed_out && self.protocol.cooldown_timeout.value() > 0.0,
+            workload_mean_freqs: freq_weighted
+                .iter()
+                .map(|w| pv_units::MegaHertz(w / workload_secs))
+                .collect(),
+            workload_mean_temp: Celsius(temp_weighted / workload_secs),
+            peak_temp,
+            throttled_fraction: throttled_time / workload_secs,
+            full_trace,
+            workload_trace,
+            events,
+        })
+    }
+
+    /// Runs `iterations` back-to-back iterations — the paper ran 5 per
+    /// device per workload.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BenchError::InvalidProtocol`] for zero iterations, or any
+    /// error from [`run_iteration`](Self::run_iteration).
+    pub fn run_session(
+        &mut self,
+        device: &mut Device,
+        iterations: usize,
+    ) -> Result<Session, BenchError> {
+        if iterations == 0 {
+            return Err(BenchError::InvalidProtocol("iterations must be >= 1"));
+        }
+        let mut runs = Vec::with_capacity(iterations);
+        for _ in 0..iterations {
+            runs.push(self.run_iteration(device)?);
+        }
+        Ok(Session {
+            device_label: device.label().to_owned(),
+            iterations: runs,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::CooldownTarget;
+    use pv_silicon::binning::BinId;
+    use pv_soc::catalog;
+    use pv_units::{MegaHertz, TempDelta};
+
+    /// Shortened protocol so unit tests stay fast; the integration tests
+    /// and benches run the full-length paper protocol.
+    fn quick(mode_freq: Option<MegaHertz>) -> Protocol {
+        let base = match mode_freq {
+            None => Protocol::unconstrained(),
+            Some(f) => Protocol::fixed_frequency(f),
+        };
+        base.with_warmup(Seconds(40.0)).with_workload(Seconds(60.0))
+    }
+
+    #[test]
+    fn iteration_produces_work_and_energy() {
+        let mut device = catalog::nexus5(BinId(0)).unwrap();
+        let mut harness = Harness::new(quick(None), Ambient::Fixed(Celsius(26.0))).unwrap();
+        let it = harness.run_iteration(&mut device).unwrap();
+        assert!(
+            it.iterations_completed > 10.0,
+            "{}",
+            it.iterations_completed
+        );
+        assert!(it.energy.value() > 10.0, "{}", it.energy);
+        assert!(!it.cooldown_timed_out);
+        assert!(it.cooldown_duration.value() > 0.0);
+    }
+
+    #[test]
+    fn cooldown_actually_cools_to_target() {
+        let mut device = catalog::nexus5(BinId(3)).unwrap();
+        let mut harness = Harness::new(
+            quick(None).with_cooldown_target(CooldownTarget::AboveAmbient(TempDelta(6.0))),
+            Ambient::Fixed(Celsius(26.0)),
+        )
+        .unwrap();
+        // Heat the device first so cooldown has work to do.
+        for _ in 0..400 {
+            device
+                .step(
+                    Seconds(0.1),
+                    CpuDemand::busy(),
+                    FrequencyMode::Unconstrained,
+                )
+                .unwrap();
+        }
+        let it = harness.run_iteration(&mut device).unwrap();
+        assert!(!it.cooldown_timed_out);
+        // After cooldown the workload started below ~36 °C die temperature,
+        // so the workload-phase mean can't be wildly high right at start.
+        assert!(it.cooldown_duration.value() >= 5.0);
+    }
+
+    #[test]
+    fn back_to_back_iterations_are_consistent() {
+        // The whole point of the methodology: iteration 1 (cold start) and
+        // iteration 3 (warm start) agree within a couple percent.
+        let mut device = catalog::nexus5(BinId(1)).unwrap();
+        let mut harness = Harness::new(quick(None), Ambient::Fixed(Celsius(26.0))).unwrap();
+        let session = harness.run_session(&mut device, 3).unwrap();
+        let perf = session.performance_summary().unwrap();
+        assert!(
+            perf.rsd_percent() < 3.0,
+            "session RSD {:.2}% too high",
+            perf.rsd_percent()
+        );
+    }
+
+    #[test]
+    fn fixed_frequency_never_throttles_and_is_stable() {
+        let mut device = catalog::nexus5(BinId(3)).unwrap();
+        let mut harness =
+            Harness::new(quick(Some(MegaHertz(960.0))), Ambient::Fixed(Celsius(26.0))).unwrap();
+        let session = harness.run_session(&mut device, 3).unwrap();
+        for it in &session.iterations {
+            assert_eq!(it.throttled_fraction, 0.0);
+            assert!(
+                (it.workload_mean_freqs[0].value() - 960.0).abs() < 1e-6,
+                "mean freq {}",
+                it.workload_mean_freqs[0]
+            );
+        }
+        // Fixed work rate ⇒ sub-percent performance variation.
+        let perf = session.performance_summary().unwrap();
+        assert!(perf.rsd_percent() < 0.5, "RSD {}", perf.rsd_percent());
+    }
+
+    #[test]
+    fn tracing_captures_all_phases() {
+        let mut device = catalog::nexus5(BinId(0)).unwrap();
+        let mut harness =
+            Harness::new(quick(None).with_trace(), Ambient::Fixed(Celsius(26.0))).unwrap();
+        let it = harness.run_iteration(&mut device).unwrap();
+        assert!(!it.full_trace.is_empty());
+        assert!(!it.workload_trace.is_empty());
+        assert!(it.full_trace.len() > it.workload_trace.len());
+        // Trace duration covers warmup + cooldown + workload.
+        let d = it.full_trace.duration().value();
+        assert!(
+            (d - (40.0 + it.cooldown_duration.value() + 60.0)).abs() < 1.0,
+            "trace duration {d}"
+        );
+    }
+
+    #[test]
+    fn chamber_coupling_keeps_ambient_in_band() {
+        let mut device = catalog::nexus5(BinId(0)).unwrap();
+        let mut harness = Harness::new(quick(None), Ambient::paper_chamber().unwrap()).unwrap();
+        let _ = harness.run_iteration(&mut device).unwrap();
+        let ambient = harness.ambient_temp();
+        assert!(
+            (ambient.value() - 26.0).abs() < 1.0,
+            "chamber drifted to {ambient}"
+        );
+    }
+
+    #[test]
+    fn unreachable_cooldown_times_out_gracefully() {
+        let mut device = catalog::nexus5(BinId(0)).unwrap();
+        let mut p = quick(None).with_cooldown_target(CooldownTarget::Absolute(Celsius(0.0)));
+        p.cooldown_timeout = Seconds(30.0);
+        let mut harness = Harness::new(p, Ambient::Fixed(Celsius(26.0))).unwrap();
+        let it = harness.run_iteration(&mut device).unwrap();
+        assert!(it.cooldown_timed_out);
+        assert!(it.iterations_completed > 0.0); // workload still ran
+    }
+
+    #[test]
+    fn protocol_events_are_logged_in_order() {
+        let mut device = catalog::nexus5(BinId(0)).unwrap();
+        let mut harness = Harness::new(quick(None), Ambient::Fixed(Celsius(26.0))).unwrap();
+        let it = harness.run_iteration(&mut device).unwrap();
+        use crate::session::Event;
+        let kinds: Vec<&Event> = it.events.iter().map(|(_, e)| e).collect();
+        assert_eq!(kinds.first(), Some(&&Event::WakelockAcquired));
+        assert!(matches!(kinds[1], Event::WakelockReleased));
+        assert!(kinds.iter().any(|e| matches!(e, Event::CooldownPoll(_))));
+        assert!(kinds.iter().any(|e| matches!(e, Event::WorkloadStarted)));
+        assert_eq!(kinds.last(), Some(&&Event::WorkloadEnded));
+        // Timestamps are non-decreasing.
+        for w in it.events.windows(2) {
+            assert!(w[1].0 >= w[0].0);
+        }
+        // Wakelock released exactly at the end of warmup.
+        assert!((it.events[1].0.value() - 40.0).abs() < 0.2);
+    }
+
+    #[test]
+    fn zero_iterations_rejected() {
+        let mut device = catalog::nexus5(BinId(0)).unwrap();
+        let mut harness = Harness::new(quick(None), Ambient::Fixed(Celsius(26.0))).unwrap();
+        assert!(harness.run_session(&mut device, 0).is_err());
+    }
+
+    #[test]
+    fn ambient_constructors() {
+        assert_eq!(Ambient::Fixed(Celsius(30.0)).current(), Celsius(30.0));
+        let chamber = Ambient::paper_chamber().unwrap();
+        assert!(matches!(chamber, Ambient::Chamber(_)));
+        let hot = Ambient::chamber_at(Celsius(38.0)).unwrap();
+        assert!(matches!(hot, Ambient::Chamber(_)));
+    }
+}

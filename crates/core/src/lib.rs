@@ -1,0 +1,131 @@
+//! ACCUBENCH — the paper's temperature-stabilized measurement methodology.
+//!
+//! Running a benchmark twice on the same phone gives two different numbers,
+//! because the second run starts warm. The paper's primary contribution is a
+//! protocol that makes smartphone energy/performance measurements
+//! *repeatable* (average error 1.1 % RSD over ~300 iterations):
+//!
+//! 1. **Warm up** the CPU for a fixed time (3 min) so previously-idle and
+//!    previously-busy devices reach the same thermal state;
+//! 2. **Cool down**: sleep, polling the temperature sensor every 5 s, until
+//!    it reports a value below the target start temperature;
+//! 3. **Run the workload** (compute π digits on all cores) for a fixed time
+//!    (5 min) and count completed iterations; energy is metered over exactly
+//!    this window.
+//!
+//! All of it inside a [ThermaBox](pv_thermal::thermabox::ThermaBox) holding
+//! 26 ± 0.5 °C, powered by a [Monsoon](pv_power::Monsoon) instead of the
+//! battery.
+//!
+//! Two workload variants ([`protocol::Protocol::unconstrained`] /
+//! [`protocol::Protocol::fixed_frequency`]) reproduce the paper's
+//! UNCONSTRAINED (performance differences via thermal throttling) and
+//! FIXED-FREQUENCY (energy differences at equal work) experiments.
+//!
+//! The [`experiments`] module regenerates **every table and figure** of the
+//! paper on the simulated device catalog; see DESIGN.md for the index.
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use accubench::harness::{Ambient, Harness};
+//! use accubench::protocol::Protocol;
+//! use pv_soc::catalog;
+//! use pv_silicon::binning::BinId;
+//!
+//! let mut device = catalog::nexus5(BinId(0))?;
+//! let mut harness = Harness::new(Protocol::unconstrained(), Ambient::paper_chamber()?)?;
+//! let session = harness.run_session(&mut device, 5)?;
+//! println!("{} iterations (RSD {:.2}%)",
+//!     session.performance_summary()?.mean(),
+//!     session.performance_summary()?.rsd_percent());
+//! # Ok::<(), accubench::BenchError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod crowd;
+pub mod experiments;
+pub mod export;
+pub mod harness;
+pub mod protocol;
+pub mod report;
+pub mod session;
+
+use core::fmt;
+
+/// Error type for the measurement harness and experiments.
+#[derive(Debug)]
+pub enum BenchError {
+    /// A protocol parameter was out of domain.
+    InvalidProtocol(&'static str),
+    /// Device-simulation failure.
+    Soc(pv_soc::SocError),
+    /// Thermal-chamber failure.
+    Thermal(pv_thermal::ThermalError),
+    /// Statistics failure (e.g. asking for a summary of zero iterations).
+    Stats(pv_stats::StatsError),
+    /// I/O failure while exporting results.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for BenchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BenchError::InvalidProtocol(what) => write!(f, "invalid protocol: {what}"),
+            BenchError::Soc(e) => write!(f, "device: {e}"),
+            BenchError::Thermal(e) => write!(f, "chamber: {e}"),
+            BenchError::Stats(e) => write!(f, "statistics: {e}"),
+            BenchError::Io(e) => write!(f, "i/o: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for BenchError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BenchError::Soc(e) => Some(e),
+            BenchError::Thermal(e) => Some(e),
+            BenchError::Stats(e) => Some(e),
+            BenchError::Io(e) => Some(e),
+            BenchError::InvalidProtocol(_) => None,
+        }
+    }
+}
+
+impl From<pv_soc::SocError> for BenchError {
+    fn from(e: pv_soc::SocError) -> Self {
+        BenchError::Soc(e)
+    }
+}
+
+impl From<pv_thermal::ThermalError> for BenchError {
+    fn from(e: pv_thermal::ThermalError) -> Self {
+        BenchError::Thermal(e)
+    }
+}
+
+impl From<pv_stats::StatsError> for BenchError {
+    fn from(e: pv_stats::StatsError) -> Self {
+        BenchError::Stats(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display_and_source() {
+        use std::error::Error;
+        assert!(!format!("{}", BenchError::InvalidProtocol("x")).is_empty());
+        assert!(BenchError::InvalidProtocol("x").source().is_none());
+        let e: BenchError = pv_stats::StatsError::EmptySample.into();
+        assert!(e.source().is_some());
+        let e: BenchError = pv_thermal::ThermalError::SelfLoop.into();
+        assert!(format!("{e}").contains("chamber"));
+        let e: BenchError = pv_soc::SocError::InvalidSpec("y").into();
+        assert!(format!("{e}").contains("device"));
+    }
+}

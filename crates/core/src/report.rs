@@ -1,0 +1,132 @@
+//! Plain-text report rendering for experiment results.
+//!
+//! Every experiment renders its rows through [`TextTable`], producing the
+//! aligned ASCII tables EXPERIMENTS.md and the `repro` binary print.
+
+use core::fmt;
+
+/// A simple aligned text table.
+///
+/// # Examples
+///
+/// ```
+/// use accubench::report::TextTable;
+/// let mut t = TextTable::new(vec!["bin", "perf", "energy"]);
+/// t.row(vec!["bin-0".into(), "1.000".into(), "1.000".into()]);
+/// t.row(vec!["bin-3".into(), "0.862".into(), "1.190".into()]);
+/// let s = t.to_string();
+/// assert!(s.contains("bin-0"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TextTable {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> Self {
+        Self {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row. Rows shorter than the header are padded with blanks;
+    /// longer rows are truncated to the header width.
+    pub fn row(&mut self, mut cells: Vec<String>) -> &mut Self {
+        cells.resize(self.headers.len(), String::new());
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+impl fmt::Display for TextTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.chars().count());
+            }
+        }
+        let write_row = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            for (i, (cell, w)) in cells.iter().zip(&widths).enumerate() {
+                if i > 0 {
+                    write!(f, "  ")?;
+                }
+                write!(f, "{cell:<w$}", w = *w)?;
+            }
+            writeln!(f)
+        };
+        write_row(f, &self.headers)?;
+        let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len().saturating_sub(1));
+        writeln!(f, "{}", "-".repeat(total))?;
+        for row in &self.rows {
+            write_row(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats a fraction as a percentage with one decimal, e.g. `0.142` →
+/// `"14.2%"`.
+pub fn pct(fraction: f64) -> String {
+    format!("{:.1}%", fraction * 100.0)
+}
+
+/// Formats a ratio with three decimals, the normalization style of the
+/// paper's bar charts.
+pub fn ratio(value: f64) -> String {
+    format!("{value:.3}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = TextTable::new(vec!["a", "longer"]);
+        t.row(vec!["xxxxxxx".into(), "1".into()]);
+        let s = t.to_string();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 3);
+        // Header separator spans the width.
+        assert!(lines[1].chars().all(|c| c == '-'));
+        assert!(lines[2].starts_with("xxxxxxx"));
+    }
+
+    #[test]
+    fn rows_are_padded_and_truncated() {
+        let mut t = TextTable::new(vec!["a", "b"]);
+        t.row(vec!["1".into()]);
+        t.row(vec!["1".into(), "2".into(), "3".into()]);
+        assert_eq!(t.len(), 2);
+        let s = t.to_string();
+        assert!(!s.contains('3'));
+    }
+
+    #[test]
+    fn empty_table() {
+        let t = TextTable::new(vec!["x"]);
+        assert!(t.is_empty());
+        assert!(t.to_string().contains('x'));
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(pct(0.142), "14.2%");
+        assert_eq!(pct(0.0), "0.0%");
+        assert_eq!(ratio(0.86249), "0.862");
+    }
+}

@@ -1,0 +1,251 @@
+//! Results of ACCUBENCH iterations and sessions.
+
+use crate::BenchError;
+use core::fmt;
+use pv_soc::trace::Trace;
+use pv_stats::Summary;
+use pv_units::{Celsius, Joules, MegaHertz, Seconds};
+
+/// A protocol event, as the paper's app logs them (Fig 4 annotates the
+/// timeline with exactly these transitions).
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize)]
+pub enum Event {
+    /// Wakelock acquired; warmup begins.
+    WakelockAcquired,
+    /// Warmup finished; wakelock released; device enters sleep.
+    WakelockReleased,
+    /// A cooldown wakeup polled the sensor and read this temperature.
+    CooldownPoll(Celsius),
+    /// Cooldown target reached; workload begins.
+    WorkloadStarted,
+    /// Cooldown gave up; workload begins warm.
+    CooldownTimedOut,
+    /// Workload window complete.
+    WorkloadEnded,
+}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Event::WakelockAcquired => write!(f, "wakelock acquired, warmup start"),
+            Event::WakelockReleased => write!(f, "wakelock released, cooldown start"),
+            Event::CooldownPoll(t) => write!(f, "cooldown poll: {t:.1}"),
+            Event::WorkloadStarted => write!(f, "workload start"),
+            Event::CooldownTimedOut => write!(f, "cooldown timed out"),
+            Event::WorkloadEnded => write!(f, "workload end"),
+        }
+    }
+}
+
+/// Result of one ACCUBENCH iteration (warmup → cooldown → workload).
+#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+pub struct Iteration {
+    /// π-loop iterations completed during the workload window — the paper's
+    /// performance metric.
+    pub iterations_completed: f64,
+    /// Energy drawn from the supply during the workload window only.
+    pub energy: Joules,
+    /// How long the cooldown phase took.
+    pub cooldown_duration: Seconds,
+    /// Whether cooldown gave up before reaching the target (the workload
+    /// then started warm; the paper would discard such iterations).
+    pub cooldown_timed_out: bool,
+    /// Time-weighted mean frequency of each cluster during the workload.
+    pub workload_mean_freqs: Vec<MegaHertz>,
+    /// Time-weighted mean die temperature during the workload.
+    pub workload_mean_temp: Celsius,
+    /// Peak die temperature over the whole iteration.
+    pub peak_temp: Celsius,
+    /// Fraction of workload time any throttle was engaged.
+    pub throttled_fraction: f64,
+    /// Full per-step trace of the whole iteration (empty unless the protocol
+    /// enabled tracing).
+    pub full_trace: Trace,
+    /// Trace restricted to the workload phase (empty unless tracing).
+    pub workload_trace: Trace,
+    /// Protocol events with their timestamps (wakelock transitions,
+    /// cooldown polls, phase boundaries) — the annotations of Fig 4.
+    pub events: Vec<(Seconds, Event)>,
+}
+
+impl Iteration {
+    /// Iterations per joule — the efficiency metric of Fig 13.
+    pub fn efficiency(&self) -> f64 {
+        if self.energy.value() > 0.0 {
+            self.iterations_completed / self.energy.value()
+        } else {
+            0.0
+        }
+    }
+}
+
+impl fmt::Display for Iteration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:.1} iters, {:.1}, cooldown {:.0}{}",
+            self.iterations_completed,
+            self.energy,
+            self.cooldown_duration,
+            if self.cooldown_timed_out {
+                " (timed out)"
+            } else {
+                ""
+            }
+        )
+    }
+}
+
+/// A back-to-back sequence of iterations on one device (the paper ran 5).
+#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+pub struct Session {
+    /// Label of the device measured.
+    pub device_label: String,
+    /// The iterations, in run order.
+    pub iterations: Vec<Iteration>,
+}
+
+impl Session {
+    /// Summary statistics of the performance metric across iterations.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BenchError::Stats`] for an empty session.
+    pub fn performance_summary(&self) -> Result<Summary, BenchError> {
+        Ok(Summary::from_iter(
+            self.iterations.iter().map(|i| i.iterations_completed),
+        )?)
+    }
+
+    /// Summary statistics of workload energy across iterations.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BenchError::Stats`] for an empty session.
+    pub fn energy_summary(&self) -> Result<Summary, BenchError> {
+        Ok(Summary::from_iter(
+            self.iterations.iter().map(|i| i.energy.value()),
+        )?)
+    }
+
+    /// Mean efficiency (iterations per joule) across iterations.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BenchError::Stats`] for an empty session.
+    pub fn efficiency_summary(&self) -> Result<Summary, BenchError> {
+        Ok(Summary::from_iter(
+            self.iterations.iter().map(Iteration::efficiency),
+        )?)
+    }
+
+    /// Whether any iteration started its workload warm.
+    pub fn any_cooldown_timed_out(&self) -> bool {
+        self.iterations.iter().any(|i| i.cooldown_timed_out)
+    }
+}
+
+impl fmt::Display for Session {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "session [{}]: {} iterations",
+            self.device_label,
+            self.iterations.len()
+        )?;
+        for (i, it) in self.iterations.iter().enumerate() {
+            writeln!(f, "  #{i}: {it}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iteration(perf: f64, energy: f64) -> Iteration {
+        Iteration {
+            iterations_completed: perf,
+            energy: Joules(energy),
+            cooldown_duration: Seconds(120.0),
+            cooldown_timed_out: false,
+            workload_mean_freqs: vec![MegaHertz(2000.0)],
+            workload_mean_temp: Celsius(60.0),
+            peak_temp: Celsius(78.0),
+            throttled_fraction: 0.4,
+            full_trace: Trace::new(),
+            workload_trace: Trace::new(),
+            events: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn efficiency_is_iters_per_joule() {
+        let it = iteration(1200.0, 600.0);
+        assert!((it.efficiency() - 2.0).abs() < 1e-12);
+        let broken = iteration(1200.0, 0.0);
+        assert_eq!(broken.efficiency(), 0.0);
+    }
+
+    #[test]
+    fn session_summaries() {
+        let s = Session {
+            device_label: "bin-0".into(),
+            iterations: vec![
+                iteration(1000.0, 500.0),
+                iteration(1010.0, 505.0),
+                iteration(990.0, 495.0),
+            ],
+        };
+        let perf = s.performance_summary().unwrap();
+        assert!((perf.mean() - 1000.0).abs() < 1e-9);
+        assert!(perf.rsd_percent() < 2.0);
+        let energy = s.energy_summary().unwrap();
+        assert!((energy.mean() - 500.0).abs() < 1e-9);
+        let eff = s.efficiency_summary().unwrap();
+        assert!((eff.mean() - 2.0).abs() < 1e-9);
+        assert!(!s.any_cooldown_timed_out());
+    }
+
+    #[test]
+    fn empty_session_summaries_error() {
+        let s = Session {
+            device_label: "x".into(),
+            iterations: vec![],
+        };
+        assert!(s.performance_summary().is_err());
+        assert!(s.energy_summary().is_err());
+        assert!(s.efficiency_summary().is_err());
+    }
+
+    #[test]
+    fn timed_out_flag_propagates() {
+        let mut it = iteration(1.0, 1.0);
+        it.cooldown_timed_out = true;
+        let s = Session {
+            device_label: "x".into(),
+            iterations: vec![it],
+        };
+        assert!(s.any_cooldown_timed_out());
+        assert!(format!("{s}").contains("timed out"));
+    }
+
+    #[test]
+    fn events_render() {
+        assert!(format!("{}", Event::WakelockAcquired).contains("warmup"));
+        assert!(format!("{}", Event::CooldownPoll(Celsius(31.0))).contains("31.0"));
+        assert!(format!("{}", Event::WorkloadEnded).contains("end"));
+    }
+
+    #[test]
+    fn displays_are_informative() {
+        let it = iteration(42.0, 10.0);
+        assert!(format!("{it}").contains("42.0 iters"));
+        let s = Session {
+            device_label: "bin-3".into(),
+            iterations: vec![it],
+        };
+        assert!(format!("{s}").contains("bin-3"));
+    }
+}

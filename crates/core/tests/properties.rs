@@ -1,0 +1,99 @@
+//! Property-based tests for the measurement-core invariants.
+
+use accubench::crowd::{CrowdDatabase, CrowdScore};
+use accubench::protocol::{CooldownTarget, Protocol};
+use accubench::report::TextTable;
+use proptest::prelude::*;
+use pv_units::{Celsius, MegaHertz, Seconds, TempDelta};
+
+proptest! {
+    #[test]
+    fn scaled_protocols_stay_valid(scale in 0.01..1.0f64, freq in 100.0..3000.0f64) {
+        for base in [Protocol::unconstrained(), Protocol::fixed_frequency(MegaHertz(freq))] {
+            let p = base
+                .with_warmup(Seconds(base.warmup.value() * scale))
+                .with_workload(Seconds(base.workload.value() * scale));
+            prop_assert!(p.validate().is_ok());
+            prop_assert!(p.warmup.value() <= base.warmup.value());
+        }
+    }
+
+    #[test]
+    fn cooldown_target_resolution_is_consistent(ambient in -10.0..50.0f64, margin in 0.1..20.0f64) {
+        let rel = CooldownTarget::AboveAmbient(TempDelta(margin));
+        let resolved = rel.resolve(Celsius(ambient));
+        prop_assert!((resolved.value() - ambient - margin).abs() < 1e-12);
+        let abs = CooldownTarget::Absolute(Celsius(32.0));
+        prop_assert_eq!(abs.resolve(Celsius(ambient)), Celsius(32.0));
+    }
+
+    #[test]
+    fn text_table_always_renders_every_row(
+        rows in proptest::collection::vec(
+            proptest::collection::vec("[a-z0-9]{1,12}", 1..5),
+            0..20,
+        ),
+    ) {
+        let mut t = TextTable::new(vec!["c1", "c2", "c3"]);
+        for row in &rows {
+            t.row(row.clone());
+        }
+        let rendered = t.to_string();
+        prop_assert_eq!(t.len(), rows.len());
+        // Header + separator + one line per row.
+        prop_assert_eq!(rendered.lines().count(), 2 + rows.len());
+        for row in &rows {
+            if let Some(first) = row.first() {
+                prop_assert!(rendered.contains(first.as_str()));
+            }
+        }
+    }
+
+    #[test]
+    fn crowd_percentiles_are_monotone_and_bounded(
+        scores in proptest::collection::vec(1.0..1000.0f64, 2..30),
+        probe1 in 1.0..1000.0f64,
+        probe2 in 1.0..1000.0f64,
+    ) {
+        let mut db = CrowdDatabase::new(5.0).unwrap();
+        for (i, &s) in scores.iter().enumerate() {
+            db.submit(CrowdScore {
+                model: "M".into(),
+                device: format!("d{i}"),
+                score: s,
+                rsd: 0.5,
+            });
+        }
+        let (lo, hi) = if probe1 <= probe2 { (probe1, probe2) } else { (probe2, probe1) };
+        let p_lo = db.percentile("M", lo).unwrap();
+        let p_hi = db.percentile("M", hi).unwrap();
+        prop_assert!(p_lo <= p_hi);
+        prop_assert!((0.0..=100.0).contains(&p_lo));
+        prop_assert!((0.0..=100.0).contains(&p_hi));
+        // Spread is non-negative and matches the summary definition.
+        let spread = db.model_spread_percent("M").unwrap();
+        prop_assert!((0.0..100.0).contains(&spread));
+    }
+
+    #[test]
+    fn crowd_filter_never_admits_above_threshold(
+        rsds in proptest::collection::vec(0.0..10.0f64, 1..40),
+        threshold in 0.5..5.0f64,
+    ) {
+        let mut db = CrowdDatabase::new(threshold).unwrap();
+        for (i, &rsd) in rsds.iter().enumerate() {
+            db.submit(CrowdScore {
+                model: "M".into(),
+                device: format!("d{i}"),
+                score: 100.0,
+                rsd,
+            });
+        }
+        for s in db.scores() {
+            prop_assert!(s.rsd <= threshold);
+        }
+        let expected_admitted = rsds.iter().filter(|&&r| r <= threshold).count();
+        prop_assert_eq!(db.scores().len(), expected_admitted);
+        prop_assert_eq!(db.rejected(), rsds.len() - expected_admitted);
+    }
+}

@@ -1,0 +1,168 @@
+//! Energy metering over experiment windows.
+//!
+//! The paper reports energy per workload phase: the meter is armed when the
+//! workload starts and read when it ends. [`EnergyMeter`] accumulates
+//! power × time samples and exposes the aggregate statistics experiments
+//! need (total energy, average power, peak power, duration).
+
+use crate::PowerError;
+use core::fmt;
+use pv_units::{Joules, Seconds, Watts};
+
+/// Integrates power samples into energy over a measurement window.
+///
+/// # Examples
+///
+/// ```
+/// use pv_power::EnergyMeter;
+/// use pv_units::{Seconds, Watts};
+///
+/// let mut meter = EnergyMeter::new();
+/// meter.record(Watts(2.0), Seconds(10.0))?;
+/// meter.record(Watts(4.0), Seconds(10.0))?;
+/// assert_eq!(meter.energy().value(), 60.0);
+/// assert_eq!(meter.average_power().unwrap().value(), 3.0);
+/// # Ok::<(), pv_power::PowerError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct EnergyMeter {
+    energy: Joules,
+    elapsed: Seconds,
+    peak: Watts,
+    samples: u64,
+}
+
+impl EnergyMeter {
+    /// Creates a zeroed meter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records that the load drew `power` for `dt`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PowerError::InvalidParameter`] for negative/non-finite
+    /// power or non-positive `dt`.
+    pub fn record(&mut self, power: Watts, dt: Seconds) -> Result<(), PowerError> {
+        if !(power.value() >= 0.0 && power.is_finite()) {
+            return Err(PowerError::InvalidParameter("power must be >= 0"));
+        }
+        if !(dt.value() > 0.0 && dt.is_finite()) {
+            return Err(PowerError::InvalidParameter("dt must be > 0"));
+        }
+        self.energy += power * dt;
+        self.elapsed += dt;
+        self.peak = self.peak.max(power);
+        self.samples += 1;
+        Ok(())
+    }
+
+    /// Total energy accumulated.
+    pub fn energy(&self) -> Joules {
+        self.energy
+    }
+
+    /// Total time accumulated.
+    pub fn elapsed(&self) -> Seconds {
+        self.elapsed
+    }
+
+    /// Mean power over the window; `None` before any sample.
+    pub fn average_power(&self) -> Option<Watts> {
+        if self.elapsed.value() > 0.0 {
+            Some(self.energy / self.elapsed)
+        } else {
+            None
+        }
+    }
+
+    /// Highest instantaneous power recorded.
+    pub fn peak_power(&self) -> Watts {
+        self.peak
+    }
+
+    /// Number of samples recorded.
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+
+    /// Zeroes the meter for the next measurement window.
+    pub fn reset(&mut self) {
+        *self = Self::default();
+    }
+}
+
+impl fmt::Display for EnergyMeter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:.2} over {:.1} (avg {:.3}, peak {:.3})",
+            self.energy,
+            self.elapsed,
+            self.average_power().unwrap_or(Watts::ZERO),
+            self.peak
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integrates_piecewise_constant_power() {
+        let mut m = EnergyMeter::new();
+        m.record(Watts(1.0), Seconds(5.0)).unwrap();
+        m.record(Watts(3.0), Seconds(5.0)).unwrap();
+        assert_eq!(m.energy(), Joules(20.0));
+        assert_eq!(m.elapsed(), Seconds(10.0));
+        assert_eq!(m.average_power(), Some(Watts(2.0)));
+        assert_eq!(m.peak_power(), Watts(3.0));
+        assert_eq!(m.samples(), 2);
+    }
+
+    #[test]
+    fn fresh_meter_is_zero() {
+        let m = EnergyMeter::new();
+        assert_eq!(m.energy(), Joules::ZERO);
+        assert_eq!(m.average_power(), None);
+        assert_eq!(m.peak_power(), Watts::ZERO);
+        assert_eq!(m.samples(), 0);
+    }
+
+    #[test]
+    fn reset_returns_to_zero() {
+        let mut m = EnergyMeter::new();
+        m.record(Watts(5.0), Seconds(1.0)).unwrap();
+        m.reset();
+        assert_eq!(m, EnergyMeter::new());
+    }
+
+    #[test]
+    fn zero_power_accumulates_time_only() {
+        let mut m = EnergyMeter::new();
+        m.record(Watts(0.0), Seconds(5.0)).unwrap();
+        assert_eq!(m.energy(), Joules::ZERO);
+        assert_eq!(m.elapsed(), Seconds(5.0));
+        assert_eq!(m.average_power(), Some(Watts::ZERO));
+    }
+
+    #[test]
+    fn validates_inputs() {
+        let mut m = EnergyMeter::new();
+        assert!(m.record(Watts(-1.0), Seconds(1.0)).is_err());
+        assert!(m.record(Watts(1.0), Seconds(0.0)).is_err());
+        assert!(m.record(Watts(f64::INFINITY), Seconds(1.0)).is_err());
+        assert!(m.record(Watts(1.0), Seconds(f64::NAN)).is_err());
+        // Failed records leave the meter untouched.
+        assert_eq!(m, EnergyMeter::new());
+    }
+
+    #[test]
+    fn display_shows_energy() {
+        let mut m = EnergyMeter::new();
+        m.record(Watts(2.0), Seconds(3.0)).unwrap();
+        assert!(format!("{m}").contains("6.00 J"));
+    }
+}

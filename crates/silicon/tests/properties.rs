@@ -1,0 +1,107 @@
+//! Property-based tests for silicon-model invariants.
+
+use proptest::prelude::*;
+use pv_silicon::binning::{assign_bin, nexus5, voltage_bin_table, BinId};
+use pv_silicon::power::PowerParams;
+use pv_silicon::{DieSample, ProcessNode};
+use pv_units::{Celsius, MegaHertz, Volts, Watts};
+
+fn grade() -> impl Strategy<Value = f64> {
+    0.001..0.999f64
+}
+
+fn any_node() -> impl Strategy<Value = ProcessNode> {
+    prop_oneof![
+        Just(ProcessNode::PLANAR_28NM),
+        Just(ProcessNode::PLANAR_20NM),
+        Just(ProcessNode::FINFET_14NM),
+    ]
+}
+
+fn params() -> PowerParams {
+    PowerParams::new(0.45e-9, Watts(0.12), Volts(0.9), Celsius(26.0), 2.0, 0.025).unwrap()
+}
+
+proptest! {
+    #[test]
+    fn speed_and_leakage_are_monotone_in_grade(node in any_node(), g1 in grade(), g2 in grade()) {
+        let (lo, hi) = if g1 <= g2 { (g1, g2) } else { (g2, g1) };
+        let slow = DieSample::from_grade(node, lo).unwrap();
+        let fast = DieSample::from_grade(node, hi).unwrap();
+        prop_assert!(fast.speed_factor() >= slow.speed_factor());
+        prop_assert!(fast.leakage_multiplier() >= slow.leakage_multiplier());
+    }
+
+    #[test]
+    fn speed_factor_stays_physical(node in any_node(), g in grade()) {
+        let die = DieSample::from_grade(node, g).unwrap();
+        // Within ±6 sigma of a small fractional spread, speed stays positive
+        // and within a plausible envelope.
+        prop_assert!(die.speed_factor() > 0.5 && die.speed_factor() < 1.5);
+        prop_assert!(die.leakage_multiplier() > 0.0);
+        prop_assert!(die.leakage_multiplier().is_finite());
+    }
+
+    #[test]
+    fn bin_assignment_matches_grade_quantile(g in grade(), n_bins in 1u8..12) {
+        let die = DieSample::from_grade(ProcessNode::PLANAR_28NM, g).unwrap();
+        let bin = assign_bin(&die, n_bins).unwrap();
+        let expected = ((g * f64::from(n_bins)).floor() as u8).min(n_bins - 1);
+        prop_assert_eq!(bin, BinId(expected));
+    }
+
+    #[test]
+    fn generated_vf_tables_stay_between_extremes(g in grade()) {
+        let slow = nexus5::reference_table(BinId(0)).unwrap();
+        let fast = nexus5::reference_table(BinId(6)).unwrap();
+        let die = DieSample::from_grade(ProcessNode::PLANAR_28NM, g).unwrap();
+        let t = voltage_bin_table(&slow, &fast, &die).unwrap();
+        for f in nexus5::FREQS_MHZ {
+            let v = t.voltage_for(MegaHertz(f)).unwrap();
+            prop_assert!(v <= slow.voltage_for(MegaHertz(f)).unwrap());
+            prop_assert!(v >= fast.voltage_for(MegaHertz(f)).unwrap());
+            prop_assert_eq!(v.value() % 5, 0);
+        }
+        // Generated table keeps voltage non-decreasing with frequency.
+        for w in t.points().windows(2) {
+            prop_assert!(w[1].voltage >= w[0].voltage);
+        }
+    }
+
+    #[test]
+    fn leakage_power_monotone_in_each_argument(
+        g in grade(),
+        v in 0.7..1.2f64,
+        t in 0.0..100.0f64,
+    ) {
+        let p = params();
+        let die = DieSample::from_grade(ProcessNode::PLANAR_28NM, g).unwrap();
+        let base = p.leakage_power(&die, Volts(v), Celsius(t), 4.0);
+        let hotter = p.leakage_power(&die, Volts(v), Celsius(t + 5.0), 4.0);
+        let higher_v = p.leakage_power(&die, Volts(v + 0.05), Celsius(t), 4.0);
+        prop_assert!(hotter.value() > base.value());
+        prop_assert!(higher_v.value() > base.value());
+        prop_assert!(base.value() > 0.0);
+    }
+
+    #[test]
+    fn dynamic_power_monotone(v in 0.7..1.2f64, f in 300.0..2300.0f64, u in 0.1..4.0f64) {
+        let p = params();
+        let base = p.dynamic_power(Volts(v), MegaHertz(f), u);
+        prop_assert!(p.dynamic_power(Volts(v + 0.01), MegaHertz(f), u) > base);
+        prop_assert!(p.dynamic_power(Volts(v), MegaHertz(f + 10.0), u) > base);
+        prop_assert!(p.dynamic_power(Volts(v), MegaHertz(f), u + 0.1) > base);
+    }
+
+    #[test]
+    fn interpolated_voltage_is_within_table_range(g in grade(), f in 100.0..3000.0f64) {
+        let slow = nexus5::reference_table(BinId(0)).unwrap();
+        let fast = nexus5::reference_table(BinId(6)).unwrap();
+        let die = DieSample::from_grade(ProcessNode::PLANAR_28NM, g).unwrap();
+        let t = voltage_bin_table(&slow, &fast, &die).unwrap();
+        let v = t.voltage_at(MegaHertz(f));
+        let vmin = t.points()[0].voltage.to_volts();
+        let vmax = t.points()[t.len() - 1].voltage.to_volts();
+        prop_assert!(v >= vmin && v <= vmax);
+    }
+}

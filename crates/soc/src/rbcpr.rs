@@ -1,0 +1,135 @@
+//! Rapid-Bridge Core Power Reduction (RBCPR).
+//!
+//! From the paper (§IV-A2): SD-810-class big.LITTLE parts "implement a
+//! hardware block named Rapid-Bridge Core Power Reduction that provides a
+//! feedback loop to optimize the voltage settings for each core. These
+//! runtime voltage settings are determined based on the binning process and
+//! current temperature of the chip" — which is why no static bin table can
+//! be extracted from those kernels.
+//!
+//! The model: starting from the nominal ladder voltage `V₀(f)`, the loop
+//! removes margin for fast silicon and adds margin for slow silicon, plus a
+//! small temperature-coefficient term (hotter silicon switches faster, so
+//! margin can shrink):
+//!
+//! ```text
+//! V(f) = V₀(f) − k_grade·(grade − 0.5) − k_temp·(T − T_ref)
+//! ```
+//!
+//! clamped to a configurable floor fraction of `V₀(f)` so the loop never
+//! trims below retention limits.
+
+use crate::SocError;
+use pv_silicon::DieSample;
+use pv_units::{Celsius, Volts};
+
+/// Parameters of the RBCPR voltage-trim loop.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RbcprSpec {
+    /// Volts removed per unit of grade above the median die (and added
+    /// below it). A value of 0.15 spans ±75 mV across the population.
+    pub volts_per_grade: f64,
+    /// Volts removed per kelvin above the reference temperature.
+    pub volts_per_kelvin: f64,
+    /// Reference temperature of the temperature compensation term.
+    pub t_ref: Celsius,
+    /// Lowest fraction of the nominal voltage the loop may trim to.
+    pub floor_fraction: f64,
+}
+
+impl RbcprSpec {
+    /// Creates a validated spec.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SocError::InvalidSpec`] for negative coefficients, a
+    /// non-finite reference temperature, or a floor fraction outside (0, 1].
+    pub fn new(
+        volts_per_grade: f64,
+        volts_per_kelvin: f64,
+        t_ref: Celsius,
+        floor_fraction: f64,
+    ) -> Result<Self, SocError> {
+        if !(volts_per_grade >= 0.0 && volts_per_grade.is_finite()) {
+            return Err(SocError::InvalidSpec("volts_per_grade must be >= 0"));
+        }
+        if !(volts_per_kelvin >= 0.0 && volts_per_kelvin.is_finite()) {
+            return Err(SocError::InvalidSpec("volts_per_kelvin must be >= 0"));
+        }
+        if !t_ref.is_finite() {
+            return Err(SocError::InvalidSpec("t_ref non-finite"));
+        }
+        if !(floor_fraction > 0.0 && floor_fraction <= 1.0) {
+            return Err(SocError::InvalidSpec("floor_fraction not in (0,1]"));
+        }
+        Ok(Self {
+            volts_per_grade,
+            volts_per_kelvin,
+            t_ref,
+            floor_fraction,
+        })
+    }
+
+    /// The runtime voltage for a die at temperature `temp`, given the
+    /// nominal ladder voltage `nominal`.
+    pub fn trim(&self, nominal: Volts, die: &DieSample, temp: Celsius) -> Volts {
+        let grade_term = self.volts_per_grade * (die.grade() - 0.5);
+        let temp_term = self.volts_per_kelvin * (temp - self.t_ref).value();
+        let trimmed = nominal.value() - grade_term - temp_term;
+        Volts(trimmed.max(nominal.value() * self.floor_fraction))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pv_silicon::ProcessNode;
+
+    fn spec() -> RbcprSpec {
+        RbcprSpec::new(0.12, 0.0006, Celsius(26.0), 0.85).unwrap()
+    }
+
+    fn die(grade: f64) -> DieSample {
+        DieSample::from_grade(ProcessNode::PLANAR_20NM, grade).unwrap()
+    }
+
+    #[test]
+    fn median_die_at_reference_gets_nominal_voltage() {
+        let v = spec().trim(Volts(1.0), &die(0.5), Celsius(26.0));
+        assert!((v.value() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fast_silicon_is_trimmed_down() {
+        let fast = spec().trim(Volts(1.0), &die(0.9), Celsius(26.0));
+        let slow = spec().trim(Volts(1.0), &die(0.1), Celsius(26.0));
+        assert!(fast < Volts(1.0));
+        assert!(slow > Volts(1.0));
+        // Symmetric around the median: ±0.4 grade × 0.12 V = ±48 mV.
+        assert!((slow.value() - fast.value() - 0.096).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hot_silicon_is_trimmed_down() {
+        let cold = spec().trim(Volts(1.0), &die(0.5), Celsius(26.0));
+        let hot = spec().trim(Volts(1.0), &die(0.5), Celsius(76.0));
+        assert!(hot < cold);
+        assert!((cold.value() - hot.value() - 0.03).abs() < 1e-12);
+    }
+
+    #[test]
+    fn floor_prevents_undervolting() {
+        let s = RbcprSpec::new(2.0, 0.0, Celsius(26.0), 0.9).unwrap();
+        let v = s.trim(Volts(1.0), &die(0.99), Celsius(26.0));
+        assert!((v.value() - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(RbcprSpec::new(-0.1, 0.0, Celsius(26.0), 0.9).is_err());
+        assert!(RbcprSpec::new(0.1, -0.1, Celsius(26.0), 0.9).is_err());
+        assert!(RbcprSpec::new(0.1, 0.0, Celsius(f64::NAN), 0.9).is_err());
+        assert!(RbcprSpec::new(0.1, 0.0, Celsius(26.0), 0.0).is_err());
+        assert!(RbcprSpec::new(0.1, 0.0, Celsius(26.0), 1.1).is_err());
+    }
+}

@@ -1,0 +1,202 @@
+//! Property-based tests for device-model invariants.
+
+use proptest::prelude::*;
+use pv_silicon::binning::BinId;
+use pv_silicon::{DieSample, ProcessNode};
+use pv_soc::catalog;
+use pv_soc::device::{CpuDemand, FrequencyMode};
+use pv_soc::rbcpr::RbcprSpec;
+use pv_soc::throttle::{HotplugRule, ThrottlePolicy, ThrottleState, ThrottleStep};
+use pv_units::{Celsius, MegaHertz, Seconds, Volts};
+
+fn policy() -> ThrottlePolicy {
+    ThrottlePolicy {
+        steps: vec![
+            ThrottleStep {
+                trip: Celsius(70.0),
+                clear: Celsius(66.0),
+                cap: MegaHertz(1574.0),
+            },
+            ThrottleStep {
+                trip: Celsius(75.0),
+                clear: Celsius(71.0),
+                cap: MegaHertz(960.0),
+            },
+            ThrottleStep {
+                trip: Celsius(78.0),
+                clear: Celsius(74.0),
+                cap: MegaHertz(729.0),
+            },
+        ],
+        hotplug: Some(HotplugRule {
+            trip: Celsius(80.0),
+            clear: Celsius(75.0),
+            min_cores: 3,
+        }),
+        input_voltage: None,
+        critical: None,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn throttle_state_never_goes_out_of_bounds(
+        temps in proptest::collection::vec(20.0..100.0f64, 1..200)
+    ) {
+        let p = policy();
+        let mut state = ThrottleState::new();
+        for t in temps {
+            let d = state.update(&p, Celsius(t), Volts(4.0));
+            prop_assert!(state.engaged_steps() <= p.steps.len());
+            // The reported cap always belongs to the policy.
+            if let Some(cap) = d.freq_cap {
+                prop_assert!(p.steps.iter().any(|s| s.cap == cap));
+            }
+            // Decision and state agree about being throttled.
+            prop_assert_eq!(d.is_throttled(), state.is_throttled());
+        }
+    }
+
+    #[test]
+    fn throttle_cap_is_monotone_in_temperature(t1 in 20.0..100.0f64, t2 in 20.0..100.0f64) {
+        // From a fresh state, a hotter sensor can never yield a *higher* cap.
+        let p = policy();
+        let (lo, hi) = if t1 <= t2 { (t1, t2) } else { (t2, t1) };
+        let mut s1 = ThrottleState::new();
+        let d1 = s1.update(&p, Celsius(lo), Volts(4.0));
+        let mut s2 = ThrottleState::new();
+        let d2 = s2.update(&p, Celsius(hi), Volts(4.0));
+        let cap1 = d1.freq_cap.map_or(f64::INFINITY, |c| c.value());
+        let cap2 = d2.freq_cap.map_or(f64::INFINITY, |c| c.value());
+        prop_assert!(cap2 <= cap1);
+    }
+
+    #[test]
+    fn throttle_update_is_idempotent_at_fixed_reading(t in 20.0..100.0f64) {
+        let p = policy();
+        let mut state = ThrottleState::new();
+        let first = state.update(&p, Celsius(t), Volts(4.0));
+        let second = state.update(&p, Celsius(t), Volts(4.0));
+        prop_assert_eq!(first, second);
+    }
+
+    #[test]
+    fn rbcpr_trim_stays_in_envelope(
+        grade in 0.01..0.99f64,
+        temp in 0.0..100.0f64,
+        nominal in 0.7..1.2f64,
+    ) {
+        let spec = RbcprSpec::new(0.08, 0.0005, Celsius(26.0), 0.85).unwrap();
+        let die = DieSample::from_grade(ProcessNode::PLANAR_20NM, grade).unwrap();
+        let v = spec.trim(Volts(nominal), &die, Celsius(temp));
+        prop_assert!(v.value() >= nominal * 0.85 - 1e-12);
+        // Upper bound: nominal + max grade margin (0.5 · 0.08) + max temp credit.
+        prop_assert!(v.value() <= nominal + 0.04 + 26.0 * 0.0005 + 1e-12);
+    }
+
+    #[test]
+    fn rbcpr_trim_is_monotone(
+        g1 in 0.01..0.99f64,
+        g2 in 0.01..0.99f64,
+        temp in 0.0..90.0f64,
+    ) {
+        let spec = RbcprSpec::new(0.08, 0.0005, Celsius(26.0), 0.5).unwrap();
+        let (lo, hi) = if g1 <= g2 { (g1, g2) } else { (g2, g1) };
+        let slow = DieSample::from_grade(ProcessNode::PLANAR_20NM, lo).unwrap();
+        let fast = DieSample::from_grade(ProcessNode::PLANAR_20NM, hi).unwrap();
+        let v_slow = spec.trim(Volts(1.0), &slow, Celsius(temp));
+        let v_fast = spec.trim(Volts(1.0), &fast, Celsius(temp));
+        prop_assert!(v_fast <= v_slow);
+        // Hotter silicon is trimmed at least as low.
+        let v_hot = spec.trim(Volts(1.0), &slow, Celsius(temp + 5.0));
+        prop_assert!(v_hot <= v_slow);
+    }
+
+    #[test]
+    fn device_step_invariants_hold_under_random_driving(
+        bin in 0u8..7,
+        steps in proptest::collection::vec((0u8..3, 1u8..4), 5..60),
+    ) {
+        let mut device = catalog::nexus5(BinId(bin)).unwrap();
+        for (demand_sel, dt_decis) in steps {
+            let demand = match demand_sel {
+                0 => CpuDemand::Idle,
+                1 => CpuDemand::busy(),
+                _ => CpuDemand::Busy { util: 0.5 },
+            };
+            let dt = Seconds(f64::from(dt_decis) * 0.1);
+            let r = device.step(dt, demand, FrequencyMode::Unconstrained).unwrap();
+            // Power is positive and supply includes regulator loss.
+            prop_assert!(r.soc_power.value() > 0.0);
+            prop_assert!(r.supply_power >= r.soc_power);
+            // Temperatures stay physical.
+            prop_assert!(r.die_temp.value() > 20.0 && r.die_temp.value() < 120.0);
+            // Work only accrues when busy.
+            if demand_sel == 0 {
+                prop_assert_eq!(r.work_cycles, 0.0);
+            } else {
+                prop_assert!(r.work_cycles > 0.0);
+            }
+            // Cluster vectors are consistent.
+            prop_assert_eq!(r.cluster_freqs.len(), r.active_cores.len());
+            // Frequencies come from the device's ladder.
+            for (f, table) in r.cluster_freqs.iter().zip(device.tables()) {
+                prop_assert!(table.freqs().any(|lf| (lf.value() - f.value()).abs() < 1e-9));
+            }
+        }
+    }
+
+    #[test]
+    fn fixed_mode_never_exceeds_pin(
+        bin in 0u8..7,
+        pin in 300.0..2265.0f64,
+        n in 5usize..50,
+    ) {
+        let mut device = catalog::nexus5(BinId(bin)).unwrap();
+        for _ in 0..n {
+            let r = device
+                .step(Seconds(0.2), CpuDemand::busy(), FrequencyMode::Fixed(MegaHertz(pin)))
+                .unwrap();
+            for f in &r.cluster_freqs {
+                prop_assert!(f.value() <= pin + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn leakier_die_never_uses_less_power_at_equal_state(
+        g1 in 0.05..0.95f64,
+        g2 in 0.05..0.95f64,
+    ) {
+        // Fresh devices, one step at identical fixed conditions: the
+        // leakier die draws at least as much power (voltage-binned tables
+        // may offset, but leakage dominates at this operating point).
+        let (lo, hi) = if g1 <= g2 { (g1, g2) } else { (g2, g1) };
+        prop_assume!(hi - lo > 0.1);
+        let spec = catalog::nexus5_spec().unwrap();
+        let mk = |g: f64| {
+            let die = DieSample::from_grade(spec.soc.node, g).unwrap();
+            let supply = Box::new(pv_power::Monsoon::new(Volts(3.8)).unwrap());
+            pv_soc::device::Device::new(catalog::nexus5_spec().unwrap(), die, supply, "p", 1)
+                .unwrap()
+        };
+        let mut a = mk(lo);
+        let mut b = mk(hi);
+        // Warm both to the same die temperature by construction (fresh at
+        // 26 °C), one short step at fixed 960.
+        let ra = a
+            .step(Seconds(0.1), CpuDemand::busy(), FrequencyMode::Fixed(MegaHertz(960.0)))
+            .unwrap();
+        let rb = b
+            .step(Seconds(0.1), CpuDemand::busy(), FrequencyMode::Fixed(MegaHertz(960.0)))
+            .unwrap();
+        prop_assert!(
+            rb.soc_power.value() >= ra.soc_power.value() * 0.995,
+            "leaky {} vs frugal {}",
+            rb.soc_power,
+            ra.soc_power
+        );
+    }
+}

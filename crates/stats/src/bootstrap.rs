@@ -1,0 +1,143 @@
+//! Bootstrap confidence intervals.
+//!
+//! With only 3–5 devices per SoC generation (Table II), parametric error
+//! bars are fragile; the percentile bootstrap gives a distribution-free
+//! interval for the mean that the experiment reports can quote alongside the
+//! RSD.
+
+use crate::{StatsError, Summary};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A two-sided confidence interval for a statistic.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ConfidenceInterval {
+    /// Lower bound of the interval.
+    pub lo: f64,
+    /// Upper bound of the interval.
+    pub hi: f64,
+    /// The point estimate the interval brackets.
+    pub point: f64,
+    /// Confidence level, e.g. 0.95.
+    pub level: f64,
+}
+
+impl ConfidenceInterval {
+    /// Width of the interval.
+    pub fn width(&self) -> f64 {
+        self.hi - self.lo
+    }
+
+    /// Whether the interval contains `value`.
+    pub fn contains(&self, value: f64) -> bool {
+        value >= self.lo && value <= self.hi
+    }
+}
+
+/// Percentile-bootstrap confidence interval for the mean.
+///
+/// Resamples `values` with replacement `resamples` times, computes the mean
+/// of each resample, and returns the `(1−level)/2` and `(1+level)/2`
+/// percentiles. Deterministic for a fixed `seed`.
+///
+/// # Errors
+///
+/// Returns [`StatsError::EmptySample`] / [`StatsError::NonFiniteValue`] on
+/// bad input, and [`StatsError::InvalidParameter`] if `level` is outside
+/// `(0, 1)` or `resamples == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use pv_stats::bootstrap::bootstrap_mean_ci;
+/// let ci = bootstrap_mean_ci(&[9.8, 10.0, 10.1, 10.2, 9.9], 0.95, 2000, 42).unwrap();
+/// assert!(ci.contains(10.0));
+/// ```
+pub fn bootstrap_mean_ci(
+    values: &[f64],
+    level: f64,
+    resamples: usize,
+    seed: u64,
+) -> Result<ConfidenceInterval, StatsError> {
+    let point = Summary::from_slice(values)?.mean();
+    if !(level > 0.0 && level < 1.0) {
+        return Err(StatsError::InvalidParameter("level outside (0,1)"));
+    }
+    if resamples == 0 {
+        return Err(StatsError::InvalidParameter("zero resamples"));
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = values.len();
+    let mut means = Vec::with_capacity(resamples);
+    for _ in 0..resamples {
+        let mut acc = 0.0;
+        for _ in 0..n {
+            acc += values[rng.gen_range(0..n)];
+        }
+        means.push(acc / n as f64);
+    }
+    let alpha = (1.0 - level) / 2.0;
+    let lo = crate::quantile(&means, alpha)?;
+    let hi = crate::quantile(&means, 1.0 - alpha)?;
+    Ok(ConfidenceInterval {
+        lo,
+        hi,
+        point,
+        level,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interval_brackets_the_mean() {
+        let data = [10.0, 10.5, 9.5, 10.2, 9.8, 10.1, 9.9];
+        let ci = bootstrap_mean_ci(&data, 0.95, 1000, 1).unwrap();
+        assert!(ci.lo <= ci.point && ci.point <= ci.hi);
+        assert!(ci.contains(10.0));
+        assert!(ci.width() < 1.0);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let data = [1.0, 2.0, 3.0, 4.0];
+        let a = bootstrap_mean_ci(&data, 0.9, 500, 7).unwrap();
+        let b = bootstrap_mean_ci(&data, 0.9, 500, 7).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let data = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let a = bootstrap_mean_ci(&data, 0.9, 500, 7).unwrap();
+        let b = bootstrap_mean_ci(&data, 0.9, 500, 8).unwrap();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn constant_sample_gives_degenerate_interval() {
+        let ci = bootstrap_mean_ci(&[5.0; 8], 0.95, 200, 3).unwrap();
+        assert_eq!(ci.lo, 5.0);
+        assert_eq!(ci.hi, 5.0);
+        assert_eq!(ci.width(), 0.0);
+    }
+
+    #[test]
+    fn wider_level_is_wider_interval() {
+        let data = [1.0, 3.0, 5.0, 7.0, 9.0, 11.0];
+        let narrow = bootstrap_mean_ci(&data, 0.5, 4000, 9).unwrap();
+        let wide = bootstrap_mean_ci(&data, 0.99, 4000, 9).unwrap();
+        assert!(wide.width() >= narrow.width());
+    }
+
+    #[test]
+    fn rejects_invalid_parameters() {
+        assert!(bootstrap_mean_ci(&[], 0.95, 100, 0).is_err());
+        assert!(bootstrap_mean_ci(&[1.0], 0.0, 100, 0).is_err());
+        assert!(bootstrap_mean_ci(&[1.0], 1.0, 100, 0).is_err());
+        assert!(bootstrap_mean_ci(&[1.0], 0.95, 0, 0).is_err());
+        assert!(bootstrap_mean_ci(&[f64::NAN], 0.95, 100, 0).is_err());
+    }
+}

@@ -1,0 +1,323 @@
+//! Seeded k-means clustering.
+//!
+//! The paper's future work (§VI) proposes inferring CPU bins from crowd
+//! performance data "by clustering the performance data using unstructured
+//! learning algorithms". This module implements the standard Lloyd iteration
+//! with k-means++ initialisation over points of arbitrary (small, fixed)
+//! dimension, fully deterministic given a seed.
+
+use crate::StatsError;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Result of a k-means run: final centroids, per-point assignments, and the
+/// total within-cluster sum of squared distances (inertia).
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct KMeansResult {
+    /// Cluster centroids, `k` rows of `dim` values each.
+    pub centroids: Vec<Vec<f64>>,
+    /// For each input point, the index of its assigned centroid.
+    pub assignments: Vec<usize>,
+    /// Sum over points of squared distance to the assigned centroid.
+    pub inertia: f64,
+    /// Number of Lloyd iterations performed before convergence or cap.
+    pub iterations: usize,
+}
+
+impl KMeansResult {
+    /// Number of points assigned to each cluster.
+    pub fn cluster_sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.centroids.len()];
+        for &a in &self.assignments {
+            sizes[a] += 1;
+        }
+        sizes
+    }
+}
+
+fn squared_distance(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// Runs k-means with k-means++ initialisation.
+///
+/// `points` must all share the same dimension. The algorithm runs Lloyd
+/// iterations until assignments stabilise or `max_iters` is reached.
+/// Deterministic for a fixed `seed`.
+///
+/// # Errors
+///
+/// Returns [`StatsError::EmptySample`] if `points` is empty,
+/// [`StatsError::InvalidParameter`] if `k == 0`, `k > points.len()`,
+/// dimensions are ragged, or any coordinate is non-finite.
+///
+/// # Examples
+///
+/// ```
+/// use pv_stats::kmeans::kmeans;
+/// let pts = vec![vec![0.0], vec![0.1], vec![10.0], vec![10.1]];
+/// let r = kmeans(&pts, 2, 100, 42).unwrap();
+/// assert_eq!(r.assignments[0], r.assignments[1]);
+/// assert_ne!(r.assignments[0], r.assignments[2]);
+/// ```
+pub fn kmeans(
+    points: &[Vec<f64>],
+    k: usize,
+    max_iters: usize,
+    seed: u64,
+) -> Result<KMeansResult, StatsError> {
+    if points.is_empty() {
+        return Err(StatsError::EmptySample);
+    }
+    if k == 0 {
+        return Err(StatsError::InvalidParameter("k must be at least 1"));
+    }
+    if k > points.len() {
+        return Err(StatsError::InvalidParameter("k exceeds number of points"));
+    }
+    let dim = points[0].len();
+    if dim == 0 {
+        return Err(StatsError::InvalidParameter("zero-dimensional points"));
+    }
+    for p in points {
+        if p.len() != dim {
+            return Err(StatsError::InvalidParameter("ragged point dimensions"));
+        }
+        if p.iter().any(|v| !v.is_finite()) {
+            return Err(StatsError::NonFiniteValue);
+        }
+    }
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut centroids = kmeans_plus_plus_init(points, k, &mut rng);
+    let mut assignments = vec![0usize; points.len()];
+    let mut iterations = 0;
+
+    for _ in 0..max_iters.max(1) {
+        iterations += 1;
+        // Assignment step.
+        let mut changed = false;
+        for (i, p) in points.iter().enumerate() {
+            let nearest = centroids
+                .iter()
+                .enumerate()
+                .map(|(c, centroid)| (c, squared_distance(p, centroid)))
+                .min_by(|a, b| a.1.partial_cmp(&b.1).expect("distances are finite"))
+                .map(|(c, _)| c)
+                .expect("at least one centroid");
+            if assignments[i] != nearest {
+                assignments[i] = nearest;
+                changed = true;
+            }
+        }
+        // Update step.
+        let mut sums = vec![vec![0.0; dim]; k];
+        let mut counts = vec![0usize; k];
+        for (p, &a) in points.iter().zip(&assignments) {
+            counts[a] += 1;
+            for (s, v) in sums[a].iter_mut().zip(p) {
+                *s += v;
+            }
+        }
+        for c in 0..k {
+            if counts[c] > 0 {
+                for s in &mut sums[c] {
+                    *s /= counts[c] as f64;
+                }
+                centroids[c] = sums[c].clone();
+            } else {
+                // Re-seed an empty cluster on the point farthest from its centroid.
+                let (far_idx, _) = points
+                    .iter()
+                    .enumerate()
+                    .map(|(i, p)| (i, squared_distance(p, &centroids[assignments[i]])))
+                    .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
+                    .expect("non-empty points");
+                centroids[c] = points[far_idx].clone();
+                changed = true;
+            }
+        }
+        if !changed && iterations > 1 {
+            break;
+        }
+    }
+
+    let inertia = points
+        .iter()
+        .zip(&assignments)
+        .map(|(p, &a)| squared_distance(p, &centroids[a]))
+        .sum();
+
+    Ok(KMeansResult {
+        centroids,
+        assignments,
+        inertia,
+        iterations,
+    })
+}
+
+/// k-means++ seeding: first centroid uniform, subsequent centroids sampled
+/// proportionally to squared distance from the nearest chosen centroid.
+fn kmeans_plus_plus_init(points: &[Vec<f64>], k: usize, rng: &mut StdRng) -> Vec<Vec<f64>> {
+    let mut centroids = Vec::with_capacity(k);
+    centroids.push(points[rng.gen_range(0..points.len())].clone());
+    while centroids.len() < k {
+        let dists: Vec<f64> = points
+            .iter()
+            .map(|p| {
+                centroids
+                    .iter()
+                    .map(|c| squared_distance(p, c))
+                    .fold(f64::INFINITY, f64::min)
+            })
+            .collect();
+        let total: f64 = dists.iter().sum();
+        if total <= 0.0 {
+            // All remaining points coincide with existing centroids.
+            centroids.push(points[rng.gen_range(0..points.len())].clone());
+            continue;
+        }
+        let mut target = rng.gen_range(0.0..total);
+        let mut chosen = points.len() - 1;
+        for (i, d) in dists.iter().enumerate() {
+            if target < *d {
+                chosen = i;
+                break;
+            }
+            target -= d;
+        }
+        centroids.push(points[chosen].clone());
+    }
+    centroids
+}
+
+/// Convenience wrapper for 1-D data (e.g. clustering per-device performance
+/// scores into inferred bins). Returns the result with centroids flattened
+/// and **sorted ascending**, with assignments remapped to match.
+///
+/// # Errors
+///
+/// Same as [`kmeans`].
+pub fn kmeans_1d(
+    values: &[f64],
+    k: usize,
+    max_iters: usize,
+    seed: u64,
+) -> Result<KMeansResult, StatsError> {
+    let points: Vec<Vec<f64>> = values.iter().map(|&v| vec![v]).collect();
+    let mut result = kmeans(&points, k, max_iters, seed)?;
+    // Sort centroids ascending and remap assignments so cluster 0 is the
+    // slowest bin, mirroring how the paper orders bins.
+    let mut order: Vec<usize> = (0..k).collect();
+    order.sort_by(|&a, &b| {
+        result.centroids[a][0]
+            .partial_cmp(&result.centroids[b][0])
+            .expect("centroids are finite")
+    });
+    let mut remap = vec![0usize; k];
+    for (new_idx, &old_idx) in order.iter().enumerate() {
+        remap[old_idx] = new_idx;
+    }
+    let centroids = order.iter().map(|&i| result.centroids[i].clone()).collect();
+    for a in &mut result.assignments {
+        *a = remap[*a];
+    }
+    result.centroids = centroids;
+    Ok(result)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn separates_two_obvious_clusters() {
+        let pts: Vec<Vec<f64>> = [1.0, 1.1, 0.9, 8.0, 8.1, 7.9]
+            .iter()
+            .map(|&v| vec![v])
+            .collect();
+        let r = kmeans(&pts, 2, 100, 7).unwrap();
+        let a = r.assignments[0];
+        assert!(r.assignments[..3].iter().all(|&x| x == a));
+        assert!(r.assignments[3..].iter().all(|&x| x != a));
+        assert!(r.inertia < 0.2);
+    }
+
+    #[test]
+    fn kmeans_1d_orders_centroids() {
+        let r = kmeans_1d(&[10.0, 10.2, 5.0, 5.1, 1.0, 1.2], 3, 100, 3).unwrap();
+        assert!(r.centroids[0][0] < r.centroids[1][0]);
+        assert!(r.centroids[1][0] < r.centroids[2][0]);
+        // The slowest values map to cluster 0.
+        assert_eq!(r.assignments[4], 0);
+        assert_eq!(r.assignments[0], 2);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let pts: Vec<Vec<f64>> = (0..50).map(|i| vec![f64::from(i % 7)]).collect();
+        let a = kmeans(&pts, 3, 100, 99).unwrap();
+        let b = kmeans(&pts, 3, 100, 99).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn k_equals_n_gives_zero_inertia() {
+        let pts = vec![vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]];
+        let r = kmeans(&pts, 3, 50, 1).unwrap();
+        assert!(r.inertia < 1e-18);
+        let mut sizes = r.cluster_sizes();
+        sizes.sort_unstable();
+        assert_eq!(sizes, vec![1, 1, 1]);
+    }
+
+    #[test]
+    fn rejects_invalid_inputs() {
+        let pts = vec![vec![1.0], vec![2.0]];
+        assert!(kmeans(&[], 1, 10, 0).is_err());
+        assert!(kmeans(&pts, 0, 10, 0).is_err());
+        assert!(kmeans(&pts, 3, 10, 0).is_err());
+        assert!(kmeans(&[vec![1.0], vec![1.0, 2.0]], 1, 10, 0).is_err());
+        assert!(kmeans(&[vec![f64::NAN]], 1, 10, 0).is_err());
+        assert!(kmeans(&[vec![]], 1, 10, 0).is_err());
+    }
+
+    #[test]
+    fn identical_points_collapse() {
+        let pts = vec![vec![4.0]; 10];
+        let r = kmeans(&pts, 2, 50, 5).unwrap();
+        assert!(r.inertia < 1e-18);
+        assert_eq!(r.centroids[0], vec![4.0]);
+    }
+
+    #[test]
+    fn multidimensional_clustering() {
+        let mut pts = Vec::new();
+        for i in 0..10 {
+            let o = f64::from(i) * 0.01;
+            pts.push(vec![0.0 + o, 0.0]);
+            pts.push(vec![10.0 + o, 10.0]);
+        }
+        let r = kmeans(&pts, 2, 100, 11).unwrap();
+        let sizes = r.cluster_sizes();
+        assert_eq!(sizes, vec![10, 10]);
+    }
+
+    #[test]
+    fn recovers_paper_style_bins() {
+        // Simulated crowd data: three voltage bins whose performance scores
+        // cluster around 0.86, 0.93, 1.00 (the Fig 6 spread) with small noise.
+        let mut values = Vec::new();
+        for i in 0..20 {
+            let noise = f64::from(i % 5) * 0.002;
+            values.push(0.86 + noise);
+            values.push(0.93 + noise);
+            values.push(1.00 + noise);
+        }
+        let r = kmeans_1d(&values, 3, 200, 17).unwrap();
+        assert!((r.centroids[0][0] - 0.864).abs() < 0.01);
+        assert!((r.centroids[1][0] - 0.934).abs() < 0.01);
+        assert!((r.centroids[2][0] - 1.004).abs() < 0.01);
+        assert_eq!(r.cluster_sizes(), vec![20, 20, 20]);
+    }
+}

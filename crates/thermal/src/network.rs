@@ -1,0 +1,741 @@
+//! Lumped RC thermal networks.
+//!
+//! A network is a graph of nodes — *capacitive* nodes with heat capacity
+//! `C` (J/K) and state temperature, and *boundary* nodes pinned to a fixed
+//! temperature (ambient air, the chamber interior) — connected by edges with
+//! thermal resistance `R` (K/W). Each step solves
+//!
+//! ```text
+//! C_i · dT_i/dt = P_i(t) + Σ_j (T_j − T_i) / R_ij
+//! ```
+//!
+//! with sub-stepped explicit Euler: the step is subdivided so no substep
+//! exceeds a fifth of the fastest node time constant, which keeps the
+//! integration stable for the stiff die→package couplings found in phone
+//! models.
+
+use crate::ThermalError;
+use core::fmt;
+use pv_units::{Celsius, Seconds, ThermalCapacitance, ThermalResistance, Watts};
+
+/// Handle to a node of a [`ThermalNetwork`].
+///
+/// Obtained from [`ThermalNetworkBuilder::add_node`] /
+/// [`ThermalNetworkBuilder::add_boundary`]; only valid for the network built
+/// from that builder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct NodeId(usize);
+
+impl NodeId {
+    /// Raw index of the node (useful for labelling traces).
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum NodeKind {
+    Capacitive(ThermalCapacitance),
+    Boundary,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+struct Node {
+    name: String,
+    kind: NodeKind,
+    temp: Celsius,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Edge {
+    a: usize,
+    b: usize,
+    conductance: f64, // W/K
+}
+
+/// Numerical integration scheme for [`ThermalNetwork::step`].
+///
+/// Both schemes sub-step automatically to respect the fastest node time
+/// constant. Euler is the default (cheap, robust); RK4 gives fourth-order
+/// accuracy per substep for workloads where larger steps matter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Integrator {
+    /// Sub-stepped explicit (forward) Euler.
+    #[default]
+    Euler,
+    /// Sub-stepped classic fourth-order Runge–Kutta.
+    Rk4,
+}
+
+/// Incrementally builds a validated [`ThermalNetwork`].
+///
+/// See the [crate-level example](crate) for typical usage.
+#[derive(Debug, Default)]
+pub struct ThermalNetworkBuilder {
+    nodes: Vec<Node>,
+    edges: Vec<Edge>,
+    integrator: Integrator,
+}
+
+impl ThermalNetworkBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Selects the integration scheme (default: [`Integrator::Euler`]).
+    pub fn integrator(&mut self, integrator: Integrator) -> &mut Self {
+        self.integrator = integrator;
+        self
+    }
+
+    /// Adds a capacitive node with heat capacity `capacitance` starting at
+    /// `initial_temp`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ThermalError::InvalidParameter`] for non-positive or
+    /// non-finite capacitance, or non-finite temperature.
+    pub fn add_node(
+        &mut self,
+        name: &str,
+        capacitance: ThermalCapacitance,
+        initial_temp: Celsius,
+    ) -> Result<NodeId, ThermalError> {
+        if !(capacitance.value() > 0.0 && capacitance.is_finite()) {
+            return Err(ThermalError::InvalidParameter("capacitance must be > 0"));
+        }
+        if !initial_temp.is_finite() {
+            return Err(ThermalError::InvalidParameter("initial temp non-finite"));
+        }
+        self.nodes.push(Node {
+            name: name.to_owned(),
+            kind: NodeKind::Capacitive(capacitance),
+            temp: initial_temp,
+        });
+        Ok(NodeId(self.nodes.len() - 1))
+    }
+
+    /// Adds a boundary node pinned at `temp` (adjustable later with
+    /// [`ThermalNetwork::set_boundary_temp`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ThermalError::InvalidParameter`] for a non-finite
+    /// temperature.
+    pub fn add_boundary(&mut self, name: &str, temp: Celsius) -> Result<NodeId, ThermalError> {
+        if !temp.is_finite() {
+            return Err(ThermalError::InvalidParameter("boundary temp non-finite"));
+        }
+        self.nodes.push(Node {
+            name: name.to_owned(),
+            kind: NodeKind::Boundary,
+            temp,
+        });
+        Ok(NodeId(self.nodes.len() - 1))
+    }
+
+    /// Connects two nodes with thermal resistance `resistance`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ThermalError::UnknownNode`] for stale ids,
+    /// [`ThermalError::SelfLoop`] when `a == b`, and
+    /// [`ThermalError::InvalidParameter`] for a non-positive resistance.
+    pub fn connect(
+        &mut self,
+        a: NodeId,
+        b: NodeId,
+        resistance: ThermalResistance,
+    ) -> Result<(), ThermalError> {
+        if a.0 >= self.nodes.len() {
+            return Err(ThermalError::UnknownNode(a.0));
+        }
+        if b.0 >= self.nodes.len() {
+            return Err(ThermalError::UnknownNode(b.0));
+        }
+        if a == b {
+            return Err(ThermalError::SelfLoop);
+        }
+        if !(resistance.value() > 0.0 && resistance.is_finite()) {
+            return Err(ThermalError::InvalidParameter("resistance must be > 0"));
+        }
+        self.edges.push(Edge {
+            a: a.0,
+            b: b.0,
+            conductance: 1.0 / resistance.value(),
+        });
+        Ok(())
+    }
+
+    /// Finalises the network.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ThermalError::NoCapacitiveNodes`] if nothing can be
+    /// integrated.
+    pub fn build(self) -> Result<ThermalNetwork, ThermalError> {
+        if !self
+            .nodes
+            .iter()
+            .any(|n| matches!(n.kind, NodeKind::Capacitive(_)))
+        {
+            return Err(ThermalError::NoCapacitiveNodes);
+        }
+        // Precompute per-node total conductance for the stability bound.
+        let mut total_conductance = vec![0.0f64; self.nodes.len()];
+        for e in &self.edges {
+            total_conductance[e.a] += e.conductance;
+            total_conductance[e.b] += e.conductance;
+        }
+        // Fastest time constant among capacitive nodes with any coupling.
+        let mut tau_min = f64::INFINITY;
+        for (i, n) in self.nodes.iter().enumerate() {
+            if let NodeKind::Capacitive(c) = n.kind {
+                if total_conductance[i] > 0.0 {
+                    tau_min = tau_min.min(c.value() / total_conductance[i]);
+                }
+            }
+        }
+        Ok(ThermalNetwork {
+            nodes: self.nodes,
+            edges: self.edges,
+            max_substep: if tau_min.is_finite() {
+                0.2 * tau_min
+            } else {
+                f64::INFINITY
+            },
+            integrator: self.integrator,
+            heat_scratch: Vec::new(),
+        })
+    }
+}
+
+/// A built thermal network. Step it with [`ThermalNetwork::step`], read
+/// temperatures with [`ThermalNetwork::temperature`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThermalNetwork {
+    nodes: Vec<Node>,
+    edges: Vec<Edge>,
+    max_substep: f64,
+    integrator: Integrator,
+    heat_scratch: Vec<f64>,
+}
+
+impl ThermalNetwork {
+    /// Current temperature of `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` does not belong to this network (a `NodeId` can only
+    /// be obtained from the builder, so this indicates builder/network
+    /// mix-up).
+    pub fn temperature(&self, node: NodeId) -> Celsius {
+        self.nodes[node.0].temp
+    }
+
+    /// Name given to `node` at construction.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a foreign `NodeId`, as [`ThermalNetwork::temperature`].
+    pub fn node_name(&self, node: NodeId) -> &str {
+        &self.nodes[node.0].name
+    }
+
+    /// Number of nodes (capacitive + boundary).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Overrides a capacitive node's temperature (e.g. to reset state
+    /// between experiment iterations).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ThermalError::UnknownNode`] for stale ids and
+    /// [`ThermalError::InvalidParameter`] for non-finite temperatures.
+    pub fn set_temperature(&mut self, node: NodeId, temp: Celsius) -> Result<(), ThermalError> {
+        if node.0 >= self.nodes.len() {
+            return Err(ThermalError::UnknownNode(node.0));
+        }
+        if !temp.is_finite() {
+            return Err(ThermalError::InvalidParameter("temp non-finite"));
+        }
+        self.nodes[node.0].temp = temp;
+        Ok(())
+    }
+
+    /// Re-pins a boundary node to a new temperature.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ThermalError::UnknownNode`] for stale ids,
+    /// [`ThermalError::InvalidParameter`] if the node is not a boundary or
+    /// the temperature is non-finite.
+    pub fn set_boundary_temp(&mut self, node: NodeId, temp: Celsius) -> Result<(), ThermalError> {
+        if node.0 >= self.nodes.len() {
+            return Err(ThermalError::UnknownNode(node.0));
+        }
+        if !matches!(self.nodes[node.0].kind, NodeKind::Boundary) {
+            return Err(ThermalError::InvalidParameter("node is not a boundary"));
+        }
+        if !temp.is_finite() {
+            return Err(ThermalError::InvalidParameter("temp non-finite"));
+        }
+        self.nodes[node.0].temp = temp;
+        Ok(())
+    }
+
+    /// Advances the network by `dt`, injecting `heat` (node, power) pairs
+    /// into capacitive nodes. The step is internally subdivided for
+    /// stability, so any positive `dt` is safe.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ThermalError::InvalidParameter`] for non-positive `dt` or
+    /// non-finite powers, [`ThermalError::UnknownNode`] for stale ids, and
+    /// [`ThermalError::HeatIntoBoundary`] when heat targets a boundary node.
+    pub fn step(&mut self, dt: Seconds, heat: &[(NodeId, Watts)]) -> Result<(), ThermalError> {
+        if !(dt.value() > 0.0 && dt.is_finite()) {
+            return Err(ThermalError::InvalidParameter("dt must be > 0"));
+        }
+        // Build dense heat vector, validating targets.
+        self.heat_scratch.clear();
+        self.heat_scratch.resize(self.nodes.len(), 0.0);
+        for &(node, power) in heat {
+            if node.0 >= self.nodes.len() {
+                return Err(ThermalError::UnknownNode(node.0));
+            }
+            if !power.is_finite() {
+                return Err(ThermalError::InvalidParameter("power non-finite"));
+            }
+            if matches!(self.nodes[node.0].kind, NodeKind::Boundary) {
+                return Err(ThermalError::HeatIntoBoundary(node.0));
+            }
+            self.heat_scratch[node.0] += power.value();
+        }
+
+        let substeps = if self.max_substep.is_finite() {
+            (dt.value() / self.max_substep).ceil().max(1.0) as usize
+        } else {
+            1
+        };
+        let h = dt.value() / substeps as f64;
+
+        match self.integrator {
+            Integrator::Euler => self.substep_euler(substeps, h),
+            Integrator::Rk4 => self.substep_rk4(substeps, h),
+        }
+        Ok(())
+    }
+
+    /// Derivative of every node temperature at state `temps` (°C), writing
+    /// into `out` (°C/s). Boundary nodes have zero derivative.
+    fn derivatives(&self, temps: &[f64], out: &mut [f64]) {
+        out.fill(0.0);
+        for e in &self.edges {
+            let flow = (temps[e.b] - temps[e.a]) * e.conductance;
+            out[e.a] += flow;
+            out[e.b] -= flow;
+        }
+        for (i, node) in self.nodes.iter().enumerate() {
+            match node.kind {
+                NodeKind::Capacitive(c) => {
+                    out[i] = (out[i] + self.heat_scratch[i]) / c.value();
+                }
+                NodeKind::Boundary => out[i] = 0.0,
+            }
+        }
+    }
+
+    fn substep_euler(&mut self, substeps: usize, h: f64) {
+        let n = self.nodes.len();
+        let mut temps = vec![0.0f64; n];
+        let mut k = vec![0.0f64; n];
+        for _ in 0..substeps {
+            for (t, node) in temps.iter_mut().zip(&self.nodes) {
+                *t = node.temp.value();
+            }
+            self.derivatives(&temps, &mut k);
+            for (i, node) in self.nodes.iter_mut().enumerate() {
+                if matches!(node.kind, NodeKind::Capacitive(_)) {
+                    node.temp = Celsius(temps[i] + k[i] * h);
+                }
+            }
+        }
+    }
+
+    fn substep_rk4(&mut self, substeps: usize, h: f64) {
+        let n = self.nodes.len();
+        let mut y = vec![0.0f64; n];
+        let mut stage = vec![0.0f64; n];
+        let mut k1 = vec![0.0f64; n];
+        let mut k2 = vec![0.0f64; n];
+        let mut k3 = vec![0.0f64; n];
+        let mut k4 = vec![0.0f64; n];
+        for _ in 0..substeps {
+            for (t, node) in y.iter_mut().zip(&self.nodes) {
+                *t = node.temp.value();
+            }
+            self.derivatives(&y, &mut k1);
+            for i in 0..n {
+                stage[i] = y[i] + 0.5 * h * k1[i];
+            }
+            self.derivatives(&stage, &mut k2);
+            for i in 0..n {
+                stage[i] = y[i] + 0.5 * h * k2[i];
+            }
+            self.derivatives(&stage, &mut k3);
+            for i in 0..n {
+                stage[i] = y[i] + h * k3[i];
+            }
+            self.derivatives(&stage, &mut k4);
+            for (i, node) in self.nodes.iter_mut().enumerate() {
+                if matches!(node.kind, NodeKind::Capacitive(_)) {
+                    node.temp =
+                        Celsius(y[i] + h / 6.0 * (k1[i] + 2.0 * k2[i] + 2.0 * k3[i] + k4[i]));
+                }
+            }
+        }
+    }
+
+    /// Runs [`step`](Self::step) repeatedly until `total` time has elapsed,
+    /// using steps of at most `dt`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates errors from [`step`](Self::step).
+    pub fn run(
+        &mut self,
+        total: Seconds,
+        dt: Seconds,
+        heat: &[(NodeId, Watts)],
+    ) -> Result<(), ThermalError> {
+        if !(total.value() >= 0.0 && total.is_finite()) {
+            return Err(ThermalError::InvalidParameter("total must be >= 0"));
+        }
+        let mut remaining = total.value();
+        while remaining > 0.0 {
+            let step = remaining.min(dt.value());
+            self.step(Seconds(step), heat)?;
+            remaining -= step;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for ThermalNetwork {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "thermal network:")?;
+        for n in &self.nodes {
+            let tag = match n.kind {
+                NodeKind::Capacitive(c) => format!("C={:.2} J/K", c.value()),
+                NodeKind::Boundary => "boundary".to_owned(),
+            };
+            write!(f, " [{} {} {:.2}]", n.name, tag, n.temp)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn simple_pair() -> (ThermalNetwork, NodeId, NodeId) {
+        let mut b = ThermalNetworkBuilder::new();
+        let die = b
+            .add_node("die", ThermalCapacitance(10.0), Celsius(50.0))
+            .unwrap();
+        let amb = b.add_boundary("ambient", Celsius(26.0)).unwrap();
+        b.connect(die, amb, ThermalResistance(5.0)).unwrap();
+        (b.build().unwrap(), die, amb)
+    }
+
+    #[test]
+    fn relaxation_follows_exponential_decay() {
+        let (mut net, die, _) = simple_pair();
+        // tau = R*C = 50 s; after one tau the excess drops to 1/e.
+        net.run(Seconds(50.0), Seconds(0.05), &[]).unwrap();
+        let excess = net.temperature(die).value() - 26.0;
+        let expected = 24.0 * (-1.0f64).exp();
+        assert!(
+            (excess - expected).abs() < 0.05,
+            "excess {excess} vs {expected}"
+        );
+    }
+
+    #[test]
+    fn steady_state_is_ambient_plus_p_times_r() {
+        let (mut net, die, _) = simple_pair();
+        net.run(Seconds(600.0), Seconds(0.1), &[(die, Watts(3.0))])
+            .unwrap();
+        // 26 + 3 W × 5 K/W = 41 °C.
+        assert!((net.temperature(die).value() - 41.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn isolated_pair_conserves_energy() {
+        let mut b = ThermalNetworkBuilder::new();
+        let a = b
+            .add_node("a", ThermalCapacitance(4.0), Celsius(80.0))
+            .unwrap();
+        let c = b
+            .add_node("b", ThermalCapacitance(12.0), Celsius(20.0))
+            .unwrap();
+        b.connect(a, c, ThermalResistance(2.0)).unwrap();
+        let mut net = b.build().unwrap();
+        let energy0 = 4.0 * 80.0 + 12.0 * 20.0;
+        net.run(Seconds(200.0), Seconds(0.1), &[]).unwrap();
+        let energy1 = 4.0 * net.temperature(a).value() + 12.0 * net.temperature(c).value();
+        assert!((energy1 - energy0).abs() < 1e-6 * energy0);
+        // And they equilibrate to the capacitance-weighted mean: 35 °C.
+        assert!((net.temperature(a).value() - 35.0).abs() < 0.01);
+        assert!((net.temperature(c).value() - 35.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn boundary_node_never_moves() {
+        let (mut net, die, amb) = simple_pair();
+        net.run(Seconds(100.0), Seconds(0.1), &[(die, Watts(10.0))])
+            .unwrap();
+        assert_eq!(net.temperature(amb), Celsius(26.0));
+    }
+
+    #[test]
+    fn set_boundary_temp_shifts_equilibrium() {
+        let (mut net, die, amb) = simple_pair();
+        net.set_boundary_temp(amb, Celsius(40.0)).unwrap();
+        net.run(Seconds(500.0), Seconds(0.1), &[]).unwrap();
+        assert!((net.temperature(die).value() - 40.0).abs() < 0.01);
+        // Capacitive nodes reject set_boundary_temp.
+        assert!(net.set_boundary_temp(die, Celsius(10.0)).is_err());
+    }
+
+    #[test]
+    fn large_steps_are_substepped_stably() {
+        let (mut net, die, _) = simple_pair();
+        // One huge 1000 s step on a tau = 50 s system would explode without
+        // substepping; with it, the result is the steady state.
+        net.step(Seconds(1000.0), &[(die, Watts(3.0))]).unwrap();
+        let t = net.temperature(die).value();
+        assert!(t.is_finite());
+        assert!((t - 41.0).abs() < 0.5, "temp {t}");
+    }
+
+    #[test]
+    fn heat_into_boundary_is_rejected() {
+        let (mut net, _, amb) = simple_pair();
+        assert_eq!(
+            net.step(Seconds(1.0), &[(amb, Watts(1.0))]),
+            Err(ThermalError::HeatIntoBoundary(amb.index()))
+        );
+    }
+
+    #[test]
+    fn builder_validation() {
+        let mut b = ThermalNetworkBuilder::new();
+        assert!(b
+            .add_node("x", ThermalCapacitance(0.0), Celsius(26.0))
+            .is_err());
+        assert!(b
+            .add_node("x", ThermalCapacitance(1.0), Celsius(f64::NAN))
+            .is_err());
+        assert!(b.add_boundary("x", Celsius(f64::INFINITY)).is_err());
+        let a = b
+            .add_node("a", ThermalCapacitance(1.0), Celsius(26.0))
+            .unwrap();
+        assert!(b.connect(a, a, ThermalResistance(1.0)).is_err());
+        let c = b.add_boundary("amb", Celsius(26.0)).unwrap();
+        assert!(b.connect(a, c, ThermalResistance(0.0)).is_err());
+        assert!(b.connect(a, c, ThermalResistance(1.0)).is_ok());
+    }
+
+    #[test]
+    fn boundary_only_network_is_rejected() {
+        let mut b = ThermalNetworkBuilder::new();
+        b.add_boundary("amb", Celsius(26.0)).unwrap();
+        assert!(matches!(b.build(), Err(ThermalError::NoCapacitiveNodes)));
+    }
+
+    #[test]
+    fn step_validation() {
+        let (mut net, die, _) = simple_pair();
+        assert!(net.step(Seconds(0.0), &[]).is_err());
+        assert!(net.step(Seconds(-1.0), &[]).is_err());
+        assert!(net.step(Seconds(1.0), &[(die, Watts(f64::NAN))]).is_err());
+        assert!(net.step(Seconds(1.0), &[(NodeId(99), Watts(1.0))]).is_err());
+        assert!(net.run(Seconds(-1.0), Seconds(0.1), &[]).is_err());
+    }
+
+    #[test]
+    fn multiple_heat_sources_accumulate() {
+        let (mut net, die, _) = simple_pair();
+        // Two 1.5 W entries behave as one 3 W entry.
+        net.run(
+            Seconds(600.0),
+            Seconds(0.1),
+            &[(die, Watts(1.5)), (die, Watts(1.5))],
+        )
+        .unwrap();
+        assert!((net.temperature(die).value() - 41.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn set_temperature_resets_state() {
+        let (mut net, die, _) = simple_pair();
+        net.set_temperature(die, Celsius(26.0)).unwrap();
+        assert_eq!(net.temperature(die), Celsius(26.0));
+        assert!(net.set_temperature(NodeId(42), Celsius(26.0)).is_err());
+        assert!(net.set_temperature(die, Celsius(f64::NAN)).is_err());
+    }
+
+    #[test]
+    fn names_and_display() {
+        let (net, die, amb) = simple_pair();
+        assert_eq!(net.node_name(die), "die");
+        assert_eq!(net.node_name(amb), "ambient");
+        assert_eq!(net.node_count(), 2);
+        let s = format!("{net}");
+        assert!(s.contains("die") && s.contains("boundary"));
+    }
+
+    #[test]
+    fn three_node_chain_orders_temperatures() {
+        // die -> case -> ambient with heat at the die: die hottest, case in
+        // between, ambient fixed.
+        let mut b = ThermalNetworkBuilder::new();
+        let die = b
+            .add_node("die", ThermalCapacitance(5.0), Celsius(26.0))
+            .unwrap();
+        let case = b
+            .add_node("case", ThermalCapacitance(40.0), Celsius(26.0))
+            .unwrap();
+        let amb = b.add_boundary("amb", Celsius(26.0)).unwrap();
+        b.connect(die, case, ThermalResistance(2.0)).unwrap();
+        b.connect(case, amb, ThermalResistance(6.0)).unwrap();
+        let mut net = b.build().unwrap();
+        net.run(Seconds(2000.0), Seconds(0.1), &[(die, Watts(2.0))])
+            .unwrap();
+        let (td, tc) = (net.temperature(die).value(), net.temperature(case).value());
+        // Steady state: case = 26 + 2*6 = 38, die = case + 2*2 = 42.
+        assert!((tc - 38.0).abs() < 0.05, "case {tc}");
+        assert!((td - 42.0).abs() < 0.05, "die {td}");
+    }
+}
+
+#[cfg(test)]
+mod integrator_tests {
+    use super::*;
+
+    fn pair(integrator: Integrator) -> (ThermalNetwork, NodeId) {
+        let mut b = ThermalNetworkBuilder::new();
+        b.integrator(integrator);
+        let die = b
+            .add_node("die", ThermalCapacitance(10.0), Celsius(80.0))
+            .unwrap();
+        let amb = b.add_boundary("ambient", Celsius(26.0)).unwrap();
+        b.connect(die, amb, ThermalResistance(5.0)).unwrap();
+        (b.build().unwrap(), die)
+    }
+
+    #[test]
+    fn rk4_and_euler_agree_at_small_steps() {
+        let (mut euler, die_e) = pair(Integrator::Euler);
+        let (mut rk4, die_r) = pair(Integrator::Rk4);
+        euler.run(Seconds(60.0), Seconds(0.01), &[]).unwrap();
+        rk4.run(Seconds(60.0), Seconds(0.01), &[]).unwrap();
+        let gap = (euler.temperature(die_e).value() - rk4.temperature(die_r).value()).abs();
+        // Euler's global error at h = 0.01 s over 60 s of a tau = 50 s decay
+        // is ~2e-3 K; RK4's is negligible. They must agree to that order.
+        assert!(gap < 5e-3, "schemes diverge: {gap}");
+    }
+
+    #[test]
+    fn rk4_is_more_accurate_at_coarse_steps() {
+        // Analytic: T(60) = 26 + 54·e^{-60/50}. Integrate with a single
+        // coarse substep size (tau/5 = 10 s) and compare errors.
+        let exact = 26.0 + 54.0 * (-60.0f64 / 50.0).exp();
+        let (mut euler, die_e) = pair(Integrator::Euler);
+        let (mut rk4, die_r) = pair(Integrator::Rk4);
+        euler.run(Seconds(60.0), Seconds(10.0), &[]).unwrap();
+        rk4.run(Seconds(60.0), Seconds(10.0), &[]).unwrap();
+        let err_euler = (euler.temperature(die_e).value() - exact).abs();
+        let err_rk4 = (rk4.temperature(die_r).value() - exact).abs();
+        assert!(
+            err_rk4 < err_euler / 100.0,
+            "rk4 {err_rk4} should beat euler {err_euler} by orders of magnitude"
+        );
+        assert!(err_rk4 < 1e-2, "rk4 error {err_rk4}");
+    }
+
+    #[test]
+    fn rk4_steady_state_with_heat_matches_fourier() {
+        let mut b = ThermalNetworkBuilder::new();
+        b.integrator(Integrator::Rk4);
+        let die = b
+            .add_node("die", ThermalCapacitance(4.0), Celsius(26.0))
+            .unwrap();
+        let amb = b.add_boundary("ambient", Celsius(26.0)).unwrap();
+        b.connect(die, amb, ThermalResistance(8.0)).unwrap();
+        let mut net = b.build().unwrap();
+        net.run(Seconds(500.0), Seconds(2.0), &[(die, Watts(2.5))])
+            .unwrap();
+        assert!((net.temperature(die).value() - (26.0 + 2.5 * 8.0)).abs() < 0.01);
+    }
+
+    #[test]
+    fn default_integrator_is_euler() {
+        assert_eq!(Integrator::default(), Integrator::Euler);
+    }
+}
+
+#[cfg(test)]
+mod convergence_tests {
+    use super::*;
+
+    /// Integrates the canonical single-node decay with explicit substep size
+    /// control by calling `step` repeatedly with dt = h.
+    fn final_error(integrator: Integrator, h: f64) -> f64 {
+        let mut b = ThermalNetworkBuilder::new();
+        b.integrator(integrator);
+        let die = b
+            .add_node("die", ThermalCapacitance(10.0), Celsius(80.0))
+            .unwrap();
+        let amb = b.add_boundary("ambient", Celsius(26.0)).unwrap();
+        b.connect(die, amb, ThermalResistance(5.0)).unwrap();
+        let mut net = b.build().unwrap();
+        let total = 40.0;
+        let steps = (total / h).round() as usize;
+        for _ in 0..steps {
+            net.step(Seconds(h), &[]).unwrap();
+        }
+        let exact = 26.0 + 54.0 * (-total / 50.0f64).exp();
+        (net.temperature(die).value() - exact).abs()
+    }
+
+    #[test]
+    fn euler_converges_at_first_order() {
+        // Halving h must roughly halve the global error (ratio ∈ [1.6, 2.4]).
+        let e1 = final_error(Integrator::Euler, 8.0);
+        let e2 = final_error(Integrator::Euler, 4.0);
+        let ratio = e1 / e2;
+        assert!(
+            (1.6..=2.4).contains(&ratio),
+            "euler order ratio {ratio:.2} (e1={e1:.2e}, e2={e2:.2e})"
+        );
+    }
+
+    #[test]
+    fn rk4_converges_at_fourth_order() {
+        // Halving h must cut the global error by ~16× (ratio ∈ [10, 24]).
+        let e1 = final_error(Integrator::Rk4, 8.0);
+        let e2 = final_error(Integrator::Rk4, 4.0);
+        let ratio = e1 / e2;
+        assert!(
+            (10.0..=24.0).contains(&ratio),
+            "rk4 order ratio {ratio:.2} (e1={e1:.2e}, e2={e2:.2e})"
+        );
+    }
+}

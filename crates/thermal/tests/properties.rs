@@ -1,0 +1,127 @@
+//! Property-based tests for thermal-model invariants.
+
+use proptest::prelude::*;
+use pv_thermal::network::ThermalNetworkBuilder;
+use pv_thermal::probe::Probe;
+use pv_thermal::thermabox::{ThermaBox, ThermaBoxConfig};
+use pv_units::{Celsius, Seconds, TempDelta, ThermalCapacitance, ThermalResistance, Watts};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn chain_temperatures_stay_bracketed(
+        c1 in 1.0..50.0f64,
+        c2 in 1.0..50.0f64,
+        r1 in 0.5..10.0f64,
+        r2 in 0.5..10.0f64,
+        t0 in 30.0..90.0f64,
+        ambient in 0.0..40.0f64,
+        steps in 1usize..200,
+    ) {
+        // Unpowered network: every temperature stays between the coldest
+        // and hottest initial condition forever (maximum principle).
+        let mut b = ThermalNetworkBuilder::new();
+        let die = b.add_node("die", ThermalCapacitance(c1), Celsius(t0)).unwrap();
+        let case = b.add_node("case", ThermalCapacitance(c2), Celsius(ambient)).unwrap();
+        let amb = b.add_boundary("amb", Celsius(ambient)).unwrap();
+        b.connect(die, case, ThermalResistance(r1)).unwrap();
+        b.connect(case, amb, ThermalResistance(r2)).unwrap();
+        let mut net = b.build().unwrap();
+
+        let lo = ambient.min(t0) - 1e-9;
+        let hi = ambient.max(t0) + 1e-9;
+        for _ in 0..steps {
+            net.step(Seconds(1.0), &[]).unwrap();
+            for node in [die, case] {
+                let t = net.temperature(node).value();
+                prop_assert!(t >= lo && t <= hi, "t = {t}, bracket [{lo}, {hi}]");
+            }
+        }
+    }
+
+    #[test]
+    fn hot_node_relaxation_is_monotone(
+        c in 1.0..40.0f64,
+        r in 0.5..10.0f64,
+        t0 in 40.0..90.0f64,
+    ) {
+        let mut b = ThermalNetworkBuilder::new();
+        let die = b.add_node("die", ThermalCapacitance(c), Celsius(t0)).unwrap();
+        let amb = b.add_boundary("amb", Celsius(26.0)).unwrap();
+        b.connect(die, amb, ThermalResistance(r)).unwrap();
+        let mut net = b.build().unwrap();
+        let mut last = net.temperature(die).value();
+        for _ in 0..100 {
+            net.step(Seconds(0.5), &[]).unwrap();
+            let now = net.temperature(die).value();
+            prop_assert!(now <= last + 1e-9);
+            prop_assert!(now >= 26.0 - 1e-9);
+            last = now;
+        }
+    }
+
+    #[test]
+    fn steady_state_matches_fourier(
+        power in 0.1..10.0f64,
+        r in 0.5..10.0f64,
+        c in 0.5..20.0f64,
+    ) {
+        let mut b = ThermalNetworkBuilder::new();
+        let die = b.add_node("die", ThermalCapacitance(c), Celsius(26.0)).unwrap();
+        let amb = b.add_boundary("amb", Celsius(26.0)).unwrap();
+        b.connect(die, amb, ThermalResistance(r)).unwrap();
+        let mut net = b.build().unwrap();
+        // Run ten time constants.
+        let tau = r * c;
+        net.run(Seconds(10.0 * tau), Seconds((tau / 50.0).min(1.0)), &[(die, Watts(power))])
+            .unwrap();
+        let expected = 26.0 + power * r;
+        let t = net.temperature(die).value();
+        prop_assert!(
+            (t - expected).abs() < 0.01 * expected.abs().max(1.0),
+            "steady {t} vs {expected}"
+        );
+    }
+
+    #[test]
+    fn probe_state_is_bracketed_by_observations(
+        temps in proptest::collection::vec(0.0..100.0f64, 2..100),
+        tau in 0.1..20.0f64,
+    ) {
+        let mut probe = Probe::new(Seconds(tau), TempDelta(0.0), TempDelta(0.0), 0).unwrap();
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for t in temps {
+            lo = lo.min(t);
+            hi = hi.max(t);
+            probe.observe(Celsius(t), Seconds(1.0));
+            let s = probe.lag_state().value();
+            prop_assert!(s >= lo - 1e-9 && s <= hi + 1e-9, "lag {s} outside [{lo}, {hi}]");
+        }
+    }
+
+    #[test]
+    fn probe_lag_converges_to_constant_input(
+        target in 0.0..100.0f64,
+        tau in 0.1..10.0f64,
+    ) {
+        let mut probe = Probe::new(Seconds(tau), TempDelta(0.0), TempDelta(0.0), 0).unwrap();
+        probe.reset(Celsius(0.0));
+        // Observe for 12 time constants.
+        probe.observe(Celsius(target), Seconds(12.0 * tau));
+        prop_assert!((probe.lag_state().value() - target).abs() < 1e-3 * target.abs().max(1.0));
+    }
+
+    #[test]
+    fn chamber_settles_for_reasonable_targets(target in 23.0..31.0f64) {
+        let cfg = ThermaBoxConfig {
+            target: Celsius(target),
+            ..ThermaBoxConfig::default()
+        };
+        let mut chamber = ThermaBox::new(cfg).unwrap();
+        let t = chamber.settle(Seconds(3600.0)).unwrap();
+        prop_assert!(t.value() < 3600.0);
+        prop_assert!(chamber.deviation().abs().value() <= 0.5 + 1e-9);
+    }
+}

@@ -1,0 +1,53 @@
+//! Host kernel suite: ACCUBENCH-style timing of three real kernels.
+//!
+//! Runs the π spigot (the paper's workload), a FLOP-bound matrix multiply,
+//! and the bandwidth-bound STREAM triad on this machine, each for a fixed
+//! window, and reports iteration rates and timing stability. Different
+//! bottlenecks react differently to frequency scaling and thermal pressure
+//! — on a throttling laptop you can watch the FLOP-bound kernels sag while
+//! the triad barely moves.
+//!
+//! ```text
+//! cargo run --release --example host_kernels [-- <seconds-per-kernel>]
+//! ```
+
+use pv_stats::Summary;
+use pv_workload::kernels::standard_suite;
+use std::time::{Duration, Instant};
+
+fn main() {
+    let window: u64 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(5);
+
+    println!(
+        "{:<14} {:>6} {:>12} {:>12} {:>10}",
+        "kernel", "iters", "mean (ms)", "max (ms)", "RSD"
+    );
+    let mut checksum = 0u64;
+    for mut kernel in standard_suite().expect("standard suite is valid") {
+        // Brief warmup so governors settle.
+        let warm_end = Instant::now() + Duration::from_secs(1);
+        while Instant::now() < warm_end {
+            checksum ^= kernel.run_once();
+        }
+        let end = Instant::now() + Duration::from_secs(window);
+        let mut times = Vec::new();
+        while Instant::now() < end {
+            let t0 = Instant::now();
+            checksum ^= kernel.run_once();
+            times.push(t0.elapsed().as_secs_f64() * 1e3);
+        }
+        let stats = Summary::from_slice(&times).expect("at least one iteration");
+        println!(
+            "{:<14} {:>6} {:>12.2} {:>12.2} {:>9.2}%",
+            kernel.name(),
+            times.len(),
+            stats.mean(),
+            stats.max(),
+            stats.rsd_percent()
+        );
+    }
+    println!("\nchecksum {checksum:#018x} (work was real)");
+}

@@ -1,0 +1,63 @@
+//! Host π benchmark: the paper's workload, for real, on this machine.
+//!
+//! Everything else in this repository simulates a smartphone — this example
+//! runs the *actual* benchmark kernel (compute the first 4,285 digits of π,
+//! in a loop) on the host CPU, with an ACCUBENCH-style fixed-duration
+//! window, and reports iterations completed and per-iteration timing
+//! stability. On a thermally-limited laptop you can watch the iteration
+//! rate sag as the package heats — the very effect the paper measures.
+//!
+//! ```text
+//! cargo run --release --example host_pi_bench [-- <seconds>]
+//! ```
+
+use pv_stats::Summary;
+use pv_workload::pi;
+use std::time::{Duration, Instant};
+
+fn main() {
+    let window: u64 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(10);
+    println!(
+        "computing {} digits of pi per iteration for {window} s (single thread) ...",
+        pi::PAPER_DIGITS
+    );
+
+    // Short warmup so frequency governors settle, like the paper's warmup
+    // phase (scaled to host patience).
+    let warm_end = Instant::now() + Duration::from_secs(2);
+    let mut checksum = 0u64;
+    while Instant::now() < warm_end {
+        checksum ^= pi::pi_iteration();
+    }
+
+    let end = Instant::now() + Duration::from_secs(window);
+    let mut iter_times = Vec::new();
+    while Instant::now() < end {
+        let t0 = Instant::now();
+        checksum ^= pi::pi_iteration();
+        iter_times.push(t0.elapsed().as_secs_f64());
+    }
+
+    let stats = Summary::from_slice(&iter_times).expect("at least one iteration");
+    println!("\niterations completed: {}", iter_times.len());
+    println!(
+        "per-iteration: mean {:.1} ms, min {:.1} ms, max {:.1} ms, RSD {:.2}%",
+        stats.mean() * 1e3,
+        stats.min() * 1e3,
+        stats.max() * 1e3,
+        stats.rsd_percent()
+    );
+    // First digits, as proof the work is real.
+    let digits = pi::pi_digits(12).expect("12 digits");
+    println!(
+        "checksum {checksum:#018x}; pi = {}...",
+        pi::format_digits(&digits)
+    );
+    if stats.rsd_percent() > 5.0 {
+        println!("\nnote: >5% RSD — this host is thermally or scheduler noisy; the paper's");
+        println!("methodology (warmup + cooldown + fixed ambient) exists for exactly this.");
+    }
+}

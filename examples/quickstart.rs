@@ -1,0 +1,63 @@
+//! Quickstart: measure one simulated smartphone with ACCUBENCH.
+//!
+//! Builds a Nexus 5 from voltage bin 0 (slow, frugal silicon) and one from
+//! bin 3 (fast, leaky silicon), runs the paper's protocol on both inside the
+//! THERMABOX, and prints the performance and energy difference — the
+//! paper's core result in thirty lines.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use process_variation::prelude::*;
+
+fn main() -> Result<(), BenchError> {
+    println!("ACCUBENCH quickstart: two 'identical' Nexus 5 phones\n");
+
+    let mut results = Vec::new();
+    for bin in [0u8, 3] {
+        let mut device = catalog::nexus5(BinId(bin))?;
+        println!("measuring {device} ...");
+
+        // Performance: the paper's UNCONSTRAINED workload (5 iterations of
+        // warmup → cooldown → 5-minute π workload at 26 ± 0.5 °C).
+        let mut harness = Harness::new(Protocol::unconstrained(), Ambient::paper_chamber()?)?;
+        let session = harness.run_session(&mut device, 5)?;
+        let perf = session.performance_summary()?;
+
+        // Energy: the FIXED-FREQUENCY workload pins the cores at 960 MHz so
+        // both devices do the same work.
+        device.reset_thermal(Celsius(26.0))?;
+        let mut harness = Harness::new(
+            Protocol::fixed_frequency(MegaHertz(960.0)),
+            Ambient::paper_chamber()?,
+        )?;
+        let session = harness.run_session(&mut device, 5)?;
+        let energy = session.energy_summary()?;
+
+        println!(
+            "  performance: {:.1} iterations (RSD {:.2}%)",
+            perf.mean(),
+            perf.rsd_percent()
+        );
+        println!(
+            "  energy @960 MHz: {:.1} J (RSD {:.2}%)\n",
+            energy.mean(),
+            energy.rsd_percent()
+        );
+        results.push((bin, perf.mean(), energy.mean()));
+    }
+
+    let (_, perf0, energy0) = results[0];
+    let (_, perf3, energy3) = results[1];
+    println!("Same model, same price, same spec sheet — but:");
+    println!(
+        "  bin-0 is {:.1}% faster than bin-3 (paper: ~14% across bins 0-3)",
+        (perf0 / perf3 - 1.0) * 100.0
+    );
+    println!(
+        "  bin-3 burns {:.1}% more energy for the same work (paper: ~19%)",
+        (energy3 / energy0 - 1.0) * 100.0
+    );
+    Ok(())
+}

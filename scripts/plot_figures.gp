@@ -1,0 +1,72 @@
+# Plots the .dat files written by `repro <fig> --export <dir>`.
+#
+#   gnuplot -e "datadir='figs'" scripts/plot_figures.gp
+#
+# Produces PNGs next to the data. Each block is skipped gracefully if its
+# input file is missing.
+
+if (!exists("datadir")) datadir = "figs"
+set terminal pngcairo size 900,600 font "sans,11"
+set grid
+
+# --- Fig 4 / Fig 5: ACCUBENCH timelines ---------------------------------
+do for [f in "fig4 fig5"] {
+    infile = sprintf("%s/%s.dat", datadir, f)
+    if (system(sprintf("test -f %s && echo 1 || echo 0", infile)) + 0) {
+        set output sprintf("%s/%s.png", datadir, f)
+        set title sprintf("%s: ACCUBENCH phases (die temperature & frequency)", f)
+        set xlabel "time (s)"
+        set ylabel "die temperature (°C)"
+        set y2label "frequency (MHz)"
+        set y2tics
+        set ytics nomirror
+        plot infile using 1:2 with lines lw 2 title "die °C", \
+             infile using 1:5 axes x1y2 with steps lw 1 title "freq MHz"
+        unset y2tics
+        unset y2label
+    }
+}
+
+# --- Fig 2: energy vs ambient -------------------------------------------
+fig2a = sprintf("%s/fig2_bin-1.dat", datadir)
+fig2b = sprintf("%s/fig2_bin-3.dat", datadir)
+if (system(sprintf("test -f %s && echo 1 || echo 0", fig2a)) + 0) {
+    set output sprintf("%s/fig2.png", datadir)
+    set title "Fig 2: energy to complete fixed work vs ambient"
+    set xlabel "ambient (°C)"
+    set ylabel "energy (normalized to coolest)"
+    plot fig2a using 1:3 with linespoints lw 2 title "bin-1", \
+         fig2b using 1:3 with linespoints lw 2 title "bin-3"
+}
+
+# --- Fig 6-9: normalized study bars --------------------------------------
+do for [f in "fig6 fig7 fig8 fig9"] {
+    infile = sprintf("%s/%s.dat", datadir, f)
+    if (system(sprintf("test -f %s && echo 1 || echo 0", infile)) + 0) {
+        set output sprintf("%s/%s.png", datadir, f)
+        set title sprintf("%s: normalized performance and energy per device", f)
+        set style data histogram
+        set style histogram clustered gap 1
+        set style fill solid 0.8 border -1
+        set ylabel "normalized"
+        set yrange [0:*]
+        plot infile using 3:xtic(2) title "perf (norm to best)", \
+             infile using 5 title "energy (norm to best)"
+        set style data points
+        set yrange [*:*]
+    }
+}
+
+# --- Fig 11/12: frequency distributions ----------------------------------
+do for [pair in "fig11 fig12"] {
+    # Device names differ per pair; glob the freq files.
+    files = system(sprintf("ls %s/%s_*_freq.dat 2>/dev/null", datadir, pair))
+    if (strlen(files) > 0) {
+        set output sprintf("%s/%s_freq.png", datadir, pair)
+        set title sprintf("%s: frequency residency", pair)
+        set xlabel "frequency (MHz)"
+        set ylabel "fraction of workload time"
+        set style fill solid 0.5
+        plot for [f in files] f using (($1+$2)/2):4 with boxes title system(sprintf("basename %s .dat", f))
+    }
+}

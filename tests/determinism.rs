@@ -1,0 +1,80 @@
+//! Reproducibility guarantees across the whole stack: everything stochastic
+//! is seeded, so identical configurations produce bit-identical results.
+
+use process_variation::prelude::*;
+
+fn run_session(bin: u8, iterations: usize) -> Vec<(f64, f64)> {
+    let mut device = catalog::nexus5(BinId(bin)).unwrap();
+    let protocol = Protocol::unconstrained()
+        .with_warmup(Seconds(50.0))
+        .with_workload(Seconds(80.0));
+    let mut harness = Harness::new(protocol, Ambient::paper_chamber().unwrap()).unwrap();
+    let session = harness.run_session(&mut device, iterations).unwrap();
+    session
+        .iterations
+        .iter()
+        .map(|i| (i.iterations_completed, i.energy.value()))
+        .collect()
+}
+
+#[test]
+fn identical_runs_are_bit_identical() {
+    let a = run_session(2, 3);
+    let b = run_session(2, 3);
+    assert_eq!(a, b);
+}
+
+#[test]
+fn different_bins_differ() {
+    let a = run_session(0, 1);
+    let b = run_session(3, 1);
+    assert_ne!(a, b);
+    assert!(a[0].0 > b[0].0, "bin-0 must outperform bin-3");
+}
+
+#[test]
+fn device_sensor_noise_is_label_seeded() {
+    // Two units with the same silicon but different labels read slightly
+    // different sensor values (independent noise streams) yet agree on the
+    // physics to well under a percent.
+    let measure = |label: &str| {
+        let mut device = catalog::pixel(0.5, label).unwrap();
+        let protocol = Protocol::unconstrained()
+            .with_warmup(Seconds(40.0))
+            .with_workload(Seconds(60.0));
+        let mut harness = Harness::new(protocol, Ambient::Fixed(Celsius(26.0))).unwrap();
+        harness
+            .run_iteration(&mut device)
+            .unwrap()
+            .iterations_completed
+    };
+    let a = measure("unit-a");
+    let b = measure("unit-b");
+    assert!(
+        (a / b - 1.0).abs() < 0.01,
+        "same silicon must measure the same: {a:.2} vs {b:.2}"
+    );
+}
+
+#[test]
+fn population_sampling_is_seed_stable() {
+    use process_variation::pv_silicon::population::Population;
+    let a = Population::sample(ProcessNode::FINFET_14NM, 64, 1234);
+    let b = Population::sample(ProcessNode::FINFET_14NM, 64, 1234);
+    assert_eq!(a, b);
+    let c = Population::sample(ProcessNode::FINFET_14NM, 64, 1235);
+    assert_ne!(a, c);
+}
+
+#[test]
+fn experiment_suite_is_deterministic() {
+    use accubench::experiments::{table1, ExperimentConfig};
+    let cfg = ExperimentConfig {
+        scale: 0.15,
+        iterations: 1,
+    };
+    let a = accubench::experiments::fig10::run(&cfg).unwrap();
+    let b = accubench::experiments::fig10::run(&cfg).unwrap();
+    assert_eq!(a, b);
+    assert_eq!(table1::run().unwrap(), table1::run().unwrap());
+}

@@ -1,0 +1,157 @@
+//! End-to-end integration: the full ACCUBENCH protocol on every device
+//! model in the catalog, through the public API only.
+
+use process_variation::prelude::*;
+
+fn catalog_devices() -> Vec<Device> {
+    vec![
+        catalog::nexus5(BinId(2)).unwrap(),
+        catalog::nexus6(0.5, "n6-it").unwrap(),
+        catalog::nexus6p(0.5, "n6p-it").unwrap(),
+        catalog::lg_g5(0.5, "g5-it").unwrap(),
+        catalog::pixel(0.5, "px-it").unwrap(),
+    ]
+}
+
+#[test]
+fn every_model_completes_an_accubench_iteration() {
+    for mut device in catalog_devices() {
+        let protocol = Protocol::unconstrained()
+            .with_warmup(Seconds(60.0))
+            .with_workload(Seconds(90.0));
+        let mut harness = Harness::new(protocol, Ambient::Fixed(Celsius(26.0))).unwrap();
+        let it = harness.run_iteration(&mut device).unwrap();
+        assert!(
+            it.iterations_completed > 10.0,
+            "{}: only {:.1} iterations",
+            device.label(),
+            it.iterations_completed
+        );
+        assert!(
+            it.energy.value() > 5.0,
+            "{}: implausible energy {}",
+            device.label(),
+            it.energy
+        );
+        assert!(
+            !it.cooldown_timed_out,
+            "{}: cooldown timed out",
+            device.label()
+        );
+        // Die temperatures stay inside the physical envelope.
+        assert!(
+            it.peak_temp.value() < 100.0,
+            "{}: {}",
+            device.label(),
+            it.peak_temp
+        );
+        assert!(
+            it.peak_temp.value() > 30.0,
+            "{}: never warmed up",
+            device.label()
+        );
+    }
+}
+
+#[test]
+fn every_model_respects_fixed_frequency_pinning() {
+    let cases = vec![
+        (catalog::nexus5(BinId(1)).unwrap(), 960.0),
+        (catalog::nexus6(0.5, "n6-fx").unwrap(), 1032.0),
+        (catalog::nexus6p(0.5, "n6p-fx").unwrap(), 384.0),
+        (catalog::lg_g5(0.5, "g5-fx").unwrap(), 998.0),
+        (catalog::pixel(0.5, "px-fx").unwrap(), 998.0),
+    ];
+    for (mut device, freq) in cases {
+        let protocol = Protocol::fixed_frequency(MegaHertz(freq))
+            .with_warmup(Seconds(60.0))
+            .with_workload(Seconds(120.0))
+            .with_trace();
+        let mut harness = Harness::new(protocol, Ambient::Fixed(Celsius(26.0))).unwrap();
+        let it = harness.run_iteration(&mut device).unwrap();
+        assert_eq!(
+            it.throttled_fraction,
+            0.0,
+            "{}: throttled during fixed-frequency run",
+            device.label()
+        );
+        // Every cluster sat at (or below, for short ladders) the pin.
+        for s in it.workload_trace.samples() {
+            for f in &s.cluster_freqs {
+                assert!(
+                    f.value() <= freq + 1e-9,
+                    "{}: cluster exceeded pin ({f})",
+                    device.label()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn warm_and_cold_starts_converge_to_the_same_score() {
+    // The methodology's reason to exist: a device that just ran a heavy
+    // workload and a factory-cold device produce the same measurement.
+    let protocol = Protocol::unconstrained()
+        .with_warmup(Seconds(90.0))
+        .with_workload(Seconds(120.0));
+
+    let mut cold = catalog::nexus5(BinId(2)).unwrap();
+    let mut harness = Harness::new(protocol, Ambient::Fixed(Celsius(26.0))).unwrap();
+    let cold_it = harness.run_iteration(&mut cold).unwrap();
+
+    let mut warm = catalog::nexus5(BinId(2)).unwrap();
+    // Pre-bake the warm device with three minutes of full load.
+    for _ in 0..1800 {
+        warm.step(
+            Seconds(0.1),
+            CpuDemand::busy(),
+            FrequencyMode::Unconstrained,
+        )
+        .unwrap();
+    }
+    let mut harness = Harness::new(protocol, Ambient::Fixed(Celsius(26.0))).unwrap();
+    let warm_it = harness.run_iteration(&mut warm).unwrap();
+
+    let gap = (cold_it.iterations_completed / warm_it.iterations_completed - 1.0).abs();
+    assert!(
+        gap < 0.02,
+        "cold {:.1} vs warm {:.1}: {:.1}% gap",
+        cold_it.iterations_completed,
+        warm_it.iterations_completed,
+        gap * 100.0
+    );
+}
+
+#[test]
+fn session_rsd_meets_paper_reliability_bar() {
+    let mut device = catalog::pixel(0.5, "px-rsd").unwrap();
+    let protocol = Protocol::unconstrained()
+        .with_warmup(Seconds(80.0))
+        .with_workload(Seconds(130.0));
+    let mut harness = Harness::new(protocol, Ambient::paper_chamber().unwrap()).unwrap();
+    let session = harness.run_session(&mut device, 4).unwrap();
+    let perf = session.performance_summary().unwrap();
+    // Paper: average 1.1% RSD; hold the simulation to 2%.
+    assert!(perf.rsd_percent() < 2.0, "RSD {:.2}%", perf.rsd_percent());
+}
+
+#[test]
+fn chamber_and_fixed_ambient_agree_when_chamber_is_ideal() {
+    // The chamber holds 26 ± 0.5 °C, so results must track a fixed 26 °C
+    // ambient within a couple of percent.
+    let protocol = Protocol::unconstrained()
+        .with_warmup(Seconds(60.0))
+        .with_workload(Seconds(90.0));
+
+    let mut a = catalog::nexus5(BinId(1)).unwrap();
+    let mut harness = Harness::new(protocol, Ambient::Fixed(Celsius(26.0))).unwrap();
+    let fixed = harness.run_iteration(&mut a).unwrap();
+
+    let mut b = catalog::nexus5(BinId(1)).unwrap();
+    let mut harness = Harness::new(protocol, Ambient::paper_chamber().unwrap()).unwrap();
+    let chambered = harness.run_iteration(&mut b).unwrap();
+
+    let gap = (fixed.iterations_completed / chambered.iterations_completed - 1.0).abs();
+    assert!(gap < 0.03, "gap {:.2}%", gap * 100.0);
+}

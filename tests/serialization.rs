@@ -1,0 +1,85 @@
+//! Machine-readable output: results serialize to JSON, and the data types
+//! that support it round-trip.
+
+use process_variation::prelude::*;
+use process_variation::pv_soc::trace::Trace;
+
+#[test]
+fn iteration_serializes_to_json() {
+    let mut device = catalog::nexus5(BinId(1)).unwrap();
+    let protocol = Protocol::unconstrained()
+        .with_warmup(Seconds(20.0))
+        .with_workload(Seconds(30.0))
+        .with_trace();
+    let mut harness = Harness::new(protocol, Ambient::Fixed(Celsius(26.0))).unwrap();
+    let it = harness.run_iteration(&mut device).unwrap();
+
+    let json = serde_json::to_string(&it).unwrap();
+    assert!(json.contains("iterations_completed"));
+    assert!(json.contains("workload_trace"));
+    // Units serialize as transparent numbers (newtype wrappers).
+    let value: serde_json::Value = serde_json::from_str(&json).unwrap();
+    assert!(value["energy"].is_number());
+}
+
+#[test]
+fn trace_round_trips_through_json() {
+    let mut device = catalog::pixel(0.5, "px-json").unwrap();
+    let protocol = Protocol::unconstrained()
+        .with_warmup(Seconds(10.0))
+        .with_workload(Seconds(15.0))
+        .with_trace();
+    let mut harness = Harness::new(protocol, Ambient::Fixed(Celsius(26.0))).unwrap();
+    let it = harness.run_iteration(&mut device).unwrap();
+
+    let json = serde_json::to_string(&it.workload_trace).unwrap();
+    let back: Trace = serde_json::from_str(&json).unwrap();
+    assert_eq!(back.len(), it.workload_trace.len());
+    for (a, b) in back.samples().iter().zip(it.workload_trace.samples()) {
+        assert!((a.t.value() - b.t.value()).abs() < 1e-9);
+        assert!((a.die_temp.value() - b.die_temp.value()).abs() < 1e-9);
+        assert!((a.supply_power.value() - b.supply_power.value()).abs() < 1e-9);
+        assert_eq!(a.cluster_freqs.len(), b.cluster_freqs.len());
+        assert_eq!(a.active_cores, b.active_cores);
+        assert_eq!(a.throttled, b.throttled);
+    }
+    // Derived statistics agree.
+    assert!(
+        (back.supply_energy().value() - it.workload_trace.supply_energy().value()).abs() < 1e-6
+    );
+}
+
+#[test]
+fn units_round_trip_through_json() {
+    let cases = serde_json::to_string(&(
+        Celsius(26.5),
+        Watts(3.25),
+        Joules(100.0),
+        MegaHertz(2265.0),
+        Seconds(300.0),
+        Volts(3.85),
+    ))
+    .unwrap();
+    let (c, w, j, f, s, v): (Celsius, Watts, Joules, MegaHertz, Seconds, Volts) =
+        serde_json::from_str(&cases).unwrap();
+    assert_eq!(c, Celsius(26.5));
+    assert_eq!(w, Watts(3.25));
+    assert_eq!(j, Joules(100.0));
+    assert_eq!(f, MegaHertz(2265.0));
+    assert_eq!(s, Seconds(300.0));
+    assert_eq!(v, Volts(3.85));
+}
+
+#[test]
+fn study_serializes_with_all_rows() {
+    use accubench::experiments::{study, ExperimentConfig};
+    let cfg = ExperimentConfig {
+        scale: 0.12,
+        iterations: 1,
+    };
+    let s = study::plans::nexus5(&cfg).unwrap();
+    let value = serde_json::to_value(&s).unwrap();
+    assert_eq!(value["rows"].as_array().unwrap().len(), 4);
+    assert_eq!(value["soc"], "SD-800");
+    assert!(value["rows"][0]["perf_mean"].is_number());
+}
