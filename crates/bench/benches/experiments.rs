@@ -7,7 +7,8 @@
 //! protocol; these benches exercise exactly the same code paths.
 
 use accubench::experiments::{self, study, ExperimentConfig};
-use criterion::{criterion_group, criterion_main, Criterion};
+use pv_bench::timing::Criterion;
+use pv_bench::{criterion_group, criterion_main};
 use std::hint::black_box;
 
 /// Small-but-representative protocol: long enough that devices heat into

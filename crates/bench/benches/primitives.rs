@@ -4,7 +4,8 @@
 //! made of — including the *real* π-spigot workload the paper's app runs
 //! (one iteration at the paper's 4,285-digit size).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use pv_bench::timing::Criterion;
+use pv_bench::{criterion_group, criterion_main};
 use pv_silicon::binning::{nexus5, voltage_bin_table, BinId};
 use pv_silicon::power::PowerParams;
 use pv_silicon::{DieSample, ProcessNode};

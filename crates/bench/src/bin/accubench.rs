@@ -10,6 +10,7 @@
 //!   --ambient <°C>              fixed ambient instead of the THERMABOX
 //!   --scale <f>                 shrink warmup/workload durations (default: 1.0)
 //!   --trace <file.csv>          dump the last iteration's full trace as CSV
+//!   --faults <plan.toml>        arm a fault-injection plan for the session
 //!   --json                      emit the session as JSON
 //! ```
 //!
@@ -19,11 +20,14 @@
 //! accubench --device nexus5:0
 //! accubench --device pixel:0.8 --mode 998 --iterations 3
 //! accubench --device lgg5:0.5 --ambient 35 --trace g5.csv
+//! accubench --device nexus5:2 --faults examples/fault_plan.toml
 //! ```
 
 use accubench::harness::{Ambient, Harness};
 use accubench::protocol::Protocol;
+use pv_faults::{FaultHandle, FaultPlan};
 use pv_soc::catalog;
+use pv_soc::faulty::FaultyDevice;
 use pv_units::{Celsius, MegaHertz, Seconds};
 use std::process::ExitCode;
 
@@ -34,6 +38,7 @@ struct Options {
     ambient: Option<f64>,
     scale: f64,
     trace: Option<String>,
+    faults: Option<String>,
     json: bool,
 }
 
@@ -45,6 +50,7 @@ fn parse_args() -> Result<Options, String> {
         ambient: None,
         scale: 1.0,
         trace: None,
+        faults: None,
         json: false,
     };
     let mut args = std::env::args().skip(1);
@@ -74,6 +80,7 @@ fn parse_args() -> Result<Options, String> {
                     .map_err(|_| "--scale must be a positive number".to_owned())?
             }
             "--trace" => opts.trace = Some(value("--trace")?),
+            "--faults" => opts.faults = Some(value("--faults")?),
             "--json" => opts.json = true,
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown option: {other}")),
@@ -100,19 +107,46 @@ fn main() -> ExitCode {
             }
             eprintln!(
                 "usage: accubench --device <model:selector> [--mode unconstrained|<MHz>] \
-                 [--iterations N] [--ambient °C] [--scale F] [--trace out.csv] [--json]"
+                 [--iterations N] [--ambient °C] [--scale F] [--trace out.csv] \
+                 [--faults plan.toml] [--json]"
             );
             return ExitCode::FAILURE;
         }
     };
 
-    let mut device = match catalog::parse_device(&opts.device) {
+    let device = match catalog::parse_device(&opts.device) {
         Ok(d) => d,
         Err(e) => {
             eprintln!("error: {e}");
             return ExitCode::FAILURE;
         }
     };
+
+    // The device is always driven through the fault gate; without --faults
+    // the gate is disarmed and behaves bit-identically to the bare device.
+    let faults = match &opts.faults {
+        Some(path) => {
+            let text = match std::fs::read_to_string(path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("error: could not read {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            match FaultPlan::from_toml_str(&text) {
+                Ok(plan) => {
+                    eprintln!("armed fault plan {path}: {} event(s)", plan.events.len());
+                    FaultHandle::armed(plan)
+                }
+                Err(e) => {
+                    eprintln!("error: {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        None => FaultHandle::disarmed(),
+    };
+    let mut device = FaultyDevice::new(device, faults.clone());
 
     let mut protocol = if opts.mode == "unconstrained" {
         Protocol::unconstrained()
@@ -144,7 +178,7 @@ fn main() -> ExitCode {
     };
 
     let mut harness = match Harness::new(protocol, ambient) {
-        Ok(h) => h,
+        Ok(h) => h.with_faults(faults.clone()),
         Err(e) => {
             eprintln!("error: {e}");
             return ExitCode::FAILURE;
@@ -177,14 +211,21 @@ fn main() -> ExitCode {
     }
 
     if opts.json {
-        println!(
-            "{}",
-            serde_json::to_string_pretty(&session).expect("session serializes")
-        );
+        println!("{}", pv_json::ToJson::to_json(&session).to_string_pretty());
         return ExitCode::SUCCESS;
     }
 
     println!("{session}");
+    println!("verdict: {}", session.verdict);
+    for q in &session.quarantined {
+        println!("quarantined: {q}");
+    }
+    if faults.report_count() > 0 {
+        println!("fault log ({} occurrence(s)):", faults.report_count());
+        for r in faults.reports() {
+            println!("  t={:.1}s {}: {}", r.at, r.kind, r.detail);
+        }
+    }
     match (session.performance_summary(), session.energy_summary()) {
         (Ok(perf), Ok(energy)) => {
             println!(
@@ -203,7 +244,10 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         _ => {
-            eprintln!("error: empty session");
+            eprintln!(
+                "error: no iterations survived (verdict {})",
+                session.verdict
+            );
             ExitCode::FAILURE
         }
     }

@@ -15,8 +15,14 @@
 //! `--json` emits machine-readable results instead of text tables, and
 //! `--export <dir>` additionally writes plot-ready `.dat` files for the
 //! figure experiments.
+//!
+//! `--faults <plan.toml>` arms a fault-injection plan for the
+//! session-based `rsd` experiment (other experiments ignore it and run
+//! clean): sessions then exercise the harness's retry/quarantine path and
+//! report per-session verdicts.
 
 use accubench::experiments::{self, study, ExperimentConfig};
+use pv_faults::FaultPlan;
 use std::process::ExitCode;
 
 const EXPERIMENTS: &[&str] = &[
@@ -49,7 +55,10 @@ const EXPERIMENTS: &[&str] = &[
 ];
 
 fn usage() -> ExitCode {
-    eprintln!("usage: repro <experiment|all|list> [--quick]");
+    eprintln!(
+        "usage: repro <experiment|all|list> [--quick] [--json] [--export dir] \
+         [--faults plan.toml]"
+    );
     eprintln!("experiments: {}", EXPERIMENTS.join(" "));
     ExitCode::FAILURE
 }
@@ -58,24 +67,27 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     let json = args.iter().any(|a| a == "--json");
-    let export_dir = args
+    let value_of = |flag: &str| {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let export_dir = value_of("--export");
+    let faults_path = value_of("--faults");
+    // Indices consumed as values of flags are not positional targets.
+    let consumed: Vec<usize> = ["--export", "--faults"]
         .iter()
-        .position(|a| a == "--export")
-        .and_then(|i| args.get(i + 1))
-        .cloned();
-    let mut positional = args.iter().filter(|a| !a.starts_with("--"));
+        .filter_map(|f| args.iter().position(|a| a == *f).map(|i| i + 1))
+        .collect();
+    let mut positional = args
+        .iter()
+        .enumerate()
+        .filter(|(i, a)| !a.starts_with("--") && !consumed.contains(i))
+        .map(|(_, a)| a);
     let target = match positional.next() {
         Some(t) => t.clone(),
         None => return usage(),
-    };
-    // The value following --export is consumed by the flag, not a target.
-    let target = if Some(&target) == export_dir.as_ref() {
-        match positional.next() {
-            Some(t) => t.clone(),
-            None => return usage(),
-        }
-    } else {
-        target
     };
     if target == "list" {
         println!("{}", EXPERIMENTS.join("\n"));
@@ -86,12 +98,28 @@ fn main() -> ExitCode {
     } else {
         ExperimentConfig::paper()
     };
+    let fault_plan = match &faults_path {
+        Some(path) => match std::fs::read_to_string(path) {
+            Ok(text) => match FaultPlan::from_toml_str(&text) {
+                Ok(plan) => {
+                    eprintln!("armed fault plan {path}: {} event(s)", plan.events.len());
+                    Some(plan)
+                }
+                Err(e) => {
+                    eprintln!("--faults: {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            Err(e) => {
+                eprintln!("--faults: could not read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
+    };
 
-    let emit = |value: serde_json::Value| {
-        println!(
-            "{}",
-            serde_json::to_string_pretty(&value).expect("results serialize")
-        );
+    let emit = |value: pv_json::Json| {
+        println!("{}", value.to_string_pretty());
     };
     let exporter = match &export_dir {
         Some(dir) => match accubench::export::FigureExporter::new(dir) {
@@ -135,38 +163,43 @@ fn main() -> ExitCode {
         }
         if json {
             let value = match name {
-                "table1" => serde_json::to_value(experiments::table1::run()?),
-                "fig1" => serde_json::to_value(experiments::fig1::run(&cfg)?),
-                "fig2" => serde_json::to_value(experiments::fig2::run(&cfg)?),
-                "fig3" => serde_json::to_value(experiments::fig3::run(&cfg)?),
-                "fig4" | "fig5" => serde_json::to_value(experiments::fig45::run(&cfg)?),
-                "fig6" => serde_json::to_value(study::plans::nexus5(&cfg)?),
-                "fig7" => serde_json::to_value(study::plans::nexus6p(&cfg)?),
-                "fig8" => serde_json::to_value(study::plans::lg_g5(&cfg)?),
-                "fig9" => serde_json::to_value(study::plans::pixel(&cfg)?),
-                "fig10" => serde_json::to_value(experiments::fig10::run(&cfg)?),
-                "fig11" | "fig12" => serde_json::to_value(experiments::fig1112::run(&cfg)?),
-                "fig13" => serde_json::to_value(experiments::fig13::run(&cfg)?),
-                "table2" => serde_json::to_value(experiments::table2::run(&cfg)?),
-                "rsd" => serde_json::to_value(experiments::rsd::run(&cfg)?),
-                "cluster" => serde_json::to_value(experiments::cluster::run(&cfg, 30, 4, 2024)?),
-                "ablation" => serde_json::to_value(experiments::ablation::run(&cfg)?),
-                "ambient" => serde_json::to_value(experiments::ambient_estimate::run(&cfg)?),
-                "ranking" => serde_json::to_value(experiments::ranking::run(&cfg, 20, 2024)?),
-                "lowerbound" => {
-                    serde_json::to_value(experiments::lowerbound::run(&cfg, 500, 40, 31337)?)
+                "table1" => pv_json::ToJson::to_json(&experiments::table1::run()?),
+                "fig1" => pv_json::ToJson::to_json(&experiments::fig1::run(&cfg)?),
+                "fig2" => pv_json::ToJson::to_json(&experiments::fig2::run(&cfg)?),
+                "fig3" => pv_json::ToJson::to_json(&experiments::fig3::run(&cfg)?),
+                "fig4" | "fig5" => pv_json::ToJson::to_json(&experiments::fig45::run(&cfg)?),
+                "fig6" => pv_json::ToJson::to_json(&study::plans::nexus5(&cfg)?),
+                "fig7" => pv_json::ToJson::to_json(&study::plans::nexus6p(&cfg)?),
+                "fig8" => pv_json::ToJson::to_json(&study::plans::lg_g5(&cfg)?),
+                "fig9" => pv_json::ToJson::to_json(&study::plans::pixel(&cfg)?),
+                "fig10" => pv_json::ToJson::to_json(&experiments::fig10::run(&cfg)?),
+                "fig11" | "fig12" => pv_json::ToJson::to_json(&experiments::fig1112::run(&cfg)?),
+                "fig13" => pv_json::ToJson::to_json(&experiments::fig13::run(&cfg)?),
+                "table2" => pv_json::ToJson::to_json(&experiments::table2::run(&cfg)?),
+                "rsd" => pv_json::ToJson::to_json(&experiments::rsd::run_with_faults(
+                    &cfg,
+                    fault_plan.as_ref(),
+                )?),
+                "cluster" => {
+                    pv_json::ToJson::to_json(&experiments::cluster::run(&cfg, 30, 4, 2024)?)
                 }
-                "forecast" => serde_json::to_value(experiments::forecast::run(&cfg)?),
-                "load" => serde_json::to_value(experiments::load_sensitivity::run(&cfg)?),
-                "skin" => serde_json::to_value(experiments::skin::run(&cfg)?),
-                "aging" => serde_json::to_value(experiments::aging::run(&cfg)?),
-                "governor" => serde_json::to_value(experiments::governor_study::run(&cfg)?),
+                "ablation" => pv_json::ToJson::to_json(&experiments::ablation::run(&cfg)?),
+                "ambient" => pv_json::ToJson::to_json(&experiments::ambient_estimate::run(&cfg)?),
+                "ranking" => pv_json::ToJson::to_json(&experiments::ranking::run(&cfg, 20, 2024)?),
+                "lowerbound" => {
+                    pv_json::ToJson::to_json(&experiments::lowerbound::run(&cfg, 500, 40, 31337)?)
+                }
+                "forecast" => pv_json::ToJson::to_json(&experiments::forecast::run(&cfg)?),
+                "load" => pv_json::ToJson::to_json(&experiments::load_sensitivity::run(&cfg)?),
+                "skin" => pv_json::ToJson::to_json(&experiments::skin::run(&cfg)?),
+                "aging" => pv_json::ToJson::to_json(&experiments::aging::run(&cfg)?),
+                "governor" => pv_json::ToJson::to_json(&experiments::governor_study::run(&cfg)?),
                 other => {
                     eprintln!("unknown experiment: {other}");
                     return Err(accubench::BenchError::InvalidProtocol("unknown experiment"));
                 }
             };
-            emit(value.expect("results serialize"));
+            emit(value);
             return Ok(());
         }
         match name {
@@ -253,7 +286,7 @@ fn main() -> ExitCode {
                 println!("{}", t2.render());
             }
             "rsd" => {
-                let r = experiments::rsd::run(&cfg)?;
+                let r = experiments::rsd::run_with_faults(&cfg, fault_plan.as_ref())?;
                 println!("{}", r.render());
                 println!("paper: average 1.1% RSD over ~300 iterations\n");
             }

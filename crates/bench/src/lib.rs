@@ -1,1 +1,9 @@
 //! Benchmark harness crate. See benches/ and src/bin/repro.rs.
+//!
+//! The [`timing`] module is a dependency-free stand-in for the subset of
+//! the Criterion API the benches use, so `cargo bench` works offline.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod timing;

@@ -1,0 +1,162 @@
+//! A tiny, dependency-free micro-benchmark harness.
+//!
+//! Mirrors the slice of the Criterion API the `benches/` files use —
+//! [`Criterion::benchmark_group`], `sample_size`, `bench_function`,
+//! [`Bencher::iter`], and the `criterion_group!`/`criterion_main!`
+//! macros — so the bench sources read identically while building with no
+//! external crates. Each benchmark runs a short warmup, then `sample_size`
+//! timed samples, and prints min/median/mean per-iteration times.
+//!
+//! This is a measurement convenience, not a statistics engine: no outlier
+//! rejection, no regression against saved baselines.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Entry point handed to each registered benchmark function.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Creates a fresh harness.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
+        println!("group: {name}");
+        BenchmarkGroup { sample_size: 20 }
+    }
+}
+
+/// A named collection of benchmarks sharing a sample count.
+#[derive(Debug)]
+pub struct BenchmarkGroup {
+    sample_size: usize,
+}
+
+impl BenchmarkGroup {
+    /// Sets how many timed samples each benchmark takes (default 20).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark: warmup, then `sample_size` timed samples.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            iters_per_sample: 1,
+            samples: Vec::new(),
+        };
+        // Calibration pass: find an iteration count that makes one sample
+        // take at least ~1 ms, so Instant resolution doesn't dominate.
+        f(&mut bencher);
+        let per_iter = bencher.samples.last().copied().unwrap_or(1e-3);
+        bencher.iters_per_sample = ((1e-3 / per_iter.max(1e-12)).ceil() as u64).clamp(1, 10_000);
+        bencher.samples.clear();
+        for _ in 0..self.sample_size {
+            f(&mut bencher);
+        }
+        let mut sorted = bencher.samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let min = sorted.first().copied().unwrap_or(0.0);
+        let median = sorted[sorted.len() / 2];
+        let mean = sorted.iter().sum::<f64>() / sorted.len() as f64;
+        println!(
+            "  {name:<32} min {:>12} median {:>12} mean {:>12}",
+            format_time(min),
+            format_time(median),
+            format_time(mean)
+        );
+        self
+    }
+
+    /// Ends the group (kept for API parity; prints nothing extra).
+    pub fn finish(self) {}
+}
+
+/// Times closures; one `iter` call produces one sample.
+#[derive(Debug)]
+pub struct Bencher {
+    iters_per_sample: u64,
+    samples: Vec<f64>,
+}
+
+impl Bencher {
+    /// Times `iters_per_sample` calls of `f` and records the mean seconds
+    /// per iteration as one sample.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters_per_sample {
+            black_box(f());
+        }
+        let elapsed = start.elapsed().as_secs_f64();
+        self.samples.push(elapsed / self.iters_per_sample as f64);
+    }
+}
+
+fn format_time(seconds: f64) -> String {
+    if seconds >= 1.0 {
+        format!("{seconds:.3} s")
+    } else if seconds >= 1e-3 {
+        format!("{:.3} ms", seconds * 1e3)
+    } else if seconds >= 1e-6 {
+        format!("{:.3} µs", seconds * 1e6)
+    } else {
+        format!("{:.1} ns", seconds * 1e9)
+    }
+}
+
+/// Registers benchmark functions under a group name, Criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($function:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::timing::Criterion::new();
+            $($function(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` running the listed groups, Criterion-style.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::new();
+        let mut group = c.benchmark_group("test");
+        let mut runs = 0u64;
+        group.sample_size(3).bench_function("counter", |b| {
+            b.iter(|| {
+                runs += 1;
+                runs
+            })
+        });
+        group.finish();
+        // Calibration pass + 3 samples, each at least one iteration.
+        assert!(runs >= 4);
+    }
+
+    #[test]
+    fn format_time_picks_sane_units() {
+        assert!(format_time(2.0).ends_with(" s"));
+        assert!(format_time(2e-3).ends_with(" ms"));
+        assert!(format_time(2e-6).ends_with(" µs"));
+        assert!(format_time(2e-9).ends_with(" ns"));
+    }
+}

@@ -12,13 +12,20 @@
 //! two §VI questions: *where does my device rank within its model?* and
 //! *how wide is the spread for this model?*
 
+use crate::harness::{Ambient, Harness};
+use crate::protocol::Protocol;
 use crate::report::TextTable;
+use crate::session::Verdict;
 use crate::BenchError;
 use core::fmt;
+use pv_faults::{FaultHandle, FaultKind, FaultPlan};
+use pv_soc::device::Device;
+use pv_soc::faulty::FaultyDevice;
 use pv_stats::Summary;
+use pv_units::{Celsius, Seconds};
 
 /// One accepted crowd submission.
-#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CrowdScore {
     /// Device model (`"Nexus 5"` …). Scores only compare within a model.
     pub model: String,
@@ -31,7 +38,7 @@ pub struct CrowdScore {
 }
 
 /// A crowdsourced score database with admission filtering.
-#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CrowdDatabase {
     max_rsd: f64,
     scores: Vec<CrowdScore>,
@@ -118,7 +125,9 @@ impl CrowdDatabase {
     /// Submissions of `model`, best first.
     pub fn ranking(&self, model: &str) -> Vec<&CrowdScore> {
         let mut rows: Vec<&CrowdScore> = self.scores.iter().filter(|s| s.model == model).collect();
-        rows.sort_by(|a, b| b.score.partial_cmp(&a.score).expect("scores are finite"));
+        // Admission filtering guarantees finiteness, but a total order keeps
+        // ranking panic-free even against future invariant slips.
+        rows.sort_by(|a, b| b.score.total_cmp(&a.score));
         rows
     }
 
@@ -156,6 +165,216 @@ impl fmt::Display for CrowdDatabase {
             self.max_rsd
         )
     }
+}
+
+pv_json::impl_to_json!(CrowdScore {
+    model,
+    device,
+    score,
+    rsd
+});
+pv_json::impl_to_json!(CrowdDatabase {
+    max_rsd,
+    scores,
+    rejected
+});
+
+/// Configuration of a resilient crowd-population sweep
+/// ([`populate_resilient`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepConfig {
+    /// Protocol each device runs.
+    pub protocol: Protocol,
+    /// Iterations requested per device session.
+    pub iterations: usize,
+    /// Idealised fixed ambient each device sits in (a crowd of phones is
+    /// not a crowd of thermal chambers).
+    pub ambient: Celsius,
+    /// When `Some`, each device `i` gets a pseudo-random fault plan seeded
+    /// `seed.wrapping_add(i)` — deterministic per device, diverse across
+    /// the fleet. `None` runs the sweep fault-free.
+    pub fault_seed: Option<u64>,
+    /// Mean interval between injected faults on each device.
+    pub fault_mean_interval: Seconds,
+    /// Which fault kinds the per-device plans draw from.
+    pub fault_kinds: Vec<FaultKind>,
+}
+
+impl SweepConfig {
+    /// A fault-free sweep of `iterations` per device at 26 °C.
+    pub fn clean(protocol: Protocol, iterations: usize) -> Self {
+        Self {
+            protocol,
+            iterations,
+            ambient: Celsius(26.0),
+            fault_seed: None,
+            fault_mean_interval: Seconds(600.0),
+            fault_kinds: pv_faults::ALL_KINDS.to_vec(),
+        }
+    }
+
+    /// Arms per-device pseudo-random fault plans.
+    #[must_use]
+    pub fn with_faults(mut self, seed: u64, mean_interval: Seconds, kinds: Vec<FaultKind>) -> Self {
+        self.fault_seed = Some(seed);
+        self.fault_mean_interval = mean_interval;
+        self.fault_kinds = kinds;
+        self
+    }
+
+    /// Simulated-time horizon fault plans must cover: every requested
+    /// iteration at full length, times the retry budget, with slack.
+    fn fault_horizon(&self) -> f64 {
+        let per_iteration = self.protocol.warmup.value()
+            + self.protocol.cooldown_timeout.value()
+            + self.protocol.workload.value();
+        per_iteration * self.iterations as f64 * 4.0
+    }
+}
+
+/// What happened to one device of a [`populate_resilient`] sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepOutcome {
+    /// The device's label.
+    pub device: String,
+    /// The session's quality-gate verdict; `None` if the session died on a
+    /// fatal error before finishing.
+    pub verdict: Option<Verdict>,
+    /// Whether the database accepted the submission.
+    pub accepted: bool,
+    /// Iteration slots lost to exhausted retries.
+    pub quarantined: usize,
+    /// Fault occurrences logged against this device.
+    pub fault_reports: usize,
+    /// Fatal error text, when the session did not finish.
+    pub error: Option<String>,
+}
+
+/// Fleet-level result of a [`populate_resilient`] sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepReport {
+    /// Per-device outcomes, in input order.
+    pub outcomes: Vec<SweepOutcome>,
+}
+
+impl SweepReport {
+    /// Devices whose session finished (with any verdict).
+    pub fn completed(&self) -> usize {
+        self.outcomes.iter().filter(|o| o.verdict.is_some()).count()
+    }
+
+    /// Devices whose submission the database accepted.
+    pub fn accepted(&self) -> usize {
+        self.outcomes.iter().filter(|o| o.accepted).count()
+    }
+
+    /// Devices that died on a fatal error.
+    pub fn failed(&self) -> usize {
+        self.outcomes.iter().filter(|o| o.error.is_some()).count()
+    }
+}
+
+impl fmt::Display for SweepReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "crowd sweep: {} devices, {} completed, {} accepted, {} failed",
+            self.outcomes.len(),
+            self.completed(),
+            self.accepted(),
+            self.failed()
+        )?;
+        for o in &self.outcomes {
+            let verdict = o
+                .verdict
+                .map_or_else(|| "error".to_owned(), |v| v.to_string());
+            write!(
+                f,
+                "  {}: {verdict}, {} quarantined, {} faults",
+                o.device, o.quarantined, o.fault_reports
+            )?;
+            if let Some(e) = &o.error {
+                write!(f, " ({e})")?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+/// Populates `db` with one resilient session per device — the §VI
+/// crowdsourcing vision under real-world conditions, where some fraction
+/// of the fleet hits sensor dropouts, meter disconnects and scheduler
+/// glitches mid-measurement.
+///
+/// Each device runs a full session through the harness's retry/quarantine
+/// machinery. Sessions that finish with a non-[`Verdict::Invalid`] verdict
+/// submit their score (admission filtering still applies); fatal per-device
+/// errors are recorded in the [`SweepReport`] and the sweep continues — a
+/// crowd campaign never aborts because one handset bricked.
+///
+/// # Errors
+///
+/// Returns [`BenchError::InvalidProtocol`] if the protocol or iteration
+/// count is invalid. Per-device failures are *not* errors; they land in
+/// the report.
+pub fn populate_resilient(
+    db: &mut CrowdDatabase,
+    model: &str,
+    devices: Vec<Device>,
+    cfg: &SweepConfig,
+) -> Result<SweepReport, BenchError> {
+    cfg.protocol.validate()?;
+    if cfg.iterations == 0 {
+        return Err(BenchError::InvalidProtocol("iterations must be >= 1"));
+    }
+    let mut outcomes = Vec::with_capacity(devices.len());
+    for (i, device) in devices.into_iter().enumerate() {
+        let label = device.label().to_owned();
+        let handle = match cfg.fault_seed {
+            Some(seed) => FaultHandle::armed(FaultPlan::generate(
+                seed.wrapping_add(i as u64),
+                cfg.fault_horizon(),
+                cfg.fault_mean_interval.value(),
+                &cfg.fault_kinds,
+            )),
+            None => FaultHandle::disarmed(),
+        };
+        let mut gated = FaultyDevice::new(device, handle.clone());
+        let mut harness =
+            Harness::new(cfg.protocol, Ambient::Fixed(cfg.ambient))?.with_faults(handle.clone());
+        match harness.run_session(&mut gated, cfg.iterations) {
+            Ok(session) => {
+                let mut accepted = false;
+                if session.verdict != Verdict::Invalid {
+                    let perf = session.performance_summary()?;
+                    accepted = db.submit(CrowdScore {
+                        model: model.to_owned(),
+                        device: label.clone(),
+                        score: perf.mean(),
+                        rsd: perf.rsd_percent(),
+                    });
+                }
+                outcomes.push(SweepOutcome {
+                    device: label,
+                    verdict: Some(session.verdict),
+                    accepted,
+                    quarantined: session.quarantined_count(),
+                    fault_reports: handle.report_count(),
+                    error: None,
+                });
+            }
+            Err(e) => outcomes.push(SweepOutcome {
+                device: label,
+                verdict: None,
+                accepted: false,
+                quarantined: 0,
+                fault_reports: handle.report_count(),
+                error: Some(e.to_string()),
+            }),
+        }
+    }
+    Ok(SweepReport { outcomes })
 }
 
 #[cfg(test)]

@@ -28,7 +28,7 @@ use pv_soc::device::Device;
 use pv_units::{Celsius, Seconds};
 
 /// A baseline-vs-ablated comparison of one spread metric.
-#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AblationOutcome {
     /// Which ablation this is.
     pub name: &'static str,
@@ -50,7 +50,7 @@ impl AblationOutcome {
 }
 
 /// All ablation outcomes.
-#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Ablations {
     /// The individual comparisons.
     pub outcomes: Vec<AblationOutcome>,
@@ -191,6 +191,13 @@ pub fn run(cfg: &ExperimentConfig) -> Result<Ablations, BenchError> {
     ];
     Ok(Ablations { outcomes })
 }
+
+pv_json::impl_to_json!(AblationOutcome {
+    name,
+    baseline,
+    ablated
+});
+pv_json::impl_to_json!(Ablations { outcomes });
 
 #[cfg(test)]
 mod tests {

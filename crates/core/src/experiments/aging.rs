@@ -19,7 +19,7 @@ use pv_soc::catalog;
 use pv_units::{Celsius, Joules};
 
 /// Performance at one battery age.
-#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AgePoint {
     /// Descriptive battery condition.
     pub condition: String,
@@ -34,7 +34,7 @@ pub struct AgePoint {
 }
 
 /// The aging study.
-#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AgingStudy {
     /// Points from fresh to worn, in order.
     pub points: Vec<AgePoint>,
@@ -115,6 +115,15 @@ pub fn run(cfg: &ExperimentConfig) -> Result<AgingStudy, BenchError> {
     ];
     Ok(AgingStudy { points })
 }
+
+pv_json::impl_to_json!(AgePoint {
+    condition,
+    internal_resistance,
+    soc,
+    performance,
+    throttled_fraction
+});
+pv_json::impl_to_json!(AgingStudy { points });
 
 #[cfg(test)]
 mod tests {

@@ -23,7 +23,7 @@ use pv_stats::regression::linear_fit;
 use pv_units::{Celsius, Seconds, TempDelta};
 
 /// An ambient estimate recovered from a cooldown trace.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AmbientEstimate {
     /// Estimated ambient temperature.
     pub ambient: Celsius,
@@ -90,7 +90,7 @@ pub fn estimate_from_series(series: &[(f64, f64)]) -> Result<AmbientEstimate, Be
 }
 
 /// One device's estimation trial at a known true ambient.
-#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct EstimationTrial {
     /// The chamber's true ambient.
     pub true_ambient: Celsius,
@@ -114,7 +114,7 @@ impl EstimationTrial {
 /// therefore performs one factory-calibration trial at a known reference
 /// ambient to learn the model's offset, then applies it in the wild — the
 /// "strict filters" + per-model calibration workflow §VI sketches.
-#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AmbientEstimation {
     /// The per-model idle offset learned at the reference ambient.
     pub calibration_offset: TempDelta,
@@ -218,6 +218,21 @@ fn raw_trial(cfg: &ExperimentConfig, true_ambient: Celsius) -> Result<AmbientEst
         .collect();
     estimate_from_series(&series)
 }
+
+pv_json::impl_to_json!(AmbientEstimate {
+    ambient,
+    tau,
+    r_squared
+});
+pv_json::impl_to_json!(EstimationTrial {
+    true_ambient,
+    estimate,
+    corrected
+});
+pv_json::impl_to_json!(AmbientEstimation {
+    calibration_offset,
+    trials
+});
 
 #[cfg(test)]
 mod tests {

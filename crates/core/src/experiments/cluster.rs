@@ -20,7 +20,7 @@ use pv_stats::kmeans::{kmeans_1d, KMeansResult};
 use pv_units::Celsius;
 
 /// One crowd-sourced measurement.
-#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CrowdPoint {
     /// Synthetic device id.
     pub label: String,
@@ -33,7 +33,7 @@ pub struct CrowdPoint {
 }
 
 /// The clustering study.
-#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ClusterStudy {
     /// Number of clusters requested.
     pub k: usize,
@@ -155,6 +155,14 @@ pub fn run(
         .collect();
     Ok(ClusterStudy { k, points, kmeans })
 }
+
+pv_json::impl_to_json!(CrowdPoint {
+    label,
+    true_grade,
+    performance,
+    inferred_bin
+});
+pv_json::impl_to_json!(ClusterStudy { k, points, kmeans });
 
 #[cfg(test)]
 mod tests {

@@ -18,7 +18,7 @@ use pv_units::{Celsius, Joules, Seconds};
 use pv_workload::WorkloadSpec;
 
 /// Outcome for one bin.
-#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct BinOutcome {
     /// Device label (`bin-0` … `bin-6`).
     pub label: String,
@@ -33,7 +33,7 @@ pub struct BinOutcome {
 }
 
 /// The full Fig 1 dataset.
-#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Fig1 {
     /// Number of π iterations every bin was asked to complete.
     pub target_iterations: f64,
@@ -178,6 +178,18 @@ pub fn run(cfg: &ExperimentConfig) -> Result<Fig1, BenchError> {
         outcomes,
     })
 }
+
+pv_json::impl_to_json!(BinOutcome {
+    label,
+    completion_time,
+    energy,
+    peak_temp,
+    core_shutdown_seen
+});
+pv_json::impl_to_json!(Fig1 {
+    target_iterations,
+    outcomes
+});
 
 #[cfg(test)]
 mod tests {

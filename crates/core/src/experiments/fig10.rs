@@ -16,7 +16,7 @@ use pv_soc::catalog;
 use pv_units::{Joules, Volts};
 
 /// Result under one supply configuration.
-#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SupplyOutcome {
     /// Supply description.
     pub supply: String,
@@ -28,7 +28,7 @@ pub struct SupplyOutcome {
 }
 
 /// The three-supply comparison.
-#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Fig10 {
     /// Monsoon @ nominal 3.85 V, Monsoon @ max 4.4 V, battery.
     pub outcomes: Vec<SupplyOutcome>,
@@ -115,6 +115,13 @@ pub fn run(cfg: &ExperimentConfig) -> Result<Fig10, BenchError> {
         outcomes: vec![nominal, maxed, battery],
     })
 }
+
+pv_json::impl_to_json!(SupplyOutcome {
+    supply,
+    perf_mean,
+    throttled_fraction
+});
+pv_json::impl_to_json!(Fig10 { outcomes });
 
 #[cfg(test)]
 mod tests {

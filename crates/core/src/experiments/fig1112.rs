@@ -20,7 +20,7 @@ use pv_stats::histogram::Histogram;
 use pv_units::Celsius;
 
 /// Distribution data for one device of the pair.
-#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DeviceDistribution {
     /// Device label.
     pub label: String,
@@ -39,7 +39,7 @@ pub struct DeviceDistribution {
 }
 
 /// A two-device distribution comparison.
-#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DistributionPair {
     /// Which figure this reproduces (`"fig11"` / `"fig12"`).
     pub name: &'static str,
@@ -91,7 +91,7 @@ impl DistributionPair {
 }
 
 /// Both figures.
-#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Fig1112 {
     /// Fig 11: the Pixel pair (device-488 vs device-653).
     pub pixel: DistributionPair,
@@ -175,6 +175,18 @@ pub fn run(cfg: &ExperimentConfig) -> Result<Fig1112, BenchError> {
         },
     })
 }
+
+pv_json::impl_to_json!(DeviceDistribution {
+    label,
+    performance,
+    mean_freq_mhz,
+    freq_hist,
+    temp_hist,
+    time_hot_fraction,
+    throttled_fraction
+});
+pv_json::impl_to_json!(DistributionPair { name, devices });
+pv_json::impl_to_json!(Fig1112 { pixel, nexus5 });
 
 #[cfg(test)]
 mod tests {

@@ -12,7 +12,7 @@ use crate::BenchError;
 use pv_stats::regression::{linear_fit, LinearFit};
 
 /// Efficiency of one SoC generation.
-#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SocEfficiency {
     /// SoC name.
     pub soc: &'static str,
@@ -23,7 +23,7 @@ pub struct SocEfficiency {
 }
 
 /// The Fig 13 dataset, in release order.
-#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Fig13 {
     /// SD-800, SD-805, SD-810, SD-820, SD-821.
     pub generations: Vec<SocEfficiency>,
@@ -108,6 +108,13 @@ pub fn from_studies(studies: &[SocStudy]) -> Fig13 {
         generations: studies.iter().map(efficiency_of).collect(),
     }
 }
+
+pv_json::impl_to_json!(SocEfficiency {
+    soc,
+    model,
+    iterations_per_joule
+});
+pv_json::impl_to_json!(Fig13 { generations });
 
 #[cfg(test)]
 mod tests {

@@ -17,7 +17,7 @@ use pv_units::{Celsius, Joules, Seconds};
 use pv_workload::WorkloadSpec;
 
 /// Energy at one ambient point for one device.
-#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AmbientPoint {
     /// Chamber ambient temperature.
     pub ambient: Celsius,
@@ -28,7 +28,7 @@ pub struct AmbientPoint {
 }
 
 /// One device's sweep.
-#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DeviceSweep {
     /// Device label.
     pub label: String,
@@ -49,7 +49,7 @@ impl DeviceSweep {
 }
 
 /// The full Fig 2 dataset: two devices swept over ambient.
-#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Fig2 {
     /// The swept devices.
     pub sweeps: Vec<DeviceSweep>,
@@ -130,6 +130,14 @@ pub fn run(cfg: &ExperimentConfig) -> Result<Fig2, BenchError> {
     }
     Ok(Fig2 { sweeps })
 }
+
+pv_json::impl_to_json!(AmbientPoint {
+    ambient,
+    energy,
+    time
+});
+pv_json::impl_to_json!(DeviceSweep { label, points });
+pv_json::impl_to_json!(Fig2 { sweeps });
 
 #[cfg(test)]
 mod tests {

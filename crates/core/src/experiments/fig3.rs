@@ -14,7 +14,7 @@ use pv_thermal::thermabox::{ThermaBox, ThermaBoxConfig};
 use pv_units::{Celsius, Seconds, Watts};
 
 /// Regulation-quality statistics of the chamber.
-#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Fig3 {
     /// The regulation target.
     pub target: Celsius,
@@ -96,6 +96,14 @@ pub fn run(cfg: &ExperimentConfig) -> Result<Fig3, BenchError> {
         series,
     })
 }
+
+pv_json::impl_to_json!(Fig3 {
+    target,
+    settle_time,
+    air_stats,
+    worst_excursion,
+    series
+});
 
 #[cfg(test)]
 mod tests {

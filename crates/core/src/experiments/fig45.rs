@@ -15,7 +15,7 @@ use pv_soc::trace::Trace;
 use pv_units::{Celsius, MegaHertz, Seconds};
 
 /// One protocol timeline.
-#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PhaseTimeline {
     /// Which figure this reproduces (`"fig4"` / `"fig5"`).
     pub name: &'static str,
@@ -66,7 +66,7 @@ impl PhaseTimeline {
 }
 
 /// Both timelines (Fig 4 then Fig 5), measured on a mid-grade Nexus 5.
-#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Fig45 {
     /// The UNCONSTRAINED timeline (Fig 4).
     pub unconstrained: PhaseTimeline,
@@ -113,6 +113,20 @@ pub fn run(cfg: &ExperimentConfig) -> Result<Fig45, BenchError> {
         fixed,
     })
 }
+
+pv_json::impl_to_json!(PhaseTimeline {
+    name,
+    warmup_end,
+    workload_start,
+    workload_end,
+    trace,
+    peak_temp,
+    workload_throttled_fraction
+});
+pv_json::impl_to_json!(Fig45 {
+    unconstrained,
+    fixed
+});
 
 #[cfg(test)]
 mod tests {

@@ -16,7 +16,7 @@ use pv_soc::catalog::fleet;
 use pv_units::MegaHertz;
 
 /// The forecast study: the paper's five SoCs plus the SD-835.
-#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Forecast {
     /// Studies in release order, ending with the forecast device.
     pub studies: Vec<SocStudy>,
@@ -85,6 +85,8 @@ pub fn run(cfg: &ExperimentConfig) -> Result<Forecast, BenchError> {
     ];
     Ok(Forecast { studies })
 }
+
+pv_json::impl_to_json!(Forecast { studies });
 
 #[cfg(test)]
 mod tests {

@@ -21,7 +21,7 @@ use pv_soc::governor::Ondemand;
 use pv_units::{Celsius, Seconds};
 
 /// The silicon gaps measured under one governor.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct GovernorOutcome {
     /// Governor name.
     pub governor: &'static str,
@@ -32,7 +32,7 @@ pub struct GovernorOutcome {
 }
 
 /// The governor comparison.
-#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GovernorStudy {
     /// Outcomes per governor.
     pub outcomes: Vec<GovernorOutcome>,
@@ -98,6 +98,13 @@ pub fn run(cfg: &ExperimentConfig) -> Result<GovernorStudy, BenchError> {
     }
     Ok(GovernorStudy { outcomes })
 }
+
+pv_json::impl_to_json!(GovernorOutcome {
+    governor,
+    perf_gap,
+    efficiency_gap
+});
+pv_json::impl_to_json!(GovernorStudy { outcomes });
 
 #[cfg(test)]
 mod tests {

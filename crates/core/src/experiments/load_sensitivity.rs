@@ -26,7 +26,7 @@ use pv_soc::device::{CpuDemand, FrequencyMode};
 use pv_units::{Celsius, Seconds};
 
 /// The two gaps measured at one utilisation level.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LoadPoint {
     /// Per-core utilisation of the workload.
     pub utilization: f64,
@@ -37,7 +37,7 @@ pub struct LoadPoint {
 }
 
 /// The utilisation sweep.
-#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LoadSensitivity {
     /// Points in ascending utilisation order.
     pub points: Vec<LoadPoint>,
@@ -98,6 +98,13 @@ pub fn run(cfg: &ExperimentConfig) -> Result<LoadSensitivity, BenchError> {
     }
     Ok(LoadSensitivity { points })
 }
+
+pv_json::impl_to_json!(LoadPoint {
+    utilization,
+    perf_gap,
+    efficiency_gap
+});
+pv_json::impl_to_json!(LoadSensitivity { points });
 
 #[cfg(test)]
 mod tests {

@@ -18,16 +18,16 @@ use crate::protocol::Protocol;
 use crate::report::TextTable;
 use crate::BenchError;
 use pv_power::Monsoon;
+use pv_rng::rngs::StdRng;
+use pv_rng::{Rng, SeedableRng};
 use pv_silicon::population::Population;
 use pv_soc::catalog;
 use pv_soc::device::Device;
 use pv_stats::{quantile, Summary};
 use pv_units::{Celsius, MegaHertz};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// The Monte Carlo lower-bound study.
-#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LowerBound {
     /// Energy spread (%) of each sampled small fleet.
     pub small_fleet_spreads: Vec<f64>,
@@ -150,6 +150,13 @@ pub fn run(
         population_size,
     })
 }
+
+pv_json::impl_to_json!(LowerBound {
+    small_fleet_spreads,
+    fleet_size,
+    population_spread,
+    population_size
+});
 
 #[cfg(test)]
 mod tests {

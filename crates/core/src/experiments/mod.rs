@@ -60,7 +60,7 @@ use pv_units::Seconds;
 /// run; the *shape* conclusions (who wins, by roughly how much) hold at
 /// both scales because the devices reach thermal quasi-steady state well
 /// within the shortened windows.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ExperimentConfig {
     /// Multiplier on warmup/workload durations (1.0 = paper lengths).
     pub scale: f64,
@@ -98,6 +98,8 @@ impl Default for ExperimentConfig {
         Self::paper()
     }
 }
+
+pv_json::impl_to_json!(ExperimentConfig { scale, iterations });
 
 #[cfg(test)]
 mod tests {

@@ -17,7 +17,7 @@ use pv_soc::device::Device;
 use pv_units::Celsius;
 
 /// Result of the crowdsourcing simulation.
-#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RankingStudy {
     /// The populated database.
     pub database: CrowdDatabase,
@@ -125,6 +125,13 @@ pub fn run(cfg: &ExperimentConfig, n: usize, seed: u64) -> Result<RankingStudy, 
         uncontrolled_submissions: uncontrolled,
     })
 }
+
+pv_json::impl_to_json!(RankingStudy {
+    database,
+    uncontrolled_submissions,
+    good_unit_percentile,
+    bad_unit_percentile
+});
 
 #[cfg(test)]
 mod tests {

@@ -9,26 +9,33 @@ use crate::experiments::ExperimentConfig;
 use crate::harness::{Ambient, Harness};
 use crate::protocol::Protocol;
 use crate::report::TextTable;
+use crate::session::Verdict;
 use crate::BenchError;
+use pv_faults::{FaultHandle, FaultPlan};
 use pv_silicon::binning::BinId;
 use pv_soc::catalog;
+use pv_soc::device::Dut;
+use pv_soc::faulty::FaultyDevice;
 use pv_units::MegaHertz;
 
 /// One device's repeatability measurement.
-#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RepeatabilityRow {
     /// Device label.
     pub label: String,
     /// Which workload was run (`"unconstrained"` / `"fixed"`).
     pub workload: &'static str,
-    /// Number of iterations in the session.
+    /// Number of iterations that survived in the session.
     pub iterations: usize,
-    /// RSD (%) of performance across those iterations.
+    /// RSD (%) of performance across those iterations (0 when fewer than
+    /// one iteration survived).
     pub perf_rsd: f64,
+    /// The session's quality-gate verdict.
+    pub verdict: Verdict,
 }
 
 /// The repeatability summary.
-#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Repeatability {
     /// Per-device, per-workload rows.
     pub rows: Vec<RepeatabilityRow>,
@@ -50,13 +57,20 @@ impl Repeatability {
 
     /// Renders the per-session table plus the average.
     pub fn render(&self) -> String {
-        let mut t = TextTable::new(vec!["device", "workload", "iterations", "perf RSD"]);
+        let mut t = TextTable::new(vec![
+            "device",
+            "workload",
+            "iterations",
+            "perf RSD",
+            "verdict",
+        ]);
         for r in &self.rows {
             t.row(vec![
                 r.label.clone(),
                 r.workload.to_owned(),
                 r.iterations.to_string(),
                 format!("{:.2}%", r.perf_rsd),
+                r.verdict.to_string(),
             ]);
         }
         format!(
@@ -74,6 +88,25 @@ impl Repeatability {
 ///
 /// Propagates harness errors.
 pub fn run(cfg: &ExperimentConfig) -> Result<Repeatability, BenchError> {
+    run_with_faults(cfg, None)
+}
+
+/// [`run`], optionally injecting a fault plan into every device's sessions.
+///
+/// Each device gets its own fault timeline (a fresh clone of `faults`);
+/// the timeline spans the device's two back-to-back workload sessions, so
+/// a plan longer than one session keeps injecting into the second. With
+/// `None` the experiment is bit-identical to [`run`].
+///
+/// # Errors
+///
+/// Propagates harness errors. Injected transient faults are absorbed by
+/// the harness's retry/quarantine machinery and surface as shrunken
+/// iteration counts and non-Valid verdicts, not as errors.
+pub fn run_with_faults(
+    cfg: &ExperimentConfig,
+    faults: Option<&FaultPlan>,
+) -> Result<Repeatability, BenchError> {
     let mut rows = Vec::new();
     let devices: Vec<(pv_soc::device::Device, MegaHertz)> = vec![
         (catalog::nexus5(BinId(0))?, MegaHertz(960.0)),
@@ -81,23 +114,41 @@ pub fn run(cfg: &ExperimentConfig) -> Result<Repeatability, BenchError> {
         (catalog::nexus6p(0.5, "device-541")?, MegaHertz(384.0)),
         (catalog::pixel(0.5, "device-570")?, MegaHertz(998.0)),
     ];
-    for (mut device, fixed_freq) in devices {
+    for (device, fixed_freq) in devices {
+        let handle = faults.map_or_else(FaultHandle::disarmed, |p| FaultHandle::armed(p.clone()));
+        let mut device = FaultyDevice::new(device, handle.clone());
         for (workload, protocol) in [
             ("unconstrained", Protocol::unconstrained()),
             ("fixed", Protocol::fixed_frequency(fixed_freq)),
         ] {
-            let mut harness = Harness::new(cfg.scaled(protocol), Ambient::paper_chamber()?)?;
+            let mut harness = Harness::new(cfg.scaled(protocol), Ambient::paper_chamber()?)?
+                .with_faults(handle.clone());
             let session = harness.run_session(&mut device, cfg.iterations)?;
+            let perf_rsd = if session.iterations.is_empty() {
+                0.0
+            } else {
+                session.performance_summary()?.rsd_percent()
+            };
             rows.push(RepeatabilityRow {
                 label: device.label().to_owned(),
                 workload,
                 iterations: session.iterations.len(),
-                perf_rsd: session.performance_summary()?.rsd_percent(),
+                perf_rsd,
+                verdict: session.verdict,
             });
         }
     }
     Ok(Repeatability { rows })
 }
+
+pv_json::impl_to_json!(RepeatabilityRow {
+    label,
+    workload,
+    iterations,
+    perf_rsd,
+    verdict
+});
+pv_json::impl_to_json!(Repeatability { rows });
 
 #[cfg(test)]
 mod tests {
@@ -128,5 +179,31 @@ mod tests {
         }
         assert!(rep.total_iterations() >= 24);
         assert!(rep.render().contains("repeatability"));
+        for r in &rep.rows {
+            assert_eq!(r.verdict, Verdict::Valid, "{}", r.label);
+        }
+    }
+
+    #[test]
+    fn faulty_run_degrades_but_completes() {
+        use pv_faults::{FaultEvent, FaultKind};
+        let cfg = ExperimentConfig {
+            iterations: 2,
+            ..ExperimentConfig::quick()
+        };
+        // A permanent hotplug flap kills every busy phase: all slots
+        // quarantine, yet the experiment still returns per-session rows.
+        let plan = FaultPlan::empty().with_event(FaultEvent {
+            at: 0.0,
+            duration: 1e12,
+            kind: FaultKind::HotplugFlap,
+            magnitude: 0.0,
+        });
+        let rep = run_with_faults(&cfg, Some(&plan)).unwrap();
+        assert_eq!(rep.rows.len(), 8);
+        for r in &rep.rows {
+            assert_eq!(r.iterations, 0, "{}", r.label);
+            assert_eq!(r.verdict, Verdict::Invalid, "{}", r.label);
+        }
     }
 }

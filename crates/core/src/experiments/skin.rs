@@ -18,7 +18,7 @@ use pv_soc::catalog;
 use pv_units::Celsius;
 
 /// One bin's skin-temperature outcome.
-#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SkinOutcome {
     /// Device label.
     pub label: String,
@@ -31,7 +31,7 @@ pub struct SkinOutcome {
 }
 
 /// The skin-temperature study across bins.
-#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SkinStudy {
     /// One outcome per bin, bin-0 first.
     pub outcomes: Vec<SkinOutcome>,
@@ -114,6 +114,14 @@ pub fn run(cfg: &ExperimentConfig) -> Result<SkinStudy, BenchError> {
     }
     Ok(SkinStudy { outcomes })
 }
+
+pv_json::impl_to_json!(SkinOutcome {
+    label,
+    peak_case,
+    mean_case,
+    performance
+});
+pv_json::impl_to_json!(SkinStudy { outcomes });
 
 #[cfg(test)]
 mod tests {

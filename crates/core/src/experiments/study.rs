@@ -19,7 +19,7 @@ use pv_stats::Summary;
 use pv_units::MegaHertz;
 
 /// Per-device outcome of the two workloads.
-#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DeviceResult {
     /// Device label (`bin-0`, `device-363`, …).
     pub label: String,
@@ -41,7 +41,7 @@ pub struct DeviceResult {
 }
 
 /// Result of a full study on one SoC.
-#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SocStudy {
     /// SoC name (`SD-800` …).
     pub soc: &'static str,
@@ -309,6 +309,23 @@ pub mod plans {
         )
     }
 }
+
+pv_json::impl_to_json!(DeviceResult {
+    label,
+    perf_mean,
+    perf_rsd,
+    energy_mean,
+    energy_rsd,
+    fixed_perf_rsd,
+    fixed_perf_mean,
+    perf_energy_mean
+});
+pv_json::impl_to_json!(SocStudy {
+    soc,
+    model,
+    fixed_freq,
+    rows
+});
 
 #[cfg(test)]
 mod tests {

@@ -17,7 +17,7 @@ use crate::report::TextTable;
 use crate::BenchError;
 
 /// One summary row.
-#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SummaryRow {
     /// SoC name.
     pub soc: &'static str,
@@ -32,7 +32,7 @@ pub struct SummaryRow {
 }
 
 /// The regenerated Table II plus the per-SoC studies it came from.
-#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Table2 {
     /// Summary rows in the paper's order.
     pub rows: Vec<SummaryRow>,
@@ -102,6 +102,15 @@ pub fn run(cfg: &ExperimentConfig) -> Result<Table2, BenchError> {
     }
     Ok(Table2 { rows, studies })
 }
+
+pv_json::impl_to_json!(SummaryRow {
+    soc,
+    model,
+    devices,
+    perf_variation,
+    energy_variation
+});
+pv_json::impl_to_json!(Table2 { rows, studies });
 
 #[cfg(test)]
 mod tests {

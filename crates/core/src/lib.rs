@@ -64,10 +64,42 @@ pub enum BenchError {
     Soc(pv_soc::SocError),
     /// Thermal-chamber failure.
     Thermal(pv_thermal::ThermalError),
+    /// Power-delivery or metering failure.
+    Power(pv_power::PowerError),
     /// Statistics failure (e.g. asking for a summary of zero iterations).
     Stats(pv_stats::StatsError),
     /// I/O failure while exporting results.
     Io(std::io::Error),
+}
+
+impl BenchError {
+    /// Whether this failure is expected to clear on its own, so a resilient
+    /// session should retry the iteration instead of aborting: injected
+    /// probe dropouts, chamber controller stalls, meter disconnects, and
+    /// core hotplug flaps. Everything else (bad protocol, drained battery,
+    /// invalid parameters, I/O) is fatal.
+    pub fn is_transient(&self) -> bool {
+        fn thermal(e: &pv_thermal::ThermalError) -> bool {
+            matches!(
+                e,
+                pv_thermal::ThermalError::ProbeDropout | pv_thermal::ThermalError::ChamberStalled
+            )
+        }
+        fn power(e: &pv_power::PowerError) -> bool {
+            matches!(e, pv_power::PowerError::MeterDisconnected)
+        }
+        match self {
+            BenchError::Thermal(e) => thermal(e),
+            BenchError::Power(e) => power(e),
+            BenchError::Soc(e) => match e {
+                pv_soc::SocError::HotplugFlap => true,
+                pv_soc::SocError::Thermal(e) => thermal(e),
+                pv_soc::SocError::Power(e) => power(e),
+                _ => false,
+            },
+            _ => false,
+        }
+    }
 }
 
 impl fmt::Display for BenchError {
@@ -76,6 +108,7 @@ impl fmt::Display for BenchError {
             BenchError::InvalidProtocol(what) => write!(f, "invalid protocol: {what}"),
             BenchError::Soc(e) => write!(f, "device: {e}"),
             BenchError::Thermal(e) => write!(f, "chamber: {e}"),
+            BenchError::Power(e) => write!(f, "power: {e}"),
             BenchError::Stats(e) => write!(f, "statistics: {e}"),
             BenchError::Io(e) => write!(f, "i/o: {e}"),
         }
@@ -87,6 +120,7 @@ impl std::error::Error for BenchError {
         match self {
             BenchError::Soc(e) => Some(e),
             BenchError::Thermal(e) => Some(e),
+            BenchError::Power(e) => Some(e),
             BenchError::Stats(e) => Some(e),
             BenchError::Io(e) => Some(e),
             BenchError::InvalidProtocol(_) => None,
@@ -103,6 +137,12 @@ impl From<pv_soc::SocError> for BenchError {
 impl From<pv_thermal::ThermalError> for BenchError {
     fn from(e: pv_thermal::ThermalError) -> Self {
         BenchError::Thermal(e)
+    }
+}
+
+impl From<pv_power::PowerError> for BenchError {
+    fn from(e: pv_power::PowerError) -> Self {
+        BenchError::Power(e)
     }
 }
 
@@ -127,5 +167,30 @@ mod tests {
         assert!(format!("{e}").contains("chamber"));
         let e: BenchError = pv_soc::SocError::InvalidSpec("y").into();
         assert!(format!("{e}").contains("device"));
+        let e: BenchError = pv_power::PowerError::MeterDisconnected.into();
+        assert!(format!("{e}").contains("power"));
+    }
+
+    #[test]
+    fn transient_classification() {
+        // Transient: injected fault errors, at any wrapping depth.
+        assert!(BenchError::Thermal(pv_thermal::ThermalError::ProbeDropout).is_transient());
+        assert!(BenchError::Thermal(pv_thermal::ThermalError::ChamberStalled).is_transient());
+        assert!(BenchError::Power(pv_power::PowerError::MeterDisconnected).is_transient());
+        assert!(BenchError::Soc(pv_soc::SocError::HotplugFlap).is_transient());
+        assert!(BenchError::Soc(pv_soc::SocError::Thermal(
+            pv_thermal::ThermalError::ProbeDropout
+        ))
+        .is_transient());
+        assert!(BenchError::Soc(pv_soc::SocError::Power(
+            pv_power::PowerError::MeterDisconnected
+        ))
+        .is_transient());
+        // Fatal: everything else.
+        assert!(!BenchError::InvalidProtocol("x").is_transient());
+        assert!(!BenchError::Thermal(pv_thermal::ThermalError::SelfLoop).is_transient());
+        assert!(!BenchError::Power(pv_power::PowerError::BatteryEmpty).is_transient());
+        assert!(!BenchError::Soc(pv_soc::SocError::InvalidSpec("y")).is_transient());
+        assert!(!BenchError::Stats(pv_stats::StatsError::EmptySample).is_transient());
     }
 }

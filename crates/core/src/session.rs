@@ -8,7 +8,7 @@ use pv_units::{Celsius, Joules, MegaHertz, Seconds};
 
 /// A protocol event, as the paper's app logs them (Fig 4 annotates the
 /// timeline with exactly these transitions).
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Event {
     /// Wakelock acquired; warmup begins.
     WakelockAcquired,
@@ -16,6 +16,9 @@ pub enum Event {
     WakelockReleased,
     /// A cooldown wakeup polled the sensor and read this temperature.
     CooldownPoll(Celsius),
+    /// A cooldown wakeup tried to poll the sensor but got no reading
+    /// (transient probe dropout); the loop keeps waiting.
+    CooldownPollMissed,
     /// Cooldown target reached; workload begins.
     WorkloadStarted,
     /// Cooldown gave up; workload begins warm.
@@ -24,12 +27,28 @@ pub enum Event {
     WorkloadEnded,
 }
 
+impl pv_json::ToJson for Event {
+    /// Unit variants render as their name, `CooldownPoll` as a
+    /// single-entry object tagging the polled temperature.
+    fn to_json(&self) -> pv_json::Json {
+        match self {
+            Event::CooldownPoll(t) => {
+                let mut obj = pv_json::Json::object();
+                obj.insert("CooldownPoll", pv_json::ToJson::to_json(t));
+                obj
+            }
+            other => pv_json::Json::String(format!("{other:?}")),
+        }
+    }
+}
+
 impl fmt::Display for Event {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Event::WakelockAcquired => write!(f, "wakelock acquired, warmup start"),
             Event::WakelockReleased => write!(f, "wakelock released, cooldown start"),
             Event::CooldownPoll(t) => write!(f, "cooldown poll: {t:.1}"),
+            Event::CooldownPollMissed => write!(f, "cooldown poll missed (sensor dropout)"),
             Event::WorkloadStarted => write!(f, "workload start"),
             Event::CooldownTimedOut => write!(f, "cooldown timed out"),
             Event::WorkloadEnded => write!(f, "workload end"),
@@ -38,7 +57,7 @@ impl fmt::Display for Event {
 }
 
 /// Result of one ACCUBENCH iteration (warmup → cooldown → workload).
-#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Iteration {
     /// π-loop iterations completed during the workload window — the paper's
     /// performance metric.
@@ -58,6 +77,11 @@ pub struct Iteration {
     pub peak_temp: Celsius,
     /// Fraction of workload time any throttle was engaged.
     pub throttled_fraction: f64,
+    /// Fraction of workload time the ambient was inside its acceptance band
+    /// (1.0 under an idealised fixed ambient). The paper's methodology is
+    /// only valid while the chamber holds its band; quality gates reject
+    /// iterations measured during excursions.
+    pub band_occupancy: f64,
     /// Full per-step trace of the whole iteration (empty unless the protocol
     /// enabled tracing).
     pub full_trace: Trace,
@@ -96,13 +120,83 @@ impl fmt::Display for Iteration {
     }
 }
 
+/// How much a finished session can be trusted.
+///
+/// Produced by the harness's quality gates: a session that lost iterations
+/// to faults, timed out a cooldown, measured through a chamber excursion,
+/// or spread beyond the RSD ceiling is flagged rather than silently mixed
+/// into clean data — the paper's "strict filters" applied at the source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Verdict {
+    /// Every requested iteration completed cleanly and all gates passed.
+    #[default]
+    Valid,
+    /// Usable but impaired: some iterations were quarantined, a cooldown
+    /// timed out, the chamber left its band, or the spread exceeds the RSD
+    /// ceiling. Downstream consumers should weigh it accordingly.
+    Degraded,
+    /// Too few valid iterations survived to trust any summary statistic.
+    Invalid,
+}
+
+impl Verdict {
+    /// Stable lowercase name (used in JSON and reports).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Verdict::Valid => "valid",
+            Verdict::Degraded => "degraded",
+            Verdict::Invalid => "invalid",
+        }
+    }
+}
+
+impl fmt::Display for Verdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.as_str())
+    }
+}
+
+impl pv_json::ToJson for Verdict {
+    fn to_json(&self) -> pv_json::Json {
+        pv_json::Json::String(self.as_str().to_owned())
+    }
+}
+
+/// Record of an iteration slot that was abandoned after exhausting its
+/// retry budget. Quarantined slots never contribute to session summaries —
+/// they are kept only so reports can account for every requested iteration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuarantinedIteration {
+    /// Zero-based index of the iteration slot that was abandoned.
+    pub index: usize,
+    /// How many attempts were made before giving up.
+    pub attempts: u32,
+    /// Human-readable description of the last failure.
+    pub reason: String,
+}
+
+impl fmt::Display for QuarantinedIteration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "#{} quarantined after {} attempts: {}",
+            self.index, self.attempts, self.reason
+        )
+    }
+}
+
 /// A back-to-back sequence of iterations on one device (the paper ran 5).
-#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Session {
     /// Label of the device measured.
     pub device_label: String,
-    /// The iterations, in run order.
+    /// The iterations that completed, in run order. Quarantined slots are
+    /// *not* here — summaries never see them.
     pub iterations: Vec<Iteration>,
+    /// Iteration slots abandoned after exhausting their retry budget.
+    pub quarantined: Vec<QuarantinedIteration>,
+    /// The quality-gate verdict for the whole session.
+    pub verdict: Verdict,
 }
 
 impl Session {
@@ -143,22 +237,57 @@ impl Session {
     pub fn any_cooldown_timed_out(&self) -> bool {
         self.iterations.iter().any(|i| i.cooldown_timed_out)
     }
+
+    /// Iteration slots that were requested but abandoned to faults.
+    pub fn quarantined_count(&self) -> usize {
+        self.quarantined.len()
+    }
 }
 
 impl fmt::Display for Session {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
-            "session [{}]: {} iterations",
+            "session [{}]: {} iterations, {}",
             self.device_label,
-            self.iterations.len()
+            self.iterations.len(),
+            self.verdict
         )?;
         for (i, it) in self.iterations.iter().enumerate() {
             writeln!(f, "  #{i}: {it}")?;
         }
+        for q in &self.quarantined {
+            writeln!(f, "  {q}")?;
+        }
         Ok(())
     }
 }
+
+pv_json::impl_to_json!(Iteration {
+    iterations_completed,
+    energy,
+    cooldown_duration,
+    cooldown_timed_out,
+    workload_mean_freqs,
+    workload_mean_temp,
+    peak_temp,
+    throttled_fraction,
+    band_occupancy,
+    full_trace,
+    workload_trace,
+    events
+});
+pv_json::impl_to_json!(QuarantinedIteration {
+    index,
+    attempts,
+    reason
+});
+pv_json::impl_to_json!(Session {
+    device_label,
+    iterations,
+    quarantined,
+    verdict
+});
 
 #[cfg(test)]
 mod tests {
@@ -174,6 +303,7 @@ mod tests {
             workload_mean_temp: Celsius(60.0),
             peak_temp: Celsius(78.0),
             throttled_fraction: 0.4,
+            band_occupancy: 1.0,
             full_trace: Trace::new(),
             workload_trace: Trace::new(),
             events: Vec::new(),
@@ -197,6 +327,8 @@ mod tests {
                 iteration(1010.0, 505.0),
                 iteration(990.0, 495.0),
             ],
+            quarantined: Vec::new(),
+            verdict: Verdict::Valid,
         };
         let perf = s.performance_summary().unwrap();
         assert!((perf.mean() - 1000.0).abs() < 1e-9);
@@ -213,6 +345,8 @@ mod tests {
         let s = Session {
             device_label: "x".into(),
             iterations: vec![],
+            quarantined: Vec::new(),
+            verdict: Verdict::Invalid,
         };
         assert!(s.performance_summary().is_err());
         assert!(s.energy_summary().is_err());
@@ -226,6 +360,8 @@ mod tests {
         let s = Session {
             device_label: "x".into(),
             iterations: vec![it],
+            quarantined: Vec::new(),
+            verdict: Verdict::Degraded,
         };
         assert!(s.any_cooldown_timed_out());
         assert!(format!("{s}").contains("timed out"));
@@ -245,7 +381,46 @@ mod tests {
         let s = Session {
             device_label: "bin-3".into(),
             iterations: vec![it],
+            quarantined: Vec::new(),
+            verdict: Verdict::Valid,
         };
         assert!(format!("{s}").contains("bin-3"));
+        assert!(format!("{s}").contains("valid"));
+    }
+
+    #[test]
+    fn verdict_names_and_json() {
+        use pv_json::ToJson;
+        assert_eq!(Verdict::Valid.as_str(), "valid");
+        assert_eq!(Verdict::Degraded.as_str(), "degraded");
+        assert_eq!(Verdict::Invalid.as_str(), "invalid");
+        assert_eq!(Verdict::default(), Verdict::Valid);
+        assert_eq!(
+            Verdict::Degraded.to_json().to_string_compact(),
+            "\"degraded\""
+        );
+    }
+
+    #[test]
+    fn quarantined_slots_render_and_serialize() {
+        use pv_json::ToJson;
+        let q = QuarantinedIteration {
+            index: 2,
+            attempts: 3,
+            reason: "chamber: controller stalled".into(),
+        };
+        assert!(format!("{q}").contains("#2"));
+        assert!(format!("{q}").contains("3 attempts"));
+        let s = Session {
+            device_label: "x".into(),
+            iterations: vec![iteration(10.0, 5.0)],
+            quarantined: vec![q],
+            verdict: Verdict::Degraded,
+        };
+        assert_eq!(s.quarantined_count(), 1);
+        let json = s.to_json().to_string_compact();
+        assert!(json.contains("\"quarantined\""));
+        assert!(json.contains("\"verdict\":\"degraded\""));
+        assert!(format!("{s}").contains("quarantined after"));
     }
 }

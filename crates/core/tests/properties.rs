@@ -1,60 +1,90 @@
-//! Property-based tests for the measurement-core invariants.
+//! Property-style tests for the measurement-core invariants, swept over
+//! seeded random samples (deterministic across runs).
 
 use accubench::crowd::{CrowdDatabase, CrowdScore};
 use accubench::protocol::{CooldownTarget, Protocol};
 use accubench::report::TextTable;
-use proptest::prelude::*;
+use pv_rng::{Rng, SeedableRng, StdRng};
 use pv_units::{Celsius, MegaHertz, Seconds, TempDelta};
 
-proptest! {
-    #[test]
-    fn scaled_protocols_stay_valid(scale in 0.01..1.0f64, freq in 100.0..3000.0f64) {
-        for base in [Protocol::unconstrained(), Protocol::fixed_frequency(MegaHertz(freq))] {
+const CASES: usize = 200;
+
+fn word(rng: &mut StdRng) -> String {
+    const CHARS: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789";
+    let n = rng.gen_range(1..13usize);
+    (0..n)
+        .map(|_| CHARS[rng.gen_range(0..CHARS.len())] as char)
+        .collect()
+}
+
+#[test]
+fn scaled_protocols_stay_valid() {
+    let mut rng = StdRng::seed_from_u64(601);
+    for _ in 0..CASES {
+        let scale = rng.gen_range(0.01..1.0);
+        let freq = rng.gen_range(100.0..3000.0);
+        for base in [
+            Protocol::unconstrained(),
+            Protocol::fixed_frequency(MegaHertz(freq)),
+        ] {
             let p = base
                 .with_warmup(Seconds(base.warmup.value() * scale))
                 .with_workload(Seconds(base.workload.value() * scale));
-            prop_assert!(p.validate().is_ok());
-            prop_assert!(p.warmup.value() <= base.warmup.value());
+            assert!(p.validate().is_ok());
+            assert!(p.warmup.value() <= base.warmup.value());
         }
     }
+}
 
-    #[test]
-    fn cooldown_target_resolution_is_consistent(ambient in -10.0..50.0f64, margin in 0.1..20.0f64) {
+#[test]
+fn cooldown_target_resolution_is_consistent() {
+    let mut rng = StdRng::seed_from_u64(602);
+    for _ in 0..CASES {
+        let ambient = rng.gen_range(-10.0..50.0);
+        let margin = rng.gen_range(0.1..20.0);
         let rel = CooldownTarget::AboveAmbient(TempDelta(margin));
         let resolved = rel.resolve(Celsius(ambient));
-        prop_assert!((resolved.value() - ambient - margin).abs() < 1e-12);
+        assert!((resolved.value() - ambient - margin).abs() < 1e-12);
         let abs = CooldownTarget::Absolute(Celsius(32.0));
-        prop_assert_eq!(abs.resolve(Celsius(ambient)), Celsius(32.0));
+        assert_eq!(abs.resolve(Celsius(ambient)), Celsius(32.0));
     }
+}
 
-    #[test]
-    fn text_table_always_renders_every_row(
-        rows in proptest::collection::vec(
-            proptest::collection::vec("[a-z0-9]{1,12}", 1..5),
-            0..20,
-        ),
-    ) {
+#[test]
+fn text_table_always_renders_every_row() {
+    let mut rng = StdRng::seed_from_u64(603);
+    for _ in 0..CASES {
+        let n_rows = rng.gen_range(0..20usize);
+        let rows: Vec<Vec<String>> = (0..n_rows)
+            .map(|_| {
+                let cols = rng.gen_range(1..5usize);
+                (0..cols).map(|_| word(&mut rng)).collect()
+            })
+            .collect();
         let mut t = TextTable::new(vec!["c1", "c2", "c3"]);
         for row in &rows {
             t.row(row.clone());
         }
         let rendered = t.to_string();
-        prop_assert_eq!(t.len(), rows.len());
+        assert_eq!(t.len(), rows.len());
         // Header + separator + one line per row.
-        prop_assert_eq!(rendered.lines().count(), 2 + rows.len());
+        assert_eq!(rendered.lines().count(), 2 + rows.len());
         for row in &rows {
             if let Some(first) = row.first() {
-                prop_assert!(rendered.contains(first.as_str()));
+                assert!(rendered.contains(first.as_str()));
             }
         }
     }
+}
 
-    #[test]
-    fn crowd_percentiles_are_monotone_and_bounded(
-        scores in proptest::collection::vec(1.0..1000.0f64, 2..30),
-        probe1 in 1.0..1000.0f64,
-        probe2 in 1.0..1000.0f64,
-    ) {
+#[test]
+fn crowd_percentiles_are_monotone_and_bounded() {
+    let mut rng = StdRng::seed_from_u64(604);
+    for _ in 0..CASES {
+        let n = rng.gen_range(2..30usize);
+        let scores: Vec<f64> = (0..n).map(|_| rng.gen_range(1.0..1000.0)).collect();
+        let probe1 = rng.gen_range(1.0..1000.0);
+        let probe2 = rng.gen_range(1.0..1000.0);
         let mut db = CrowdDatabase::new(5.0).unwrap();
         for (i, &s) in scores.iter().enumerate() {
             db.submit(CrowdScore {
@@ -64,22 +94,29 @@ proptest! {
                 rsd: 0.5,
             });
         }
-        let (lo, hi) = if probe1 <= probe2 { (probe1, probe2) } else { (probe2, probe1) };
+        let (lo, hi) = if probe1 <= probe2 {
+            (probe1, probe2)
+        } else {
+            (probe2, probe1)
+        };
         let p_lo = db.percentile("M", lo).unwrap();
         let p_hi = db.percentile("M", hi).unwrap();
-        prop_assert!(p_lo <= p_hi);
-        prop_assert!((0.0..=100.0).contains(&p_lo));
-        prop_assert!((0.0..=100.0).contains(&p_hi));
+        assert!(p_lo <= p_hi);
+        assert!((0.0..=100.0).contains(&p_lo));
+        assert!((0.0..=100.0).contains(&p_hi));
         // Spread is non-negative and matches the summary definition.
         let spread = db.model_spread_percent("M").unwrap();
-        prop_assert!((0.0..100.0).contains(&spread));
+        assert!((0.0..100.0).contains(&spread));
     }
+}
 
-    #[test]
-    fn crowd_filter_never_admits_above_threshold(
-        rsds in proptest::collection::vec(0.0..10.0f64, 1..40),
-        threshold in 0.5..5.0f64,
-    ) {
+#[test]
+fn crowd_filter_never_admits_above_threshold() {
+    let mut rng = StdRng::seed_from_u64(605);
+    for _ in 0..CASES {
+        let n = rng.gen_range(1..40usize);
+        let rsds: Vec<f64> = (0..n).map(|_| rng.gen_range(0.0..10.0)).collect();
+        let threshold = rng.gen_range(0.5..5.0);
         let mut db = CrowdDatabase::new(threshold).unwrap();
         for (i, &rsd) in rsds.iter().enumerate() {
             db.submit(CrowdScore {
@@ -90,10 +127,10 @@ proptest! {
             });
         }
         for s in db.scores() {
-            prop_assert!(s.rsd <= threshold);
+            assert!(s.rsd <= threshold);
         }
         let expected_admitted = rsds.iter().filter(|&&r| r <= threshold).count();
-        prop_assert_eq!(db.scores().len(), expected_admitted);
-        prop_assert_eq!(db.rejected(), rsds.len() - expected_admitted);
+        assert_eq!(db.scores().len(), expected_admitted);
+        assert_eq!(db.rejected(), rsds.len() - expected_admitted);
     }
 }

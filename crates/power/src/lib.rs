@@ -37,7 +37,7 @@ pub mod battery;
 pub mod meter;
 
 pub use battery::Battery;
-pub use meter::EnergyMeter;
+pub use meter::{EnergyMeter, FaultyMeter};
 
 use core::fmt;
 use pv_units::{Amperes, Joules, Seconds, Volts, Watts};
@@ -56,6 +56,9 @@ pub enum PowerError {
     },
     /// The battery is exhausted.
     BatteryEmpty,
+    /// The energy meter dropped off the measurement bus (injected fault).
+    /// Transient: reconnects when the fault window passes.
+    MeterDisconnected,
 }
 
 impl fmt::Display for PowerError {
@@ -67,6 +70,9 @@ impl fmt::Display for PowerError {
                 available,
             } => write!(f, "load of {requested:.3} exceeds available {available:.3}"),
             PowerError::BatteryEmpty => write!(f, "battery is empty"),
+            PowerError::MeterDisconnected => {
+                write!(f, "energy meter disconnected from the measurement bus")
+            }
         }
     }
 }

@@ -7,6 +7,7 @@
 
 use crate::PowerError;
 use core::fmt;
+use pv_faults::{FaultHandle, FaultKind};
 use pv_units::{Joules, Seconds, Watts};
 
 /// Integrates power samples into energy over a measurement window.
@@ -93,6 +94,106 @@ impl EnergyMeter {
     }
 }
 
+/// An [`EnergyMeter`] recorded through a fault-injection gate.
+///
+/// With a disarmed [`FaultHandle`] (the default) every record is a plain
+/// pass-through and the accumulated statistics are bit-identical to the
+/// inner meter's. With an armed handle, three meter fault kinds apply at
+/// record time:
+///
+/// * [`FaultKind::MeterDisconnect`] — records fail with
+///   [`PowerError::MeterDisconnected`] while the fault window is active.
+/// * [`FaultKind::MeterMissedSample`] — the sample is silently dropped
+///   (energy and time are simply not accumulated, as when a real meter's
+///   USB buffer overruns).
+/// * [`FaultKind::MeterGainDrift`] — recorded power is scaled by
+///   `1 + magnitude` (multiplicative calibration error).
+#[derive(Debug, Clone, Default)]
+pub struct FaultyMeter {
+    inner: EnergyMeter,
+    faults: FaultHandle,
+}
+
+impl FaultyMeter {
+    /// Creates a zeroed meter gated on `faults`.
+    pub fn new(faults: FaultHandle) -> Self {
+        Self {
+            inner: EnergyMeter::new(),
+            faults,
+        }
+    }
+
+    /// Records that the load drew `power` for `dt`, subject to active
+    /// meter faults.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PowerError::MeterDisconnected`] while a disconnect window
+    /// is active, and propagates [`EnergyMeter::record`] validation errors.
+    pub fn record(&mut self, power: Watts, dt: Seconds) -> Result<(), PowerError> {
+        if let Some(e) = self.faults.active(FaultKind::MeterDisconnect) {
+            self.faults
+                .report_once(&e, "meter disconnected; sample lost");
+            return Err(PowerError::MeterDisconnected);
+        }
+        if let Some(e) = self.faults.active(FaultKind::MeterMissedSample) {
+            self.faults
+                .report_once(&e, "meter missed samples (buffer overrun)");
+            return Ok(());
+        }
+        let mut power = power;
+        if let Some(e) = self.faults.active(FaultKind::MeterGainDrift) {
+            power = Watts(power.value() * (1.0 + e.magnitude));
+            self.faults.report_once(
+                &e,
+                format!("meter gain drifted by {:+.1}%", e.magnitude * 100.0),
+            );
+        }
+        self.inner.record(power, dt)
+    }
+
+    /// Total energy accumulated.
+    pub fn energy(&self) -> Joules {
+        self.inner.energy()
+    }
+
+    /// Total time accumulated.
+    pub fn elapsed(&self) -> Seconds {
+        self.inner.elapsed()
+    }
+
+    /// Mean power over the window; `None` before any sample.
+    pub fn average_power(&self) -> Option<Watts> {
+        self.inner.average_power()
+    }
+
+    /// Highest instantaneous power recorded.
+    pub fn peak_power(&self) -> Watts {
+        self.inner.peak_power()
+    }
+
+    /// Number of samples recorded.
+    pub fn samples(&self) -> u64 {
+        self.inner.samples()
+    }
+
+    /// Zeroes the meter for the next measurement window. The fault handle
+    /// (and its clock) is untouched.
+    pub fn reset(&mut self) {
+        self.inner.reset();
+    }
+
+    /// Shared view of the meter's fault handle.
+    pub fn faults(&self) -> &FaultHandle {
+        &self.faults
+    }
+
+    /// The wrapped meter's aggregate state.
+    pub fn inner(&self) -> &EnergyMeter {
+        &self.inner
+    }
+}
+
 impl fmt::Display for EnergyMeter {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
@@ -157,6 +258,66 @@ mod tests {
         assert!(m.record(Watts(1.0), Seconds(f64::NAN)).is_err());
         // Failed records leave the meter untouched.
         assert_eq!(m, EnergyMeter::new());
+    }
+
+    #[test]
+    fn disarmed_faulty_meter_matches_plain() {
+        let mut plain = EnergyMeter::new();
+        let mut gated = FaultyMeter::new(FaultHandle::disarmed());
+        for i in 1..=20 {
+            let p = Watts(f64::from(i) * 0.37);
+            plain.record(p, Seconds(0.1)).unwrap();
+            gated.record(p, Seconds(0.1)).unwrap();
+        }
+        assert_eq!(*gated.inner(), plain);
+    }
+
+    #[test]
+    fn meter_faults_apply_in_window() {
+        use pv_faults::{FaultEvent, FaultPlan};
+        let plan = FaultPlan::empty()
+            .with_event(FaultEvent {
+                at: 1.0,
+                duration: 1.0,
+                kind: FaultKind::MeterMissedSample,
+                magnitude: 0.0,
+            })
+            .with_event(FaultEvent {
+                at: 3.0,
+                duration: 1.0,
+                kind: FaultKind::MeterGainDrift,
+                magnitude: 0.5,
+            })
+            .with_event(FaultEvent {
+                at: 5.0,
+                duration: 1.0,
+                kind: FaultKind::MeterDisconnect,
+                magnitude: 0.0,
+            });
+        let handle = FaultHandle::armed(plan);
+        let mut m = FaultyMeter::new(handle.clone());
+        // t = 0: clean sample.
+        m.record(Watts(2.0), Seconds(1.0)).unwrap();
+        // t = 1: missed sample — accepted but not accumulated.
+        handle.advance(1.0);
+        m.record(Watts(2.0), Seconds(1.0)).unwrap();
+        assert_eq!(m.samples(), 1);
+        assert_eq!(m.energy(), Joules(2.0));
+        // t = 3: gain drift scales recorded power by 1.5.
+        handle.advance(2.0);
+        m.record(Watts(2.0), Seconds(1.0)).unwrap();
+        assert_eq!(m.energy(), Joules(2.0 + 3.0));
+        // t = 5: disconnected.
+        handle.advance(2.0);
+        assert_eq!(
+            m.record(Watts(2.0), Seconds(1.0)),
+            Err(PowerError::MeterDisconnected)
+        );
+        // t = 7: window passed; clean again.
+        handle.advance(2.0);
+        m.record(Watts(2.0), Seconds(1.0)).unwrap();
+        assert_eq!(m.energy(), Joules(7.0));
+        assert_eq!(handle.report_count(), 3);
     }
 
     #[test]

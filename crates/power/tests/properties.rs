@@ -1,60 +1,81 @@
-//! Property-based tests for power-delivery invariants.
+//! Property-style tests for power-delivery invariants, swept over seeded
+//! random samples (deterministic across runs).
 
-use proptest::prelude::*;
 use pv_power::{Battery, EnergyMeter, Monsoon, PowerSupply};
+use pv_rng::{Rng, SeedableRng, StdRng};
 use pv_units::{Joules, Seconds, Volts, Watts};
 
-proptest! {
-    #[test]
-    fn monsoon_energy_equals_sum_of_draws(
-        voltage in 3.0..5.0f64,
-        draws in proptest::collection::vec((0.0..10.0f64, 0.01..10.0f64), 1..50),
-    ) {
+const CASES: usize = 200;
+
+#[test]
+fn monsoon_energy_equals_sum_of_draws() {
+    let mut rng = StdRng::seed_from_u64(201);
+    for _ in 0..CASES {
+        let voltage = rng.gen_range(3.0..5.0);
+        let n = rng.gen_range(1..50usize);
+        let draws: Vec<(f64, f64)> = (0..n)
+            .map(|_| (rng.gen_range(0.0..10.0), rng.gen_range(0.01..10.0)))
+            .collect();
         let mut m = Monsoon::new(Volts(voltage)).unwrap();
         let mut expected = 0.0;
         for &(p, dt) in &draws {
             m.draw(Watts(p), Seconds(dt)).unwrap();
             expected += p * dt;
         }
-        prop_assert!((m.energy_delivered().value() - expected).abs() < 1e-9 * expected.max(1.0));
-        prop_assert_eq!(m.samples(), draws.len() as u64);
+        assert!((m.energy_delivered().value() - expected).abs() < 1e-9 * expected.max(1.0));
+        assert_eq!(m.samples(), draws.len() as u64);
         // Terminal voltage never sags.
-        prop_assert_eq!(m.terminal_voltage(Watts(100.0)), Volts(voltage));
+        assert_eq!(m.terminal_voltage(Watts(100.0)), Volts(voltage));
     }
+}
 
-    #[test]
-    fn battery_voltage_is_monotone_in_soc(
-        soc1 in 0.0..1.0f64,
-        soc2 in 0.0..1.0f64,
-        load in 0.0..3.0f64,
-    ) {
-        let (lo, hi) = if soc1 <= soc2 { (soc1, soc2) } else { (soc2, soc1) };
+#[test]
+fn battery_voltage_is_monotone_in_soc() {
+    let mut rng = StdRng::seed_from_u64(202);
+    for _ in 0..CASES {
+        let soc1 = rng.gen_range(0.0..1.0);
+        let soc2 = rng.gen_range(0.0..1.0);
+        let load = rng.gen_range(0.0..3.0);
+        let (lo, hi) = if soc1 <= soc2 {
+            (soc1, soc2)
+        } else {
+            (soc2, soc1)
+        };
         let a = Battery::new(Joules(40_000.0), 0.08, lo).unwrap();
         let b = Battery::new(Joules(40_000.0), 0.08, hi).unwrap();
-        prop_assert!(b.ocv() >= a.ocv());
-        prop_assert!(b.terminal_voltage(Watts(load)).value() >= a.terminal_voltage(Watts(load)).value() - 1e-12);
+        assert!(b.ocv() >= a.ocv());
+        assert!(
+            b.terminal_voltage(Watts(load)).value()
+                >= a.terminal_voltage(Watts(load)).value() - 1e-12
+        );
     }
+}
 
-    #[test]
-    fn battery_sag_is_monotone_in_load(
-        soc in 0.1..1.0f64,
-        l1 in 0.0..5.0f64,
-        l2 in 0.0..5.0f64,
-    ) {
+#[test]
+fn battery_sag_is_monotone_in_load() {
+    let mut rng = StdRng::seed_from_u64(203);
+    for _ in 0..CASES {
+        let soc = rng.gen_range(0.1..1.0);
+        let l1 = rng.gen_range(0.0..5.0);
+        let l2 = rng.gen_range(0.0..5.0);
         let b = Battery::new(Joules(40_000.0), 0.08, soc).unwrap();
         let (lo, hi) = if l1 <= l2 { (l1, l2) } else { (l2, l1) };
-        prop_assert!(b.terminal_voltage(Watts(hi)).value() <= b.terminal_voltage(Watts(lo)).value() + 1e-12);
+        assert!(
+            b.terminal_voltage(Watts(hi)).value() <= b.terminal_voltage(Watts(lo)).value() + 1e-12
+        );
         // Never above OCV, never below OCV/2.
-        prop_assert!(b.terminal_voltage(Watts(hi)) <= b.ocv());
-        prop_assert!(b.terminal_voltage(Watts(hi)).value() >= b.ocv().value() / 2.0 - 1e-12);
+        assert!(b.terminal_voltage(Watts(hi)) <= b.ocv());
+        assert!(b.terminal_voltage(Watts(hi)).value() >= b.ocv().value() / 2.0 - 1e-12);
     }
+}
 
-    #[test]
-    fn battery_cell_drain_at_least_energy_delivered(
-        soc in 0.5..1.0f64,
-        power in 0.1..4.0f64,
-        dt in 0.1..30.0f64,
-    ) {
+#[test]
+fn battery_cell_drain_at_least_energy_delivered() {
+    let mut rng = StdRng::seed_from_u64(204);
+    for _ in 0..CASES {
+        let soc = rng.gen_range(0.5..1.0);
+        let power = rng.gen_range(0.1..4.0);
+        let dt = rng.gen_range(0.1..30.0);
         let capacity = 40_000.0;
         let mut b = Battery::new(Joules(capacity), 0.08, soc).unwrap();
         let before = b.remaining().value();
@@ -62,16 +83,21 @@ proptest! {
         let drained = before - b.remaining().value();
         let delivered = power * dt;
         // I²R loss means the cell loses at least the delivered energy.
-        prop_assert!(drained >= delivered - 1e-9);
+        assert!(drained >= delivered - 1e-9);
         // And not absurdly more (losses bounded by the sag fraction).
-        prop_assert!(drained <= delivered * 1.5);
-        prop_assert!((b.energy_delivered().value() - delivered).abs() < 1e-9);
+        assert!(drained <= delivered * 1.5);
+        assert!((b.energy_delivered().value() - delivered).abs() < 1e-9);
     }
+}
 
-    #[test]
-    fn meter_matches_manual_integration(
-        records in proptest::collection::vec((0.0..20.0f64, 0.01..10.0f64), 1..60),
-    ) {
+#[test]
+fn meter_matches_manual_integration() {
+    let mut rng = StdRng::seed_from_u64(205);
+    for _ in 0..CASES {
+        let n = rng.gen_range(1..60usize);
+        let records: Vec<(f64, f64)> = (0..n)
+            .map(|_| (rng.gen_range(0.0..20.0), rng.gen_range(0.01..10.0)))
+            .collect();
         let mut meter = EnergyMeter::new();
         let mut energy = 0.0;
         let mut time = 0.0;
@@ -82,10 +108,10 @@ proptest! {
             time += dt;
             peak = peak.max(p);
         }
-        prop_assert!((meter.energy().value() - energy).abs() < 1e-9 * energy.max(1.0));
-        prop_assert!((meter.elapsed().value() - time).abs() < 1e-9 * time.max(1.0));
-        prop_assert!((meter.peak_power().value() - peak).abs() < 1e-12);
+        assert!((meter.energy().value() - energy).abs() < 1e-9 * energy.max(1.0));
+        assert!((meter.elapsed().value() - time).abs() < 1e-9 * time.max(1.0));
+        assert!((meter.peak_power().value() - peak).abs() < 1e-12);
         let avg = meter.average_power().unwrap().value();
-        prop_assert!((avg - energy / time).abs() < 1e-9 * (energy / time).max(1.0));
+        assert!((avg - energy / time).abs() < 1e-9 * (energy / time).max(1.0));
     }
 }

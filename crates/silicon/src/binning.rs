@@ -22,19 +22,7 @@ use pv_units::{MegaHertz, MilliVolts, Volts};
 
 /// Identifier of a voltage/speed bin. Bin 0 holds the slowest silicon
 /// (highest voltage); higher bins hold faster, leakier silicon.
-#[derive(
-    Debug,
-    Clone,
-    Copy,
-    PartialEq,
-    Eq,
-    PartialOrd,
-    Ord,
-    Hash,
-    Default,
-    serde::Serialize,
-    serde::Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct BinId(pub u8);
 
 impl BinId {
@@ -51,7 +39,7 @@ impl fmt::Display for BinId {
 }
 
 /// One operating point: a frequency and the supply voltage trimmed for it.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct VfPoint {
     /// Operating frequency.
     pub freq: MegaHertz,
@@ -70,7 +58,7 @@ pub struct VfPoint {
 /// assert_eq!(t.max_freq().value(), 2265.0);
 /// assert_eq!(t.voltage_for(pv_units::MegaHertz(2265.0)).unwrap().value(), 1100);
 /// ```
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct VfTable {
     points: Vec<VfPoint>,
 }
@@ -382,6 +370,27 @@ pub mod nexus5 {
             return Err(SiliconError::InvalidParameter("Nexus 5 bin out of range"));
         }
         Ok((f64::from(bin.index()) + 0.5) / f64::from(N_BINS))
+    }
+}
+
+pv_json::impl_to_json!(VfPoint { freq, voltage });
+pv_json::impl_to_json!(VfTable { points });
+
+impl pv_json::ToJson for BinId {
+    /// Bin ids serialize as transparent numbers.
+    fn to_json(&self) -> pv_json::Json {
+        pv_json::Json::Number(f64::from(self.0))
+    }
+}
+
+impl pv_json::FromJson for BinId {
+    fn from_json(value: &pv_json::Json) -> Option<Self> {
+        let n = value.as_f64()?;
+        if n.is_finite() && (0.0..=f64::from(u8::MAX)).contains(&n) && n.fract() == 0.0 {
+            Some(Self(n as u8))
+        } else {
+            None
+        }
     }
 }
 

@@ -38,8 +38,8 @@ pub mod population;
 pub mod power;
 
 use core::fmt;
+use pv_rng::Rng;
 use pv_stats::dist::normal_quantile;
-use rand::Rng;
 
 /// Error type for invalid silicon-model inputs.
 #[derive(Debug, Clone, PartialEq)]
@@ -75,7 +75,7 @@ impl std::error::Error for SiliconError {}
 /// spread but FinFET-era leakage coupling is still significant — matching
 /// the paper's finding that variation shrank from ~20 % (28 nm SD-800) to
 /// ~5–10 % (14 nm SD-820/821) but never vanished.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ProcessNode {
     name: &'static str,
     feature_nm: f64,
@@ -203,7 +203,7 @@ impl fmt::Display for ProcessNode {
 /// * **leakage_multiplier** — multiplicative static-power factor relative to
 ///   the nominal die. Correlated with grade: fast transistors (short
 ///   channels, low V<sub>th</sub>) leak exponentially more.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DieSample {
     node: ProcessNode,
     grade: f64,
@@ -303,11 +303,25 @@ impl fmt::Display for DieSample {
     }
 }
 
+pv_json::impl_to_json!(ProcessNode {
+    name,
+    feature_nm,
+    sigma_speed,
+    leak_coupling,
+    sigma_leak_residual
+});
+pv_json::impl_to_json!(DieSample {
+    node,
+    grade,
+    speed_factor,
+    leakage_multiplier
+});
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use pv_rng::rngs::StdRng;
+    use pv_rng::SeedableRng;
 
     #[test]
     fn median_die_is_nominal() {

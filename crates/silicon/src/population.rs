@@ -7,8 +7,8 @@
 
 use crate::binning::{assign_bin, BinId};
 use crate::{DieSample, ProcessNode, SiliconError};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use pv_rng::rngs::StdRng;
+use pv_rng::SeedableRng;
 
 /// A population of dies manufactured on one process.
 ///

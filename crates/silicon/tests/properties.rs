@@ -1,100 +1,133 @@
-//! Property-based tests for silicon-model invariants.
+//! Property-style tests for silicon-model invariants, swept over seeded
+//! random samples (deterministic across runs).
 
-use proptest::prelude::*;
+use pv_rng::{Rng, SeedableRng, StdRng};
 use pv_silicon::binning::{assign_bin, nexus5, voltage_bin_table, BinId};
 use pv_silicon::power::PowerParams;
 use pv_silicon::{DieSample, ProcessNode};
 use pv_units::{Celsius, MegaHertz, Volts, Watts};
 
-fn grade() -> impl Strategy<Value = f64> {
-    0.001..0.999f64
+const CASES: usize = 200;
+
+fn grade(rng: &mut StdRng) -> f64 {
+    rng.gen_range(0.001..0.999)
 }
 
-fn any_node() -> impl Strategy<Value = ProcessNode> {
-    prop_oneof![
-        Just(ProcessNode::PLANAR_28NM),
-        Just(ProcessNode::PLANAR_20NM),
-        Just(ProcessNode::FINFET_14NM),
-    ]
+fn any_node(rng: &mut StdRng) -> ProcessNode {
+    [
+        ProcessNode::PLANAR_28NM,
+        ProcessNode::PLANAR_20NM,
+        ProcessNode::FINFET_14NM,
+    ][rng.gen_range(0..3usize)]
 }
 
 fn params() -> PowerParams {
     PowerParams::new(0.45e-9, Watts(0.12), Volts(0.9), Celsius(26.0), 2.0, 0.025).unwrap()
 }
 
-proptest! {
-    #[test]
-    fn speed_and_leakage_are_monotone_in_grade(node in any_node(), g1 in grade(), g2 in grade()) {
+#[test]
+fn speed_and_leakage_are_monotone_in_grade() {
+    let mut rng = StdRng::seed_from_u64(301);
+    for _ in 0..CASES {
+        let node = any_node(&mut rng);
+        let g1 = grade(&mut rng);
+        let g2 = grade(&mut rng);
         let (lo, hi) = if g1 <= g2 { (g1, g2) } else { (g2, g1) };
         let slow = DieSample::from_grade(node, lo).unwrap();
         let fast = DieSample::from_grade(node, hi).unwrap();
-        prop_assert!(fast.speed_factor() >= slow.speed_factor());
-        prop_assert!(fast.leakage_multiplier() >= slow.leakage_multiplier());
+        assert!(fast.speed_factor() >= slow.speed_factor());
+        assert!(fast.leakage_multiplier() >= slow.leakage_multiplier());
     }
+}
 
-    #[test]
-    fn speed_factor_stays_physical(node in any_node(), g in grade()) {
-        let die = DieSample::from_grade(node, g).unwrap();
+#[test]
+fn speed_factor_stays_physical() {
+    let mut rng = StdRng::seed_from_u64(302);
+    for _ in 0..CASES {
+        let node = any_node(&mut rng);
+        let die = DieSample::from_grade(node, grade(&mut rng)).unwrap();
         // Within ±6 sigma of a small fractional spread, speed stays positive
         // and within a plausible envelope.
-        prop_assert!(die.speed_factor() > 0.5 && die.speed_factor() < 1.5);
-        prop_assert!(die.leakage_multiplier() > 0.0);
-        prop_assert!(die.leakage_multiplier().is_finite());
+        assert!(die.speed_factor() > 0.5 && die.speed_factor() < 1.5);
+        assert!(die.leakage_multiplier() > 0.0);
+        assert!(die.leakage_multiplier().is_finite());
     }
+}
 
-    #[test]
-    fn bin_assignment_matches_grade_quantile(g in grade(), n_bins in 1u8..12) {
+#[test]
+fn bin_assignment_matches_grade_quantile() {
+    let mut rng = StdRng::seed_from_u64(303);
+    for _ in 0..CASES {
+        let g = grade(&mut rng);
+        let n_bins = rng.gen_range(1..12u32) as u8;
         let die = DieSample::from_grade(ProcessNode::PLANAR_28NM, g).unwrap();
         let bin = assign_bin(&die, n_bins).unwrap();
         let expected = ((g * f64::from(n_bins)).floor() as u8).min(n_bins - 1);
-        prop_assert_eq!(bin, BinId(expected));
+        assert_eq!(bin, BinId(expected));
     }
+}
 
-    #[test]
-    fn generated_vf_tables_stay_between_extremes(g in grade()) {
+#[test]
+fn generated_vf_tables_stay_between_extremes() {
+    let mut rng = StdRng::seed_from_u64(304);
+    for _ in 0..CASES {
+        let g = grade(&mut rng);
         let slow = nexus5::reference_table(BinId(0)).unwrap();
         let fast = nexus5::reference_table(BinId(6)).unwrap();
         let die = DieSample::from_grade(ProcessNode::PLANAR_28NM, g).unwrap();
         let t = voltage_bin_table(&slow, &fast, &die).unwrap();
         for f in nexus5::FREQS_MHZ {
             let v = t.voltage_for(MegaHertz(f)).unwrap();
-            prop_assert!(v <= slow.voltage_for(MegaHertz(f)).unwrap());
-            prop_assert!(v >= fast.voltage_for(MegaHertz(f)).unwrap());
-            prop_assert_eq!(v.value() % 5, 0);
+            assert!(v <= slow.voltage_for(MegaHertz(f)).unwrap());
+            assert!(v >= fast.voltage_for(MegaHertz(f)).unwrap());
+            assert_eq!(v.value() % 5, 0);
         }
         // Generated table keeps voltage non-decreasing with frequency.
         for w in t.points().windows(2) {
-            prop_assert!(w[1].voltage >= w[0].voltage);
+            assert!(w[1].voltage >= w[0].voltage);
         }
     }
+}
 
-    #[test]
-    fn leakage_power_monotone_in_each_argument(
-        g in grade(),
-        v in 0.7..1.2f64,
-        t in 0.0..100.0f64,
-    ) {
+#[test]
+fn leakage_power_monotone_in_each_argument() {
+    let mut rng = StdRng::seed_from_u64(305);
+    for _ in 0..CASES {
+        let g = grade(&mut rng);
+        let v = rng.gen_range(0.7..1.2);
+        let t = rng.gen_range(0.0..100.0);
         let p = params();
         let die = DieSample::from_grade(ProcessNode::PLANAR_28NM, g).unwrap();
         let base = p.leakage_power(&die, Volts(v), Celsius(t), 4.0);
         let hotter = p.leakage_power(&die, Volts(v), Celsius(t + 5.0), 4.0);
         let higher_v = p.leakage_power(&die, Volts(v + 0.05), Celsius(t), 4.0);
-        prop_assert!(hotter.value() > base.value());
-        prop_assert!(higher_v.value() > base.value());
-        prop_assert!(base.value() > 0.0);
+        assert!(hotter.value() > base.value());
+        assert!(higher_v.value() > base.value());
+        assert!(base.value() > 0.0);
     }
+}
 
-    #[test]
-    fn dynamic_power_monotone(v in 0.7..1.2f64, f in 300.0..2300.0f64, u in 0.1..4.0f64) {
+#[test]
+fn dynamic_power_monotone() {
+    let mut rng = StdRng::seed_from_u64(306);
+    for _ in 0..CASES {
+        let v = rng.gen_range(0.7..1.2);
+        let f = rng.gen_range(300.0..2300.0);
+        let u = rng.gen_range(0.1..4.0);
         let p = params();
         let base = p.dynamic_power(Volts(v), MegaHertz(f), u);
-        prop_assert!(p.dynamic_power(Volts(v + 0.01), MegaHertz(f), u) > base);
-        prop_assert!(p.dynamic_power(Volts(v), MegaHertz(f + 10.0), u) > base);
-        prop_assert!(p.dynamic_power(Volts(v), MegaHertz(f), u + 0.1) > base);
+        assert!(p.dynamic_power(Volts(v + 0.01), MegaHertz(f), u) > base);
+        assert!(p.dynamic_power(Volts(v), MegaHertz(f + 10.0), u) > base);
+        assert!(p.dynamic_power(Volts(v), MegaHertz(f), u + 0.1) > base);
     }
+}
 
-    #[test]
-    fn interpolated_voltage_is_within_table_range(g in grade(), f in 100.0..3000.0f64) {
+#[test]
+fn interpolated_voltage_is_within_table_range() {
+    let mut rng = StdRng::seed_from_u64(307);
+    for _ in 0..CASES {
+        let g = grade(&mut rng);
+        let f = rng.gen_range(100.0..3000.0);
         let slow = nexus5::reference_table(BinId(0)).unwrap();
         let fast = nexus5::reference_table(BinId(6)).unwrap();
         let die = DieSample::from_grade(ProcessNode::PLANAR_28NM, g).unwrap();
@@ -102,6 +135,6 @@ proptest! {
         let v = t.voltage_at(MegaHertz(f));
         let vmin = t.points()[0].voltage.to_volts();
         let vmax = t.points()[t.len() - 1].voltage.to_volts();
-        prop_assert!(v >= vmin && v <= vmax);
+        assert!(v >= vmin && v <= vmax);
     }
 }

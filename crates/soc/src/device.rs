@@ -419,7 +419,7 @@ impl Device {
             ],
         )?;
         let new_die_temp = self.network.temperature(self.die_node);
-        self.probe.observe(new_die_temp, dt);
+        self.probe.observe(new_die_temp, dt)?;
         self.time += dt;
 
         Ok(StepReport {
@@ -505,6 +505,81 @@ impl fmt::Display for Device {
             "{} [{}] on {} ({})",
             self.spec.model, self.label, self.spec.soc.name, self.die
         )
+    }
+}
+
+/// The device-under-test surface the session harness drives.
+///
+/// [`Device`] implements it directly (a clean, fault-free unit).
+/// [`FaultyDevice`](crate::faulty::FaultyDevice) implements it through a
+/// fault-injection gate. The harness is generic over this trait, so every
+/// experiment runs unchanged against either.
+///
+/// Unlike [`Device::read_sensor`], sensor reads here are fallible: a faulty
+/// unit's probe can transiently drop out mid-cooldown, and the harness must
+/// see that as an error it can retry rather than a bogus temperature.
+pub trait Dut {
+    /// Human-readable per-unit label.
+    fn label(&self) -> &str;
+
+    /// Current true die temperature (for traces and gates, not visible to
+    /// the simulated benchmark app).
+    fn die_temp(&self) -> Celsius;
+
+    /// Re-pins the ambient boundary (see [`Device::set_ambient`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns a wrapped [`pv_thermal::ThermalError`] for non-finite input.
+    fn set_ambient(&mut self, ambient: Celsius) -> Result<(), SocError>;
+
+    /// Reads the thermal sensor the way the benchmark app does.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SocError::Thermal`] ([`pv_thermal::ThermalError::ProbeDropout`])
+    /// when an injected dropout makes the sensor unreadable.
+    fn try_read_sensor(&mut self) -> Result<Celsius, SocError>;
+
+    /// Advances the device by `dt` (see [`Device::step`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SocError::InvalidStep`] for bad arguments, wrapped
+    /// substrate errors, or [`SocError::HotplugFlap`] when an injected flap
+    /// refuses a busy step.
+    fn step(
+        &mut self,
+        dt: Seconds,
+        demand: CpuDemand,
+        mode: FrequencyMode,
+    ) -> Result<StepReport, SocError>;
+}
+
+impl Dut for Device {
+    fn label(&self) -> &str {
+        Device::label(self)
+    }
+
+    fn die_temp(&self) -> Celsius {
+        Device::die_temp(self)
+    }
+
+    fn set_ambient(&mut self, ambient: Celsius) -> Result<(), SocError> {
+        Device::set_ambient(self, ambient)
+    }
+
+    fn try_read_sensor(&mut self) -> Result<Celsius, SocError> {
+        Ok(self.read_sensor())
+    }
+
+    fn step(
+        &mut self,
+        dt: Seconds,
+        demand: CpuDemand,
+        mode: FrequencyMode,
+    ) -> Result<StepReport, SocError> {
+        Device::step(self, dt, demand, mode)
     }
 }
 

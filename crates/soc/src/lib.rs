@@ -51,6 +51,7 @@
 
 pub mod catalog;
 pub mod device;
+pub mod faulty;
 pub mod governor;
 pub mod rbcpr;
 pub mod spec;
@@ -72,6 +73,10 @@ pub enum SocError {
     Power(pv_power::PowerError),
     /// A simulation-step argument was invalid.
     InvalidStep(&'static str),
+    /// A core flapped offline mid-step (injected hotplug fault); the busy
+    /// step could not run. Transient: idle steps still work, and busy steps
+    /// succeed once the fault window passes.
+    HotplugFlap,
 }
 
 impl fmt::Display for SocError {
@@ -82,6 +87,9 @@ impl fmt::Display for SocError {
             SocError::Thermal(e) => write!(f, "thermal model: {e}"),
             SocError::Power(e) => write!(f, "power model: {e}"),
             SocError::InvalidStep(what) => write!(f, "invalid step: {what}"),
+            SocError::HotplugFlap => {
+                write!(f, "core flapped offline mid-step (hotplug fault)")
+            }
         }
     }
 }

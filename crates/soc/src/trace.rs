@@ -10,7 +10,7 @@ use core::fmt;
 use pv_units::{Celsius, MegaHertz, Seconds, Volts, Watts};
 
 /// Telemetry from one simulation step.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TraceSample {
     /// Simulation time at the *end* of the step.
     pub t: Seconds,
@@ -35,7 +35,7 @@ pub struct TraceSample {
 }
 
 /// An append-only sequence of [`TraceSample`]s with analysis helpers.
-#[derive(Debug, Clone, PartialEq, Default, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct Trace {
     samples: Vec<TraceSample>,
 }
@@ -260,6 +260,48 @@ impl FromIterator<TraceSample> for Trace {
         Self {
             samples: iter.into_iter().collect(),
         }
+    }
+}
+
+pv_json::impl_to_json!(TraceSample {
+    t,
+    dt,
+    die_temp,
+    sensor_temp,
+    case_temp,
+    cluster_freqs,
+    active_cores,
+    supply_power,
+    supply_voltage,
+    throttled
+});
+pv_json::impl_to_json!(Trace { samples });
+
+impl pv_json::FromJson for TraceSample {
+    fn from_json(value: &pv_json::Json) -> Option<Self> {
+        fn field<T: pv_json::FromJson>(value: &pv_json::Json, key: &str) -> Option<T> {
+            T::from_json(value.get(key)?)
+        }
+        Some(Self {
+            t: field(value, "t")?,
+            dt: field(value, "dt")?,
+            die_temp: field(value, "die_temp")?,
+            sensor_temp: field(value, "sensor_temp")?,
+            case_temp: field(value, "case_temp")?,
+            cluster_freqs: field(value, "cluster_freqs")?,
+            active_cores: field(value, "active_cores")?,
+            supply_power: field(value, "supply_power")?,
+            supply_voltage: field(value, "supply_voltage")?,
+            throttled: field(value, "throttled")?,
+        })
+    }
+}
+
+impl pv_json::FromJson for Trace {
+    fn from_json(value: &pv_json::Json) -> Option<Self> {
+        Some(Self {
+            samples: pv_json::FromJson::from_json(value.get("samples")?)?,
+        })
     }
 }
 

@@ -1,6 +1,7 @@
-//! Property-based tests for device-model invariants.
+//! Property-style tests for device-model invariants, swept over seeded
+//! random samples (deterministic across runs).
 
-use proptest::prelude::*;
+use pv_rng::{Rng, SeedableRng, StdRng};
 use pv_silicon::binning::BinId;
 use pv_silicon::{DieSample, ProcessNode};
 use pv_soc::catalog;
@@ -8,6 +9,8 @@ use pv_soc::device::{CpuDemand, FrequencyMode};
 use pv_soc::rbcpr::RbcprSpec;
 use pv_soc::throttle::{HotplugRule, ThrottlePolicy, ThrottleState, ThrottleStep};
 use pv_units::{Celsius, MegaHertz, Seconds, Volts};
+
+const CASES: usize = 64;
 
 fn policy() -> ThrottlePolicy {
     ThrottlePolicy {
@@ -38,29 +41,33 @@ fn policy() -> ThrottlePolicy {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn throttle_state_never_goes_out_of_bounds(
-        temps in proptest::collection::vec(20.0..100.0f64, 1..200)
-    ) {
+#[test]
+fn throttle_state_never_goes_out_of_bounds() {
+    let mut rng = StdRng::seed_from_u64(701);
+    for _ in 0..CASES {
+        let n = rng.gen_range(1..200usize);
+        let temps: Vec<f64> = (0..n).map(|_| rng.gen_range(20.0..100.0)).collect();
         let p = policy();
         let mut state = ThrottleState::new();
         for t in temps {
             let d = state.update(&p, Celsius(t), Volts(4.0));
-            prop_assert!(state.engaged_steps() <= p.steps.len());
+            assert!(state.engaged_steps() <= p.steps.len());
             // The reported cap always belongs to the policy.
             if let Some(cap) = d.freq_cap {
-                prop_assert!(p.steps.iter().any(|s| s.cap == cap));
+                assert!(p.steps.iter().any(|s| s.cap == cap));
             }
             // Decision and state agree about being throttled.
-            prop_assert_eq!(d.is_throttled(), state.is_throttled());
+            assert_eq!(d.is_throttled(), state.is_throttled());
         }
     }
+}
 
-    #[test]
-    fn throttle_cap_is_monotone_in_temperature(t1 in 20.0..100.0f64, t2 in 20.0..100.0f64) {
+#[test]
+fn throttle_cap_is_monotone_in_temperature() {
+    let mut rng = StdRng::seed_from_u64(702);
+    for _ in 0..CASES {
+        let t1 = rng.gen_range(20.0..100.0);
+        let t2 = rng.gen_range(20.0..100.0);
         // From a fresh state, a hotter sensor can never yield a *higher* cap.
         let p = policy();
         let (lo, hi) = if t1 <= t2 { (t1, t2) } else { (t2, t1) };
@@ -70,55 +77,68 @@ proptest! {
         let d2 = s2.update(&p, Celsius(hi), Volts(4.0));
         let cap1 = d1.freq_cap.map_or(f64::INFINITY, |c| c.value());
         let cap2 = d2.freq_cap.map_or(f64::INFINITY, |c| c.value());
-        prop_assert!(cap2 <= cap1);
+        assert!(cap2 <= cap1);
     }
+}
 
-    #[test]
-    fn throttle_update_is_idempotent_at_fixed_reading(t in 20.0..100.0f64) {
+#[test]
+fn throttle_update_is_idempotent_at_fixed_reading() {
+    let mut rng = StdRng::seed_from_u64(703);
+    for _ in 0..CASES {
+        let t = rng.gen_range(20.0..100.0);
         let p = policy();
         let mut state = ThrottleState::new();
         let first = state.update(&p, Celsius(t), Volts(4.0));
         let second = state.update(&p, Celsius(t), Volts(4.0));
-        prop_assert_eq!(first, second);
+        assert_eq!(first, second);
     }
+}
 
-    #[test]
-    fn rbcpr_trim_stays_in_envelope(
-        grade in 0.01..0.99f64,
-        temp in 0.0..100.0f64,
-        nominal in 0.7..1.2f64,
-    ) {
+#[test]
+fn rbcpr_trim_stays_in_envelope() {
+    let mut rng = StdRng::seed_from_u64(704);
+    for _ in 0..CASES {
+        let grade = rng.gen_range(0.01..0.99);
+        let temp = rng.gen_range(0.0..100.0);
+        let nominal = rng.gen_range(0.7..1.2);
         let spec = RbcprSpec::new(0.08, 0.0005, Celsius(26.0), 0.85).unwrap();
         let die = DieSample::from_grade(ProcessNode::PLANAR_20NM, grade).unwrap();
         let v = spec.trim(Volts(nominal), &die, Celsius(temp));
-        prop_assert!(v.value() >= nominal * 0.85 - 1e-12);
+        assert!(v.value() >= nominal * 0.85 - 1e-12);
         // Upper bound: nominal + max grade margin (0.5 · 0.08) + max temp credit.
-        prop_assert!(v.value() <= nominal + 0.04 + 26.0 * 0.0005 + 1e-12);
+        assert!(v.value() <= nominal + 0.04 + 26.0 * 0.0005 + 1e-12);
     }
+}
 
-    #[test]
-    fn rbcpr_trim_is_monotone(
-        g1 in 0.01..0.99f64,
-        g2 in 0.01..0.99f64,
-        temp in 0.0..90.0f64,
-    ) {
+#[test]
+fn rbcpr_trim_is_monotone() {
+    let mut rng = StdRng::seed_from_u64(705);
+    for _ in 0..CASES {
+        let g1 = rng.gen_range(0.01..0.99);
+        let g2 = rng.gen_range(0.01..0.99);
+        let temp = rng.gen_range(0.0..90.0);
         let spec = RbcprSpec::new(0.08, 0.0005, Celsius(26.0), 0.5).unwrap();
         let (lo, hi) = if g1 <= g2 { (g1, g2) } else { (g2, g1) };
         let slow = DieSample::from_grade(ProcessNode::PLANAR_20NM, lo).unwrap();
         let fast = DieSample::from_grade(ProcessNode::PLANAR_20NM, hi).unwrap();
         let v_slow = spec.trim(Volts(1.0), &slow, Celsius(temp));
         let v_fast = spec.trim(Volts(1.0), &fast, Celsius(temp));
-        prop_assert!(v_fast <= v_slow);
+        assert!(v_fast <= v_slow);
         // Hotter silicon is trimmed at least as low.
         let v_hot = spec.trim(Volts(1.0), &slow, Celsius(temp + 5.0));
-        prop_assert!(v_hot <= v_slow);
+        assert!(v_hot <= v_slow);
     }
+}
 
-    #[test]
-    fn device_step_invariants_hold_under_random_driving(
-        bin in 0u8..7,
-        steps in proptest::collection::vec((0u8..3, 1u8..4), 5..60),
-    ) {
+#[test]
+fn device_step_invariants_hold_under_random_driving() {
+    let mut rng = StdRng::seed_from_u64(706);
+    for _ in 0..CASES {
+        let bin = rng.gen_range(0..7u32) as u8;
+        let n = rng.gen_range(5..60usize);
+        let steps: Vec<(u8, u8)> = (0..n)
+            .map(|_| (rng.gen_range(0..3u32) as u8, rng.gen_range(1..4u32) as u8))
+            .collect();
         let mut device = catalog::nexus5(BinId(bin)).unwrap();
         for (demand_sel, dt_decis) in steps {
             let demand = match demand_sel {
@@ -127,54 +147,70 @@ proptest! {
                 _ => CpuDemand::Busy { util: 0.5 },
             };
             let dt = Seconds(f64::from(dt_decis) * 0.1);
-            let r = device.step(dt, demand, FrequencyMode::Unconstrained).unwrap();
+            let r = device
+                .step(dt, demand, FrequencyMode::Unconstrained)
+                .unwrap();
             // Power is positive and supply includes regulator loss.
-            prop_assert!(r.soc_power.value() > 0.0);
-            prop_assert!(r.supply_power >= r.soc_power);
+            assert!(r.soc_power.value() > 0.0);
+            assert!(r.supply_power >= r.soc_power);
             // Temperatures stay physical.
-            prop_assert!(r.die_temp.value() > 20.0 && r.die_temp.value() < 120.0);
+            assert!(r.die_temp.value() > 20.0 && r.die_temp.value() < 120.0);
             // Work only accrues when busy.
             if demand_sel == 0 {
-                prop_assert_eq!(r.work_cycles, 0.0);
+                assert_eq!(r.work_cycles, 0.0);
             } else {
-                prop_assert!(r.work_cycles > 0.0);
+                assert!(r.work_cycles > 0.0);
             }
             // Cluster vectors are consistent.
-            prop_assert_eq!(r.cluster_freqs.len(), r.active_cores.len());
+            assert_eq!(r.cluster_freqs.len(), r.active_cores.len());
             // Frequencies come from the device's ladder.
             for (f, table) in r.cluster_freqs.iter().zip(device.tables()) {
-                prop_assert!(table.freqs().any(|lf| (lf.value() - f.value()).abs() < 1e-9));
+                assert!(table
+                    .freqs()
+                    .any(|lf| (lf.value() - f.value()).abs() < 1e-9));
             }
         }
     }
+}
 
-    #[test]
-    fn fixed_mode_never_exceeds_pin(
-        bin in 0u8..7,
-        pin in 300.0..2265.0f64,
-        n in 5usize..50,
-    ) {
+#[test]
+fn fixed_mode_never_exceeds_pin() {
+    let mut rng = StdRng::seed_from_u64(707);
+    for _ in 0..CASES {
+        let bin = rng.gen_range(0..7u32) as u8;
+        let pin = rng.gen_range(300.0..2265.0);
+        let n = rng.gen_range(5..50usize);
         let mut device = catalog::nexus5(BinId(bin)).unwrap();
         for _ in 0..n {
             let r = device
-                .step(Seconds(0.2), CpuDemand::busy(), FrequencyMode::Fixed(MegaHertz(pin)))
+                .step(
+                    Seconds(0.2),
+                    CpuDemand::busy(),
+                    FrequencyMode::Fixed(MegaHertz(pin)),
+                )
                 .unwrap();
             for f in &r.cluster_freqs {
-                prop_assert!(f.value() <= pin + 1e-9);
+                assert!(f.value() <= pin + 1e-9);
             }
         }
     }
+}
 
-    #[test]
-    fn leakier_die_never_uses_less_power_at_equal_state(
-        g1 in 0.05..0.95f64,
-        g2 in 0.05..0.95f64,
-    ) {
+#[test]
+fn leakier_die_never_uses_less_power_at_equal_state() {
+    let mut rng = StdRng::seed_from_u64(708);
+    let mut tried = 0;
+    while tried < CASES {
+        let g1 = rng.gen_range(0.05..0.95);
+        let g2 = rng.gen_range(0.05..0.95);
         // Fresh devices, one step at identical fixed conditions: the
         // leakier die draws at least as much power (voltage-binned tables
         // may offset, but leakage dominates at this operating point).
         let (lo, hi) = if g1 <= g2 { (g1, g2) } else { (g2, g1) };
-        prop_assume!(hi - lo > 0.1);
+        if hi - lo <= 0.1 {
+            continue;
+        }
+        tried += 1;
         let spec = catalog::nexus5_spec().unwrap();
         let mk = |g: f64| {
             let die = DieSample::from_grade(spec.soc.node, g).unwrap();
@@ -187,12 +223,20 @@ proptest! {
         // Warm both to the same die temperature by construction (fresh at
         // 26 °C), one short step at fixed 960.
         let ra = a
-            .step(Seconds(0.1), CpuDemand::busy(), FrequencyMode::Fixed(MegaHertz(960.0)))
+            .step(
+                Seconds(0.1),
+                CpuDemand::busy(),
+                FrequencyMode::Fixed(MegaHertz(960.0)),
+            )
             .unwrap();
         let rb = b
-            .step(Seconds(0.1), CpuDemand::busy(), FrequencyMode::Fixed(MegaHertz(960.0)))
+            .step(
+                Seconds(0.1),
+                CpuDemand::busy(),
+                FrequencyMode::Fixed(MegaHertz(960.0)),
+            )
             .unwrap();
-        prop_assert!(
+        assert!(
             rb.soc_power.value() >= ra.soc_power.value() * 0.995,
             "leaky {} vs frugal {}",
             rb.soc_power,

@@ -6,11 +6,11 @@
 //! RSD.
 
 use crate::{StatsError, Summary};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use pv_rng::rngs::StdRng;
+use pv_rng::{Rng, SeedableRng};
 
 /// A two-sided confidence interval for a statistic.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ConfidenceInterval {
     /// Lower bound of the interval.
     pub lo: f64,
@@ -86,6 +86,13 @@ pub fn bootstrap_mean_ci(
         level,
     })
 }
+
+pv_json::impl_to_json!(ConfidenceInterval {
+    lo,
+    hi,
+    point,
+    level
+});
 
 #[cfg(test)]
 mod tests {

@@ -24,7 +24,7 @@ use core::fmt;
 /// assert_eq!(h.counts()[0], 1.0);
 /// assert_eq!(h.counts()[4], 1.0);
 /// ```
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Histogram {
     lo: f64,
     hi: f64,
@@ -209,6 +209,16 @@ impl fmt::Display for Histogram {
         Ok(())
     }
 }
+
+pv_json::impl_to_json!(Histogram {
+    lo,
+    hi,
+    counts,
+    underflow,
+    overflow,
+    total_weight,
+    weighted_sum
+});
 
 #[cfg(test)]
 mod tests {

@@ -7,12 +7,12 @@
 //! dimension, fully deterministic given a seed.
 
 use crate::StatsError;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use pv_rng::rngs::StdRng;
+use pv_rng::{Rng, SeedableRng};
 
 /// Result of a k-means run: final centroids, per-point assignments, and the
 /// total within-cluster sum of squared distances (inertia).
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct KMeansResult {
     /// Cluster centroids, `k` rows of `dim` values each.
     pub centroids: Vec<Vec<f64>>,
@@ -225,6 +225,13 @@ pub fn kmeans_1d(
     result.centroids = centroids;
     Ok(result)
 }
+
+pv_json::impl_to_json!(KMeansResult {
+    centroids,
+    assignments,
+    inertia,
+    iterations
+});
 
 #[cfg(test)]
 mod tests {

@@ -74,7 +74,7 @@ impl std::error::Error for StatsError {}
 /// assert_eq!(s.n(), 3);
 /// assert_eq!(s.std(), 1.0);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Summary {
     n: usize,
     mean: f64,
@@ -280,6 +280,14 @@ pub fn quantile(values: &[f64], q: f64) -> Result<f64, StatsError> {
     let frac = pos - lo as f64;
     Ok(sorted[lo] * (1.0 - frac) + sorted[hi] * frac)
 }
+
+pv_json::impl_to_json!(Summary {
+    n,
+    mean,
+    std,
+    min,
+    max
+});
 
 #[cfg(test)]
 mod tests {

@@ -7,7 +7,7 @@
 use crate::StatsError;
 
 /// A fitted line `y = slope·x + intercept` with its goodness of fit.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LinearFit {
     /// Slope of the fitted line.
     pub slope: f64,
@@ -83,6 +83,12 @@ pub fn linear_fit(x: &[f64], y: &[f64]) -> Result<LinearFit, StatsError> {
         r_squared,
     })
 }
+
+pv_json::impl_to_json!(LinearFit {
+    slope,
+    intercept,
+    r_squared
+});
 
 #[cfg(test)]
 mod tests {

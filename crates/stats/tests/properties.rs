@@ -1,116 +1,169 @@
-//! Property-based tests for pv-stats invariants.
+//! Property-style tests for pv-stats invariants, swept over seeded random
+//! samples (deterministic across runs).
 
-use proptest::collection::vec;
-use proptest::prelude::*;
+use pv_rng::{Rng, SeedableRng, StdRng};
 use pv_stats::dist::{normal_cdf, normal_quantile};
 use pv_stats::histogram::Histogram;
 use pv_stats::kmeans::kmeans_1d;
 use pv_stats::{normalize_to_max, normalize_to_min, quantile, Summary};
 
-fn finite_vec() -> impl Strategy<Value = Vec<f64>> {
-    vec(-1.0e6..1.0e6f64, 1..60)
+const CASES: usize = 200;
+
+fn vec_in(rng: &mut StdRng, lo: f64, hi: f64, min_len: usize, max_len: usize) -> Vec<f64> {
+    let n = rng.gen_range(min_len..max_len);
+    (0..n).map(|_| rng.gen_range(lo..hi)).collect()
 }
 
-fn positive_vec() -> impl Strategy<Value = Vec<f64>> {
-    vec(1.0e-3..1.0e6f64, 1..60)
+fn finite_vec(rng: &mut StdRng) -> Vec<f64> {
+    vec_in(rng, -1.0e6, 1.0e6, 1, 60)
 }
 
-proptest! {
-    #[test]
-    fn summary_mean_is_bounded_by_min_max(values in finite_vec()) {
+fn positive_vec(rng: &mut StdRng) -> Vec<f64> {
+    vec_in(rng, 1.0e-3, 1.0e6, 1, 60)
+}
+
+#[test]
+fn summary_mean_is_bounded_by_min_max() {
+    let mut rng = StdRng::seed_from_u64(401);
+    for _ in 0..CASES {
+        let values = finite_vec(&mut rng);
         let s = Summary::from_slice(&values).unwrap();
-        prop_assert!(s.min() <= s.mean() + 1e-9);
-        prop_assert!(s.mean() <= s.max() + 1e-9);
-        prop_assert!(s.std() >= 0.0);
-        prop_assert_eq!(s.n(), values.len());
+        assert!(s.min() <= s.mean() + 1e-9);
+        assert!(s.mean() <= s.max() + 1e-9);
+        assert!(s.std() >= 0.0);
+        assert_eq!(s.n(), values.len());
     }
+}
 
-    #[test]
-    fn summary_is_translation_covariant(values in finite_vec(), shift in -1.0e3..1.0e3f64) {
+#[test]
+fn summary_is_translation_covariant() {
+    let mut rng = StdRng::seed_from_u64(402);
+    for _ in 0..CASES {
+        let values = finite_vec(&mut rng);
+        let shift = rng.gen_range(-1.0e3..1.0e3);
         let a = Summary::from_slice(&values).unwrap();
         let shifted: Vec<f64> = values.iter().map(|v| v + shift).collect();
         let b = Summary::from_slice(&shifted).unwrap();
         let scale = a.mean().abs().max(1.0);
-        prop_assert!((b.mean() - a.mean() - shift).abs() < 1e-8 * scale);
+        assert!((b.mean() - a.mean() - shift).abs() < 1e-8 * scale);
         // Std is translation-invariant.
-        prop_assert!((b.std() - a.std()).abs() < 1e-6 * a.std().max(1.0));
+        assert!((b.std() - a.std()).abs() < 1e-6 * a.std().max(1.0));
     }
+}
 
-    #[test]
-    fn normalize_to_max_tops_at_one(values in positive_vec()) {
+#[test]
+fn normalize_to_max_tops_at_one() {
+    let mut rng = StdRng::seed_from_u64(403);
+    for _ in 0..CASES {
+        let values = positive_vec(&mut rng);
         let n = normalize_to_max(&values).unwrap();
         let top = n.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-        prop_assert!((top - 1.0).abs() < 1e-12);
-        prop_assert!(n.iter().all(|&v| v <= 1.0 + 1e-12 && v > 0.0));
+        assert!((top - 1.0).abs() < 1e-12);
+        assert!(n.iter().all(|&v| v <= 1.0 + 1e-12 && v > 0.0));
     }
+}
 
-    #[test]
-    fn normalize_to_min_bottoms_at_one(values in positive_vec()) {
+#[test]
+fn normalize_to_min_bottoms_at_one() {
+    let mut rng = StdRng::seed_from_u64(404);
+    for _ in 0..CASES {
+        let values = positive_vec(&mut rng);
         let n = normalize_to_min(&values).unwrap();
         let bottom = n.iter().copied().fold(f64::INFINITY, f64::min);
-        prop_assert!((bottom - 1.0).abs() < 1e-12);
-        prop_assert!(n.iter().all(|&v| v >= 1.0 - 1e-12));
+        assert!((bottom - 1.0).abs() < 1e-12);
+        assert!(n.iter().all(|&v| v >= 1.0 - 1e-12));
     }
+}
 
-    #[test]
-    fn quantile_is_monotone(values in finite_vec(), q1 in 0.0..1.0f64, q2 in 0.0..1.0f64) {
+#[test]
+fn quantile_is_monotone() {
+    let mut rng = StdRng::seed_from_u64(405);
+    for _ in 0..CASES {
+        let values = finite_vec(&mut rng);
+        let q1 = rng.gen_range(0.0..1.0);
+        let q2 = rng.gen_range(0.0..1.0);
         let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
         let a = quantile(&values, lo).unwrap();
         let b = quantile(&values, hi).unwrap();
-        prop_assert!(a <= b + 1e-9);
+        assert!(a <= b + 1e-9);
     }
+}
 
-    #[test]
-    fn normal_quantile_inverts_cdf(p in 0.001..0.999f64) {
+#[test]
+fn normal_quantile_inverts_cdf() {
+    let mut rng = StdRng::seed_from_u64(406);
+    for _ in 0..CASES {
+        let p = rng.gen_range(0.001..0.999);
         let x = normal_quantile(p).unwrap();
-        prop_assert!((normal_cdf(x) - p).abs() < 5e-6);
+        assert!((normal_cdf(x) - p).abs() < 5e-6);
     }
+}
 
-    #[test]
-    fn normal_quantile_is_odd(p in 0.001..0.5f64) {
+#[test]
+fn normal_quantile_is_odd() {
+    let mut rng = StdRng::seed_from_u64(407);
+    for _ in 0..CASES {
+        let p = rng.gen_range(0.001..0.5);
         let a = normal_quantile(p).unwrap();
         let b = normal_quantile(1.0 - p).unwrap();
-        prop_assert!((a + b).abs() < 1e-6);
+        assert!((a + b).abs() < 1e-6);
     }
+}
 
-    #[test]
-    fn histogram_conserves_weight(values in finite_vec()) {
+#[test]
+fn histogram_conserves_weight() {
+    let mut rng = StdRng::seed_from_u64(408);
+    for _ in 0..CASES {
+        let values = finite_vec(&mut rng);
         let mut h = Histogram::new(-100.0, 100.0, 16).unwrap();
         for &v in &values {
             h.add(v);
         }
         let binned: f64 = h.counts().iter().sum();
         let total = binned + h.underflow() + h.overflow();
-        prop_assert!((total - values.len() as f64).abs() < 1e-9);
+        assert!((total - values.len() as f64).abs() < 1e-9);
     }
+}
 
-    #[test]
-    fn histogram_mean_matches_summary(values in vec(-99.0..99.0f64, 1..60)) {
+#[test]
+fn histogram_mean_matches_summary() {
+    let mut rng = StdRng::seed_from_u64(409);
+    for _ in 0..CASES {
+        let values = vec_in(&mut rng, -99.0, 99.0, 1, 60);
         let mut h = Histogram::new(-100.0, 100.0, 8).unwrap();
         h.extend(values.iter().copied());
         let s = Summary::from_slice(&values).unwrap();
-        prop_assert!((h.mean().unwrap() - s.mean()).abs() < 1e-9 * s.mean().abs().max(1.0));
+        assert!((h.mean().unwrap() - s.mean()).abs() < 1e-9 * s.mean().abs().max(1.0));
     }
+}
 
-    #[test]
-    fn kmeans_assignments_in_range(values in vec(-10.0..10.0f64, 4..40), k in 1usize..4) {
+#[test]
+fn kmeans_assignments_in_range() {
+    let mut rng = StdRng::seed_from_u64(410);
+    for _ in 0..CASES {
+        let values = vec_in(&mut rng, -10.0, 10.0, 4, 40);
+        let k = rng.gen_range(1..4usize);
         let r = kmeans_1d(&values, k, 50, 42).unwrap();
-        prop_assert_eq!(r.assignments.len(), values.len());
-        prop_assert!(r.assignments.iter().all(|&a| a < k));
-        prop_assert!(r.inertia >= 0.0);
+        assert_eq!(r.assignments.len(), values.len());
+        assert!(r.assignments.iter().all(|&a| a < k));
+        assert!(r.inertia >= 0.0);
         // Centroids sorted ascending by construction.
         for w in r.centroids.windows(2) {
-            prop_assert!(w[0][0] <= w[1][0] + 1e-12);
+            assert!(w[0][0] <= w[1][0] + 1e-12);
         }
     }
+}
 
-    #[test]
-    fn kmeans_more_clusters_never_increase_inertia(values in vec(-10.0..10.0f64, 6..40)) {
+#[test]
+fn kmeans_more_clusters_never_increase_inertia() {
+    let mut rng = StdRng::seed_from_u64(411);
+    for _ in 0..CASES {
+        let values = vec_in(&mut rng, -10.0, 10.0, 6, 40);
         let one = kmeans_1d(&values, 1, 100, 9).unwrap();
         let three = kmeans_1d(&values, 3, 100, 9).unwrap();
         // k-means++ with Lloyd won't always find the global optimum, but
         // 3 clusters should never do *worse* than the single-cluster optimum
         // by more than floating noise.
-        prop_assert!(three.inertia <= one.inertia + 1e-9);
+        assert!(three.inertia <= one.inertia + 1e-9);
     }
 }

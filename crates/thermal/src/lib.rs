@@ -58,6 +58,13 @@ pub enum ThermalError {
     NoCapacitiveNodes,
     /// Heat was injected into a boundary node.
     HeatIntoBoundary(usize),
+    /// A temperature probe produced no reading (injected sensor dropout).
+    /// Transient: retrying after the fault window passes succeeds.
+    ProbeDropout,
+    /// The chamber's bang-bang controller is stalled and cannot regulate
+    /// (injected controller hang). Transient: clears when the fault window
+    /// passes.
+    ChamberStalled,
 }
 
 impl fmt::Display for ThermalError {
@@ -71,6 +78,12 @@ impl fmt::Display for ThermalError {
             }
             ThermalError::HeatIntoBoundary(i) => {
                 write!(f, "heat injected into boundary node {i}")
+            }
+            ThermalError::ProbeDropout => {
+                write!(f, "temperature probe returned no reading (dropout)")
+            }
+            ThermalError::ChamberStalled => {
+                write!(f, "chamber controller stalled; regulation suspended")
             }
         }
     }

@@ -13,9 +13,10 @@
 //! All randomness is seeded, so probes are deterministic per seed.
 
 use crate::ThermalError;
+use pv_faults::{FaultHandle, FaultKind};
+use pv_rng::rngs::StdRng;
+use pv_rng::{Rng, SeedableRng};
 use pv_units::{Celsius, Seconds, TempDelta};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// A first-order-lag temperature sensor with quantisation and read noise.
 ///
@@ -31,9 +32,9 @@ use rand::{Rng, SeedableRng};
 /// let mut p = Probe::new(Seconds(2.0), TempDelta(0.0), TempDelta(0.1), 7)?;
 /// p.reset(Celsius(26.0));
 /// // A step to 80 °C takes several time constants to register.
-/// p.observe(Celsius(80.0), Seconds(2.0));
+/// p.observe(Celsius(80.0), Seconds(2.0))?;
 /// assert!(p.read().value() < 70.0);
-/// p.observe(Celsius(80.0), Seconds(20.0));
+/// p.observe(Celsius(80.0), Seconds(20.0))?;
 /// assert!((p.read().value() - 80.0).abs() < 0.2);
 /// # Ok::<(), pv_thermal::ThermalError>(())
 /// ```
@@ -94,18 +95,31 @@ impl Probe {
 
     /// Advances the sensor: the true temperature was `truth` for the last
     /// `dt`. An un-reset probe snaps to the first observation.
-    pub fn observe(&mut self, truth: Celsius, dt: Seconds) {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ThermalError::InvalidParameter`] for a non-finite `truth`
+    /// or a negative / non-finite `dt` — feeding either into the lag filter
+    /// would poison the sensor state for every later reading.
+    pub fn observe(&mut self, truth: Celsius, dt: Seconds) -> Result<(), ThermalError> {
+        if !truth.is_finite() {
+            return Err(ThermalError::InvalidParameter("truth must be finite"));
+        }
+        if !(dt.value() >= 0.0 && dt.is_finite()) {
+            return Err(ThermalError::InvalidParameter("dt must be >= 0"));
+        }
         if !self.initialized {
             self.reset(truth);
-            return;
+            return Ok(());
         }
         if self.tau.value() == 0.0 {
             self.state = truth;
-            return;
+            return Ok(());
         }
         // Exact first-order update: s += (truth - s)(1 - e^{-dt/tau}).
         let alpha = 1.0 - (-dt.value() / self.tau.value()).exp();
         self.state = self.state + (truth - self.state) * alpha;
+        Ok(())
     }
 
     /// Samples the sensor: lagged state plus read noise, quantised.
@@ -131,6 +145,108 @@ impl Probe {
     }
 }
 
+/// A [`Probe`] read through a fault-injection gate.
+///
+/// With a disarmed [`FaultHandle`] (the default) every call is a plain
+/// pass-through and readings are bit-identical to the inner probe's. With an
+/// armed handle, three probe fault kinds apply at read time:
+///
+/// * [`FaultKind::ProbeDropout`] — reads fail with
+///   [`ThermalError::ProbeDropout`] while the fault window is active.
+/// * [`FaultKind::ProbeStuck`] — the first read inside the window is held
+///   and repeated until the window passes.
+/// * [`FaultKind::ProbeSpike`] — readings are offset by the event's
+///   magnitude, interpreted in kelvin.
+///
+/// Observation (the lag filter) keeps tracking the truth throughout, as a
+/// real sensor element would; only the *reported* value is corrupted.
+#[derive(Debug, Clone)]
+pub struct FaultyProbe {
+    inner: Probe,
+    faults: FaultHandle,
+    stuck: Option<Celsius>,
+}
+
+impl FaultyProbe {
+    /// Wraps `inner`, gating reads on `faults`.
+    pub fn new(inner: Probe, faults: FaultHandle) -> Self {
+        Self {
+            inner,
+            faults,
+            stuck: None,
+        }
+    }
+
+    /// Resets the inner lag state (see [`Probe::reset`]).
+    pub fn reset(&mut self, temp: Celsius) {
+        self.inner.reset(temp);
+    }
+
+    /// Advances the inner sensor (see [`Probe::observe`]). Faults never
+    /// block observation — the element keeps tracking even while stuck.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ThermalError::InvalidParameter`] from the inner probe.
+    pub fn observe(&mut self, truth: Celsius, dt: Seconds) -> Result<(), ThermalError> {
+        self.inner.observe(truth, dt)
+    }
+
+    /// Samples the sensor through the fault gate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ThermalError::ProbeDropout`] while a dropout window is
+    /// active.
+    pub fn read(&mut self) -> Result<Celsius, ThermalError> {
+        if let Some(e) = self.faults.active(FaultKind::ProbeDropout) {
+            self.faults.report_once(&e, "probe returned no reading");
+            return Err(ThermalError::ProbeDropout);
+        }
+        if let Some(e) = self.faults.active(FaultKind::ProbeStuck) {
+            let held = match self.stuck {
+                Some(held) => held,
+                None => {
+                    let first = self.inner.read();
+                    self.stuck = Some(first);
+                    first
+                }
+            };
+            self.faults
+                .report_once(&e, format!("probe stuck at {held}"));
+            return Ok(held);
+        }
+        self.stuck = None;
+        let mut reading = self.inner.read();
+        if let Some(e) = self.faults.active(FaultKind::ProbeSpike) {
+            reading += TempDelta(e.magnitude);
+            self.faults
+                .report_once(&e, format!("probe spiked by {:+.2} K", e.magnitude));
+        }
+        Ok(reading)
+    }
+
+    /// The inner lag state (see [`Probe::lag_state`]).
+    pub fn lag_state(&self) -> Celsius {
+        self.inner.lag_state()
+    }
+
+    /// Shared view of the probe's fault handle.
+    pub fn faults(&self) -> &FaultHandle {
+        &self.faults
+    }
+
+    /// The wrapped probe.
+    pub fn inner(&self) -> &Probe {
+        &self.inner
+    }
+
+    /// Unwraps back into the plain probe.
+    pub fn into_inner(self) -> Probe {
+        self.inner
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -142,14 +258,14 @@ mod tests {
     #[test]
     fn ideal_probe_tracks_exactly() {
         let mut p = ideal();
-        p.observe(Celsius(42.5), Seconds(0.001));
+        p.observe(Celsius(42.5), Seconds(0.001)).unwrap();
         assert_eq!(p.read(), Celsius(42.5));
     }
 
     #[test]
     fn first_observation_initialises() {
         let mut p = Probe::new(Seconds(100.0), TempDelta(0.0), TempDelta(0.0), 0).unwrap();
-        p.observe(Celsius(30.0), Seconds(0.01));
+        p.observe(Celsius(30.0), Seconds(0.01)).unwrap();
         // Despite the huge tau, the first observation snaps.
         assert_eq!(p.read(), Celsius(30.0));
     }
@@ -159,7 +275,7 @@ mod tests {
         let mut p = Probe::new(Seconds(5.0), TempDelta(0.0), TempDelta(0.0), 0).unwrap();
         p.reset(Celsius(20.0));
         // Step to 30 °C for exactly one tau: response = 1 - 1/e ≈ 0.632.
-        p.observe(Celsius(30.0), Seconds(5.0));
+        p.observe(Celsius(30.0), Seconds(5.0)).unwrap();
         let expected = 20.0 + 10.0 * (1.0 - (-1.0f64).exp());
         assert!((p.read().value() - expected).abs() < 1e-9);
     }
@@ -172,9 +288,9 @@ mod tests {
         let mut fine = coarse.clone();
         coarse.reset(Celsius(20.0));
         fine.reset(Celsius(20.0));
-        coarse.observe(Celsius(50.0), Seconds(10.0));
+        coarse.observe(Celsius(50.0), Seconds(10.0)).unwrap();
         for _ in 0..10 {
-            fine.observe(Celsius(50.0), Seconds(1.0));
+            fine.observe(Celsius(50.0), Seconds(1.0)).unwrap();
         }
         assert!((coarse.lag_state().value() - fine.lag_state().value()).abs() < 1e-9);
     }
@@ -182,9 +298,9 @@ mod tests {
     #[test]
     fn quantisation_rounds_to_grid() {
         let mut p = Probe::new(Seconds(0.0), TempDelta(0.0), TempDelta(1.0), 0).unwrap();
-        p.observe(Celsius(26.4), Seconds(1.0));
+        p.observe(Celsius(26.4), Seconds(1.0)).unwrap();
         assert_eq!(p.read(), Celsius(26.0));
-        p.observe(Celsius(26.6), Seconds(1.0));
+        p.observe(Celsius(26.6), Seconds(1.0)).unwrap();
         assert_eq!(p.read(), Celsius(27.0));
     }
 
@@ -208,5 +324,79 @@ mod tests {
         assert!(Probe::new(Seconds(-1.0), TempDelta(0.0), TempDelta(0.0), 0).is_err());
         assert!(Probe::new(Seconds(0.0), TempDelta(-0.1), TempDelta(0.0), 0).is_err());
         assert!(Probe::new(Seconds(0.0), TempDelta(0.0), TempDelta(f64::NAN), 0).is_err());
+    }
+
+    #[test]
+    fn observe_rejects_bad_inputs() {
+        let mut p = ideal();
+        p.observe(Celsius(25.0), Seconds(1.0)).unwrap();
+        assert!(p.observe(Celsius(f64::NAN), Seconds(1.0)).is_err());
+        assert!(p.observe(Celsius(f64::INFINITY), Seconds(1.0)).is_err());
+        assert!(p.observe(Celsius(30.0), Seconds(-1.0)).is_err());
+        assert!(p.observe(Celsius(30.0), Seconds(f64::NAN)).is_err());
+        // A rejected observation leaves the state untouched.
+        assert_eq!(p.read(), Celsius(25.0));
+    }
+
+    #[test]
+    fn disarmed_faulty_probe_is_transparent() {
+        use pv_faults::FaultHandle;
+        let mut plain = Probe::new(Seconds(2.0), TempDelta(0.3), TempDelta(0.1), 5).unwrap();
+        let mut gated = FaultyProbe::new(plain.clone(), FaultHandle::disarmed());
+        plain.reset(Celsius(26.0));
+        gated.reset(Celsius(26.0));
+        for i in 0..50 {
+            let t = Celsius(26.0 + f64::from(i) * 0.3);
+            plain.observe(t, Seconds(0.5)).unwrap();
+            gated.observe(t, Seconds(0.5)).unwrap();
+            assert_eq!(plain.read(), gated.read().unwrap());
+        }
+    }
+
+    #[test]
+    fn probe_faults_apply_in_window() {
+        use pv_faults::{FaultEvent, FaultHandle, FaultPlan};
+        let plan = FaultPlan::empty()
+            .with_event(FaultEvent {
+                at: 10.0,
+                duration: 5.0,
+                kind: FaultKind::ProbeDropout,
+                magnitude: 0.0,
+            })
+            .with_event(FaultEvent {
+                at: 20.0,
+                duration: 5.0,
+                kind: FaultKind::ProbeStuck,
+                magnitude: 0.0,
+            })
+            .with_event(FaultEvent {
+                at: 30.0,
+                duration: 5.0,
+                kind: FaultKind::ProbeSpike,
+                magnitude: 3.0,
+            });
+        let handle = FaultHandle::armed(plan);
+        let inner = Probe::new(Seconds(0.0), TempDelta(0.0), TempDelta(0.0), 0).unwrap();
+        let mut p = FaultyProbe::new(inner, handle.clone());
+        p.reset(Celsius(40.0));
+
+        // t = 0: clean.
+        assert_eq!(p.read().unwrap(), Celsius(40.0));
+        // t = 10: dropout.
+        handle.advance(10.0);
+        assert_eq!(p.read(), Err(ThermalError::ProbeDropout));
+        // t = 20: stuck holds the first reading across truth changes.
+        handle.advance(10.0);
+        let held = p.read().unwrap();
+        p.observe(Celsius(60.0), Seconds(1.0)).unwrap();
+        assert_eq!(p.read().unwrap(), held);
+        // t = 30: spike offsets by the magnitude in kelvin.
+        handle.advance(10.0);
+        assert_eq!(p.read().unwrap(), Celsius(60.0 + 3.0));
+        // t = 40: all windows passed; clean again.
+        handle.advance(10.0);
+        assert_eq!(p.read().unwrap(), Celsius(60.0));
+        // Each event reported exactly once despite repeated reads.
+        assert_eq!(handle.report_count(), 3);
     }
 }

@@ -19,6 +19,7 @@
 use crate::probe::Probe;
 use crate::ThermalError;
 use core::fmt;
+use pv_faults::{FaultHandle, FaultKind};
 use pv_units::{Celsius, Seconds, TempDelta, ThermalCapacitance, ThermalResistance, Watts};
 
 /// Which plant the controller currently runs.
@@ -117,6 +118,7 @@ pub struct ThermaBox {
     mode: PlantMode,
     probe: Probe,
     since_control: f64,
+    stalled: bool,
 }
 
 impl ThermaBox {
@@ -160,6 +162,7 @@ impl ThermaBox {
             mode: PlantMode::Idle,
             probe,
             since_control: f64::INFINITY, // decide immediately on first step
+            stalled: false,
             cfg,
         })
     }
@@ -189,6 +192,27 @@ impl ThermaBox {
         self.deviation().abs() <= self.cfg.deadband
     }
 
+    /// Freezes or unfreezes the bang-bang controller. While stalled the
+    /// plants hold their last commanded state and the probe is never
+    /// consulted — the injected "RaspberryPi hung" failure mode. Physics
+    /// (wall losses, device heat) keeps integrating normally.
+    pub fn set_controller_stalled(&mut self, stalled: bool) {
+        self.stalled = stalled;
+    }
+
+    /// Whether the controller is currently stalled.
+    pub fn controller_stalled(&self) -> bool {
+        self.stalled
+    }
+
+    /// Instantly offsets the chamber air temperature by `delta` — the
+    /// injected band-excursion failure mode (door opened, plant misfire).
+    /// The controller sees the excursion through the probe and recovers on
+    /// its own.
+    pub fn perturb_air(&mut self, delta: TempDelta) {
+        self.air += delta;
+    }
+
     /// Advances the chamber by `dt` with the device under test dissipating
     /// `device_heat` into the air. Internally sub-steps so the controller is
     /// consulted every control period regardless of `dt`.
@@ -210,8 +234,9 @@ impl ThermaBox {
         let max_h = (self.cfg.control_period.value() / 2.0).min(0.5);
         while remaining > 0.0 {
             let h = remaining.min(max_h);
-            // Controller acts on probe readings at control-period boundaries.
-            if self.since_control >= self.cfg.control_period.value() {
+            // Controller acts on probe readings at control-period boundaries
+            // (unless an injected stall has frozen it).
+            if !self.stalled && self.since_control >= self.cfg.control_period.value() {
                 let reading = self.probe.read();
                 let low = self.cfg.target - self.cfg.deadband;
                 let high = self.cfg.target + self.cfg.deadband;
@@ -242,7 +267,7 @@ impl ThermaBox {
             let net = plant + device_heat - wall_loss;
             let delta = (net * Seconds(h)) / self.cfg.air_capacitance;
             self.air += delta;
-            self.probe.observe(self.air, Seconds(h));
+            self.probe.observe(self.air, Seconds(h))?;
             self.since_control += h;
             remaining -= h;
         }
@@ -280,6 +305,149 @@ impl ThermaBox {
         Err(ThermalError::InvalidParameter(
             "chamber failed to settle within max_time",
         ))
+    }
+}
+
+/// A [`ThermaBox`] driven through a fault-injection gate.
+///
+/// With a disarmed [`FaultHandle`] (the default) every call delegates
+/// unchanged, so chamber behaviour is bit-identical to the plain box. With
+/// an armed handle, two chamber fault kinds apply:
+///
+/// * [`FaultKind::ChamberControllerStall`] — the bang-bang controller
+///   freezes for the fault window (plants hold their last state), then
+///   resumes.
+/// * [`FaultKind::ChamberBandExcursion`] — the chamber air is kicked once
+///   per event by the event's magnitude, interpreted in kelvin.
+///
+/// The wrapper reads the *shared* fault clock; it never advances it during
+/// [`FaultyThermaBox::step`] — the session harness owns simulated time so
+/// device and chamber faults stay on one timeline. The one exception is
+/// [`FaultyThermaBox::settle`], which runs outside the coupled loop and
+/// advances the clock by the time it consumed.
+#[derive(Debug, Clone)]
+pub struct FaultyThermaBox {
+    inner: ThermaBox,
+    faults: FaultHandle,
+    last_excursion: Option<f64>,
+}
+
+impl FaultyThermaBox {
+    /// Wraps `chamber`, gating control on `faults`.
+    pub fn new(chamber: ThermaBox, faults: FaultHandle) -> Self {
+        Self {
+            inner: chamber,
+            faults,
+            last_excursion: None,
+        }
+    }
+
+    /// Applies whatever chamber faults are active at the current fault
+    /// clock: engages/clears controller stall, fires pending excursions.
+    fn apply_faults(&mut self) {
+        match self.faults.active(FaultKind::ChamberControllerStall) {
+            Some(e) => {
+                self.inner.set_controller_stalled(true);
+                self.faults
+                    .report_once(&e, "chamber controller stalled (plants frozen)");
+            }
+            None => self.inner.set_controller_stalled(false),
+        }
+        if let Some(e) = self.faults.active(FaultKind::ChamberBandExcursion) {
+            // One kick per scheduled event, however many steps its window
+            // spans — an excursion is an impulse, not a sustained offset.
+            if self.last_excursion != Some(e.at) {
+                self.last_excursion = Some(e.at);
+                self.inner.perturb_air(TempDelta(e.magnitude));
+                self.faults
+                    .report_once(&e, format!("chamber air kicked by {:+.2} K", e.magnitude));
+            }
+        }
+    }
+
+    /// Advances the chamber by `dt` (see [`ThermaBox::step`]), first
+    /// applying any faults active at the current fault clock.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ThermaBox::step`] validation errors.
+    pub fn step(&mut self, dt: Seconds, device_heat: Watts) -> Result<(), ThermalError> {
+        self.apply_faults();
+        self.inner.step(dt, device_heat)
+    }
+
+    /// Settles the chamber (see [`ThermaBox::settle`]) and advances the
+    /// fault clock by the time it took.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ThermalError::ChamberStalled`] if a controller-stall fault
+    /// is active when settling starts — a hung controller can never confirm
+    /// the band; propagates [`ThermaBox::settle`] errors otherwise.
+    pub fn settle(&mut self, max_time: Seconds) -> Result<Seconds, ThermalError> {
+        self.apply_faults();
+        if let Some(e) = self.faults.active(FaultKind::ChamberControllerStall) {
+            self.faults
+                .report_once(&e, "settle refused: controller stalled");
+            return Err(ThermalError::ChamberStalled);
+        }
+        let elapsed = self.inner.settle(max_time)?;
+        self.faults.advance(elapsed.value());
+        Ok(elapsed)
+    }
+
+    /// True chamber air temperature.
+    pub fn air_temp(&self) -> Celsius {
+        self.inner.air_temp()
+    }
+
+    /// Plant currently engaged.
+    pub fn mode(&self) -> PlantMode {
+        self.inner.mode()
+    }
+
+    /// Signed deviation of the air temperature from the target.
+    pub fn deviation(&self) -> TempDelta {
+        self.inner.deviation()
+    }
+
+    /// Whether the chamber is inside the acceptance band right now.
+    pub fn is_stable(&self) -> bool {
+        self.inner.is_stable()
+    }
+
+    /// The chamber configuration.
+    pub fn config(&self) -> &ThermaBoxConfig {
+        self.inner.config()
+    }
+
+    /// Shared view of the chamber's fault handle.
+    pub fn faults(&self) -> &FaultHandle {
+        &self.faults
+    }
+
+    /// Replaces the fault handle (re-arming or disarming the gate) and
+    /// forgets any excursion already fired, so a fresh plan replays its
+    /// events from scratch.
+    pub fn set_faults(&mut self, faults: FaultHandle) {
+        self.faults = faults;
+        self.last_excursion = None;
+        self.inner.set_controller_stalled(false);
+    }
+
+    /// The wrapped chamber.
+    pub fn inner(&self) -> &ThermaBox {
+        &self.inner
+    }
+
+    /// Mutable access to the wrapped chamber.
+    pub fn inner_mut(&mut self) -> &mut ThermaBox {
+        &mut self.inner
+    }
+
+    /// Unwraps back into the plain chamber.
+    pub fn into_inner(self) -> ThermaBox {
+        self.inner
     }
 }
 
@@ -411,6 +579,83 @@ mod tests {
         assert!(boxx.step(Seconds(0.0), Watts(1.0)).is_err());
         assert!(boxx.step(Seconds(1.0), Watts(-1.0)).is_err());
         assert!(boxx.step(Seconds(1.0), Watts(f64::NAN)).is_err());
+    }
+
+    #[test]
+    fn disarmed_faulty_chamber_is_bit_identical() {
+        let mut plain = ThermaBox::new(ThermaBoxConfig::default()).unwrap();
+        let mut gated = FaultyThermaBox::new(plain.clone(), FaultHandle::disarmed());
+        assert_eq!(
+            plain.settle(Seconds(3600.0)).unwrap(),
+            gated.settle(Seconds(3600.0)).unwrap()
+        );
+        for _ in 0..300 {
+            plain.step(Seconds(1.0), Watts(4.0)).unwrap();
+            gated.step(Seconds(1.0), Watts(4.0)).unwrap();
+            assert_eq!(plain.air_temp(), gated.air_temp());
+            assert_eq!(plain.mode(), gated.mode());
+        }
+    }
+
+    #[test]
+    fn stalled_controller_freezes_plants_then_recovers() {
+        use pv_faults::{FaultEvent, FaultPlan};
+        let plan = FaultPlan::empty().with_event(FaultEvent {
+            at: 0.0,
+            duration: 120.0,
+            kind: FaultKind::ChamberControllerStall,
+            magnitude: 0.0,
+        });
+        let mut chamber = ThermaBox::new(ThermaBoxConfig::default()).unwrap();
+        chamber.settle(Seconds(3600.0)).unwrap();
+        let handle = FaultHandle::armed(plan);
+        let mut gated = FaultyThermaBox::new(chamber, handle.clone());
+        // Settle refuses while the controller is hung.
+        assert_eq!(
+            gated.settle(Seconds(10.0)),
+            Err(ThermalError::ChamberStalled)
+        );
+        // During the stall the mode never changes.
+        let frozen = gated.mode();
+        for _ in 0..120 {
+            gated.step(Seconds(1.0), Watts(6.0)).unwrap();
+            handle.advance(1.0);
+            assert_eq!(gated.mode(), frozen);
+        }
+        // After the window the controller resumes and re-centres the band.
+        for _ in 0..600 {
+            gated.step(Seconds(1.0), Watts(6.0)).unwrap();
+            handle.advance(1.0);
+        }
+        assert!(gated.is_stable(), "deviation {}", gated.deviation());
+        assert!(handle.report_count() >= 1);
+    }
+
+    #[test]
+    fn band_excursion_kicks_air_once_per_event() {
+        use pv_faults::{FaultEvent, FaultPlan};
+        let plan = FaultPlan::empty().with_event(FaultEvent {
+            at: 5.0,
+            duration: 10.0,
+            kind: FaultKind::ChamberBandExcursion,
+            magnitude: 4.0,
+        });
+        let mut chamber = ThermaBox::new(ThermaBoxConfig::default()).unwrap();
+        chamber.settle(Seconds(3600.0)).unwrap();
+        let before = chamber.air_temp();
+        let handle = FaultHandle::armed(plan);
+        let mut gated = FaultyThermaBox::new(chamber, handle.clone());
+        handle.advance(5.0);
+        gated.step(Seconds(0.1), Watts::ZERO).unwrap();
+        // One +4 K impulse (minus a sliver of wall loss during the step).
+        assert!(gated.air_temp().value() > before.value() + 3.0);
+        let kicked = gated.air_temp();
+        // Further steps inside the same window do not re-apply the kick
+        // (plant drift over 0.1 s is far smaller than another 4 K impulse).
+        handle.advance(1.0);
+        gated.step(Seconds(0.1), Watts::ZERO).unwrap();
+        assert!((gated.air_temp().value() - kicked.value()).abs() < 1.0);
+        assert_eq!(handle.report_count(), 1);
     }
 
     #[test]

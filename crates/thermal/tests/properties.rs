@@ -1,29 +1,34 @@
-//! Property-based tests for thermal-model invariants.
+//! Property-style tests for thermal-model invariants, swept over seeded
+//! random samples (deterministic across runs).
 
-use proptest::prelude::*;
+use pv_rng::{Rng, SeedableRng, StdRng};
 use pv_thermal::network::ThermalNetworkBuilder;
 use pv_thermal::probe::Probe;
 use pv_thermal::thermabox::{ThermaBox, ThermaBoxConfig};
 use pv_units::{Celsius, Seconds, TempDelta, ThermalCapacitance, ThermalResistance, Watts};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+const CASES: usize = 48;
 
-    #[test]
-    fn chain_temperatures_stay_bracketed(
-        c1 in 1.0..50.0f64,
-        c2 in 1.0..50.0f64,
-        r1 in 0.5..10.0f64,
-        r2 in 0.5..10.0f64,
-        t0 in 30.0..90.0f64,
-        ambient in 0.0..40.0f64,
-        steps in 1usize..200,
-    ) {
+#[test]
+fn chain_temperatures_stay_bracketed() {
+    let mut rng = StdRng::seed_from_u64(501);
+    for _ in 0..CASES {
+        let c1 = rng.gen_range(1.0..50.0);
+        let c2 = rng.gen_range(1.0..50.0);
+        let r1 = rng.gen_range(0.5..10.0);
+        let r2 = rng.gen_range(0.5..10.0);
+        let t0 = rng.gen_range(30.0..90.0);
+        let ambient = rng.gen_range(0.0..40.0);
+        let steps = rng.gen_range(1..200usize);
         // Unpowered network: every temperature stays between the coldest
         // and hottest initial condition forever (maximum principle).
         let mut b = ThermalNetworkBuilder::new();
-        let die = b.add_node("die", ThermalCapacitance(c1), Celsius(t0)).unwrap();
-        let case = b.add_node("case", ThermalCapacitance(c2), Celsius(ambient)).unwrap();
+        let die = b
+            .add_node("die", ThermalCapacitance(c1), Celsius(t0))
+            .unwrap();
+        let case = b
+            .add_node("case", ThermalCapacitance(c2), Celsius(ambient))
+            .unwrap();
         let amb = b.add_boundary("amb", Celsius(ambient)).unwrap();
         b.connect(die, case, ThermalResistance(r1)).unwrap();
         b.connect(case, amb, ThermalResistance(r2)).unwrap();
@@ -35,19 +40,23 @@ proptest! {
             net.step(Seconds(1.0), &[]).unwrap();
             for node in [die, case] {
                 let t = net.temperature(node).value();
-                prop_assert!(t >= lo && t <= hi, "t = {t}, bracket [{lo}, {hi}]");
+                assert!(t >= lo && t <= hi, "t = {t}, bracket [{lo}, {hi}]");
             }
         }
     }
+}
 
-    #[test]
-    fn hot_node_relaxation_is_monotone(
-        c in 1.0..40.0f64,
-        r in 0.5..10.0f64,
-        t0 in 40.0..90.0f64,
-    ) {
+#[test]
+fn hot_node_relaxation_is_monotone() {
+    let mut rng = StdRng::seed_from_u64(502);
+    for _ in 0..CASES {
+        let c = rng.gen_range(1.0..40.0);
+        let r = rng.gen_range(0.5..10.0);
+        let t0 = rng.gen_range(40.0..90.0);
         let mut b = ThermalNetworkBuilder::new();
-        let die = b.add_node("die", ThermalCapacitance(c), Celsius(t0)).unwrap();
+        let die = b
+            .add_node("die", ThermalCapacitance(c), Celsius(t0))
+            .unwrap();
         let amb = b.add_boundary("amb", Celsius(26.0)).unwrap();
         b.connect(die, amb, ThermalResistance(r)).unwrap();
         let mut net = b.build().unwrap();
@@ -55,73 +64,93 @@ proptest! {
         for _ in 0..100 {
             net.step(Seconds(0.5), &[]).unwrap();
             let now = net.temperature(die).value();
-            prop_assert!(now <= last + 1e-9);
-            prop_assert!(now >= 26.0 - 1e-9);
+            assert!(now <= last + 1e-9);
+            assert!(now >= 26.0 - 1e-9);
             last = now;
         }
     }
+}
 
-    #[test]
-    fn steady_state_matches_fourier(
-        power in 0.1..10.0f64,
-        r in 0.5..10.0f64,
-        c in 0.5..20.0f64,
-    ) {
+#[test]
+fn steady_state_matches_fourier() {
+    let mut rng = StdRng::seed_from_u64(503);
+    for _ in 0..CASES {
+        let power = rng.gen_range(0.1..10.0);
+        let r = rng.gen_range(0.5..10.0);
+        let c = rng.gen_range(0.5..20.0);
         let mut b = ThermalNetworkBuilder::new();
-        let die = b.add_node("die", ThermalCapacitance(c), Celsius(26.0)).unwrap();
+        let die = b
+            .add_node("die", ThermalCapacitance(c), Celsius(26.0))
+            .unwrap();
         let amb = b.add_boundary("amb", Celsius(26.0)).unwrap();
         b.connect(die, amb, ThermalResistance(r)).unwrap();
         let mut net = b.build().unwrap();
         // Run ten time constants.
         let tau = r * c;
-        net.run(Seconds(10.0 * tau), Seconds((tau / 50.0).min(1.0)), &[(die, Watts(power))])
-            .unwrap();
+        net.run(
+            Seconds(10.0 * tau),
+            Seconds((tau / 50.0).min(1.0)),
+            &[(die, Watts(power))],
+        )
+        .unwrap();
         let expected = 26.0 + power * r;
         let t = net.temperature(die).value();
-        prop_assert!(
+        assert!(
             (t - expected).abs() < 0.01 * expected.abs().max(1.0),
             "steady {t} vs {expected}"
         );
     }
+}
 
-    #[test]
-    fn probe_state_is_bracketed_by_observations(
-        temps in proptest::collection::vec(0.0..100.0f64, 2..100),
-        tau in 0.1..20.0f64,
-    ) {
+#[test]
+fn probe_state_is_bracketed_by_observations() {
+    let mut rng = StdRng::seed_from_u64(504);
+    for _ in 0..CASES {
+        let n = rng.gen_range(2..100usize);
+        let temps: Vec<f64> = (0..n).map(|_| rng.gen_range(0.0..100.0)).collect();
+        let tau = rng.gen_range(0.1..20.0);
         let mut probe = Probe::new(Seconds(tau), TempDelta(0.0), TempDelta(0.0), 0).unwrap();
         let mut lo = f64::INFINITY;
         let mut hi = f64::NEG_INFINITY;
         for t in temps {
             lo = lo.min(t);
             hi = hi.max(t);
-            probe.observe(Celsius(t), Seconds(1.0));
+            probe.observe(Celsius(t), Seconds(1.0)).unwrap();
             let s = probe.lag_state().value();
-            prop_assert!(s >= lo - 1e-9 && s <= hi + 1e-9, "lag {s} outside [{lo}, {hi}]");
+            assert!(
+                s >= lo - 1e-9 && s <= hi + 1e-9,
+                "lag {s} outside [{lo}, {hi}]"
+            );
         }
     }
+}
 
-    #[test]
-    fn probe_lag_converges_to_constant_input(
-        target in 0.0..100.0f64,
-        tau in 0.1..10.0f64,
-    ) {
+#[test]
+fn probe_lag_converges_to_constant_input() {
+    let mut rng = StdRng::seed_from_u64(505);
+    for _ in 0..CASES {
+        let target = rng.gen_range(0.0..100.0);
+        let tau = rng.gen_range(0.1..10.0);
         let mut probe = Probe::new(Seconds(tau), TempDelta(0.0), TempDelta(0.0), 0).unwrap();
         probe.reset(Celsius(0.0));
         // Observe for 12 time constants.
-        probe.observe(Celsius(target), Seconds(12.0 * tau));
-        prop_assert!((probe.lag_state().value() - target).abs() < 1e-3 * target.abs().max(1.0));
+        probe.observe(Celsius(target), Seconds(12.0 * tau)).unwrap();
+        assert!((probe.lag_state().value() - target).abs() < 1e-3 * target.abs().max(1.0));
     }
+}
 
-    #[test]
-    fn chamber_settles_for_reasonable_targets(target in 23.0..31.0f64) {
+#[test]
+fn chamber_settles_for_reasonable_targets() {
+    let mut rng = StdRng::seed_from_u64(506);
+    for _ in 0..CASES {
+        let target = rng.gen_range(23.0..31.0);
         let cfg = ThermaBoxConfig {
             target: Celsius(target),
             ..ThermaBoxConfig::default()
         };
         let mut chamber = ThermaBox::new(cfg).unwrap();
         let t = chamber.settle(Seconds(3600.0)).unwrap();
-        prop_assert!(t.value() < 3600.0);
-        prop_assert!(chamber.deviation().abs().value() <= 0.5 + 1e-9);
+        assert!(t.value() < 3600.0);
+        assert!(chamber.deviation().abs().value() <= 0.5 + 1e-9);
     }
 }

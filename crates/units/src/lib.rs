@@ -34,7 +34,7 @@
 use core::fmt;
 use core::iter::Sum;
 use core::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
-use serde::{Deserialize, Serialize};
+use pv_json::{FromJson, Json, ToJson};
 
 /// Implements the boilerplate shared by every scalar quantity newtype:
 /// construction, accessors, same-unit arithmetic, scalar scaling, ordering
@@ -42,8 +42,21 @@ use serde::{Deserialize, Serialize};
 macro_rules! scalar_unit {
     ($(#[$meta:meta])* $name:ident, $suffix:expr) => {
         $(#[$meta])*
-        #[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+        #[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
         pub struct $name(pub f64);
+
+        impl ToJson for $name {
+            /// Units serialize as transparent numbers.
+            fn to_json(&self) -> Json {
+                Json::Number(self.0)
+            }
+        }
+
+        impl FromJson for $name {
+            fn from_json(value: &Json) -> Option<Self> {
+                value.as_f64().map(Self)
+            }
+        }
 
         impl $name {
             /// A zero-valued quantity.
@@ -274,8 +287,21 @@ scalar_unit!(
 /// let now = Celsius(76.5);
 /// assert_eq!(trip - now, TempDelta(3.5));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
 pub struct Celsius(pub f64);
+
+impl ToJson for Celsius {
+    /// Units serialize as transparent numbers.
+    fn to_json(&self) -> Json {
+        Json::Number(self.0)
+    }
+}
+
+impl FromJson for Celsius {
+    fn from_json(value: &Json) -> Option<Self> {
+        value.as_f64().map(Self)
+    }
+}
 
 impl Celsius {
     /// Absolute zero, −273.15 °C.
@@ -400,10 +426,26 @@ impl From<Celsius> for f64 {
 /// Kernel voltage-frequency tables (the paper's Table I) list voltages in
 /// millivolts, so the binning code works in `MilliVolts` and converts to
 /// [`Volts`] at the power-model boundary.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct MilliVolts(pub u32);
+
+impl ToJson for MilliVolts {
+    /// Units serialize as transparent numbers.
+    fn to_json(&self) -> Json {
+        Json::Number(f64::from(self.0))
+    }
+}
+
+impl FromJson for MilliVolts {
+    fn from_json(value: &Json) -> Option<Self> {
+        let n = value.as_f64()?;
+        if n.is_finite() && n >= 0.0 && n <= f64::from(u32::MAX) && n.fract() == 0.0 {
+            Some(Self(n as u32))
+        } else {
+            None
+        }
+    }
+}
 
 impl MilliVolts {
     /// Creates a new millivolt value.

@@ -1,102 +1,154 @@
-//! Property-based tests for unit arithmetic invariants.
+//! Property-style tests for unit arithmetic invariants.
+//!
+//! Each test sweeps a seeded random sample of the input space (deterministic
+//! across runs) and asserts the algebraic property on every case.
 
-use proptest::prelude::*;
+use pv_rng::{Rng, SeedableRng, StdRng};
 use pv_units::{
     Amperes, Celsius, Joules, MegaHertz, MilliVolts, Seconds, TempDelta, ThermalCapacitance,
     ThermalResistance, Volts, Watts,
 };
 
+const CASES: usize = 500;
+
 /// Finite, reasonably-scaled values so round-trips stay within f64 tolerance.
-fn small() -> impl Strategy<Value = f64> {
-    -1.0e6..1.0e6f64
+fn small(rng: &mut StdRng) -> f64 {
+    rng.gen_range(-1.0e6..1.0e6)
 }
 
-fn positive() -> impl Strategy<Value = f64> {
-    1.0e-3..1.0e6f64
+fn positive(rng: &mut StdRng) -> f64 {
+    rng.gen_range(1.0e-3..1.0e6)
 }
 
-proptest! {
-    #[test]
-    fn energy_round_trips_through_power(p in positive(), t in positive()) {
+#[test]
+fn energy_round_trips_through_power() {
+    let mut rng = StdRng::seed_from_u64(101);
+    for _ in 0..CASES {
+        let (p, t) = (positive(&mut rng), positive(&mut rng));
         let e = Watts(p) * Seconds(t);
         let p2 = e / Seconds(t);
         let t2 = e / Watts(p);
-        prop_assert!((p2.value() - p).abs() <= 1e-9 * p.abs().max(1.0));
-        prop_assert!((t2.value() - t).abs() <= 1e-9 * t.abs().max(1.0));
+        assert!((p2.value() - p).abs() <= 1e-9 * p.abs().max(1.0));
+        assert!((t2.value() - t).abs() <= 1e-9 * t.abs().max(1.0));
     }
+}
 
-    #[test]
-    fn power_round_trips_through_ohms_law(v in positive(), i in positive()) {
+#[test]
+fn power_round_trips_through_ohms_law() {
+    let mut rng = StdRng::seed_from_u64(102);
+    for _ in 0..CASES {
+        let (v, i) = (positive(&mut rng), positive(&mut rng));
         let w = Volts(v) * Amperes(i);
-        prop_assert!((w / Volts(v)).value() - i <= 1e-9 * i);
-        prop_assert!((w / Amperes(i)).value() - v <= 1e-9 * v);
+        assert!((w / Volts(v)).value() - i <= 1e-9 * i);
+        assert!((w / Amperes(i)).value() - v <= 1e-9 * v);
     }
+}
 
-    #[test]
-    fn addition_is_commutative(a in small(), b in small()) {
-        prop_assert_eq!(Joules(a) + Joules(b), Joules(b) + Joules(a));
+#[test]
+fn addition_is_commutative() {
+    let mut rng = StdRng::seed_from_u64(103);
+    for _ in 0..CASES {
+        let (a, b) = (small(&mut rng), small(&mut rng));
+        assert_eq!(Joules(a) + Joules(b), Joules(b) + Joules(a));
     }
+}
 
-    #[test]
-    fn celsius_affine_round_trip(t in small(), d in small()) {
+#[test]
+fn celsius_affine_round_trip() {
+    let mut rng = StdRng::seed_from_u64(104);
+    for _ in 0..CASES {
+        let (t, d) = (small(&mut rng), small(&mut rng));
         let base = Celsius(t);
         let shifted = base + TempDelta(d);
         let recovered = shifted - TempDelta(d);
-        prop_assert!((recovered.value() - t).abs() <= 1e-9 * t.abs().max(1.0));
+        assert!((recovered.value() - t).abs() <= 1e-9 * t.abs().max(1.0));
         let diff = shifted - base;
-        prop_assert!((diff.value() - d).abs() <= 1e-9 * d.abs().max(1.0));
+        assert!((diff.value() - d).abs() <= 1e-9 * d.abs().max(1.0));
     }
+}
 
-    #[test]
-    fn kelvin_round_trip(t in small()) {
+#[test]
+fn kelvin_round_trip() {
+    let mut rng = StdRng::seed_from_u64(105);
+    for _ in 0..CASES {
+        let t = small(&mut rng);
         let c = Celsius(t);
         let back = Celsius::from_kelvin(c.to_kelvin());
-        prop_assert!((back.value() - t).abs() <= 1e-6);
+        assert!((back.value() - t).abs() <= 1e-6);
     }
+}
 
-    #[test]
-    fn fourier_and_heating_are_inverse_scalings(dt in positive(), r in positive()) {
-        // ΔT/R = W, then W*R recovers ΔT (done in raw f64 since W×R is not exposed).
+#[test]
+fn fourier_and_heating_are_inverse_scalings() {
+    let mut rng = StdRng::seed_from_u64(106);
+    for _ in 0..CASES {
+        let (dt, r) = (positive(&mut rng), positive(&mut rng));
+        // ΔT/R = W, then W*R recovers ΔT (raw f64 since W×R is not exposed).
         let w = TempDelta(dt) / ThermalResistance(r);
-        prop_assert!((w.value() * r - dt).abs() <= 1e-9 * dt);
+        assert!((w.value() * r - dt).abs() <= 1e-9 * dt);
     }
+}
 
-    #[test]
-    fn heat_capacity_round_trip(e in positive(), c in positive()) {
+#[test]
+fn heat_capacity_round_trip() {
+    let mut rng = StdRng::seed_from_u64(107);
+    for _ in 0..CASES {
+        let (e, c) = (positive(&mut rng), positive(&mut rng));
         let delta = Joules(e) / ThermalCapacitance(c);
         let back = ThermalCapacitance(c) * delta;
-        prop_assert!((back.value() - e).abs() <= 1e-9 * e);
+        assert!((back.value() - e).abs() <= 1e-9 * e);
     }
+}
 
-    #[test]
-    fn millivolts_never_lose_precision(mv in 0u32..10_000) {
+#[test]
+fn millivolts_never_lose_precision() {
+    let mut rng = StdRng::seed_from_u64(108);
+    for _ in 0..CASES {
+        let mv = rng.gen_range(0..10_000u32);
         let v = MilliVolts(mv).to_volts();
-        prop_assert!((v.value() * 1000.0 - f64::from(mv)).abs() < 1e-9);
+        assert!((v.value() * 1000.0 - f64::from(mv)).abs() < 1e-9);
     }
+}
 
-    #[test]
-    fn hz_round_trip(mhz in positive()) {
+#[test]
+fn hz_round_trip() {
+    let mut rng = StdRng::seed_from_u64(109);
+    for _ in 0..CASES {
+        let mhz = positive(&mut rng);
         let f = MegaHertz(mhz);
         let back = MegaHertz::from_hz(f.to_hz());
-        prop_assert!((back.value() - mhz).abs() <= 1e-9 * mhz);
+        assert!((back.value() - mhz).abs() <= 1e-9 * mhz);
     }
+}
 
-    #[test]
-    fn cycles_scale_linearly_with_time(mhz in 1.0..4000.0f64, t in 0.001..1000.0f64) {
+#[test]
+fn cycles_scale_linearly_with_time() {
+    let mut rng = StdRng::seed_from_u64(110);
+    for _ in 0..CASES {
+        let mhz = rng.gen_range(1.0..4000.0);
+        let t = rng.gen_range(0.001..1000.0);
         let one = MegaHertz(mhz).cycles_over(Seconds(t));
         let two = MegaHertz(mhz).cycles_over(Seconds(2.0 * t));
-        prop_assert!((two - 2.0 * one).abs() <= 1e-6 * one.max(1.0));
+        assert!((two - 2.0 * one).abs() <= 1e-6 * one.max(1.0));
     }
+}
 
-    #[test]
-    fn min_max_are_consistent(a in small(), b in small()) {
+#[test]
+fn min_max_are_consistent() {
+    let mut rng = StdRng::seed_from_u64(111);
+    for _ in 0..CASES {
+        let (a, b) = (small(&mut rng), small(&mut rng));
         let (x, y) = (Watts(a), Watts(b));
-        prop_assert!(x.min(y).value() <= x.max(y).value());
-        prop_assert_eq!(x.min(y).value() + x.max(y).value(), a + b);
+        assert!(x.min(y).value() <= x.max(y).value());
+        assert_eq!(x.min(y).value() + x.max(y).value(), a + b);
     }
+}
 
-    #[test]
-    fn ratio_of_equal_quantities_is_one(a in positive()) {
-        prop_assert!((Seconds(a) / Seconds(a) - 1.0).abs() < 1e-12);
+#[test]
+fn ratio_of_equal_quantities_is_one() {
+    let mut rng = StdRng::seed_from_u64(112);
+    for _ in 0..CASES {
+        let a = positive(&mut rng);
+        assert!((Seconds(a) / Seconds(a) - 1.0).abs() < 1e-12);
     }
 }

@@ -1,0 +1,87 @@
+//! A measurement session that survives injected hardware faults.
+//!
+//! Real campaigns lose iterations to flaky temperature sensors, dropped
+//! meter connections and misbehaving schedulers. This example runs the
+//! same device through a clean session and through one gated on a
+//! pseudo-random fault plan, and shows the resilience layer at work:
+//! per-iteration retries with idle backoff, quarantined slots, the fault
+//! report log, and the session's quality-gate verdict.
+//!
+//! ```text
+//! cargo run --release --example faulty_session
+//! ```
+
+use process_variation::prelude::*;
+use process_variation::pv_faults::{FaultHandle, FaultPlan, ALL_KINDS};
+use process_variation::pv_soc::faulty::FaultyDevice;
+
+fn main() -> Result<(), BenchError> {
+    println!("ACCUBENCH under fault injection\n");
+
+    // Short protocol so the demo runs in seconds.
+    let protocol = Protocol::unconstrained()
+        .with_warmup(Seconds(30.0))
+        .with_workload(Seconds(45.0));
+
+    // --- Baseline: no faults. A disarmed gate is a pure pass-through. ---
+    let mut clean = FaultyDevice::new(catalog::nexus5(BinId(1))?, FaultHandle::disarmed());
+    let mut harness = Harness::new(protocol, Ambient::Fixed(Celsius(26.0)))?;
+    let baseline = harness.run_session(&mut clean, 4)?;
+    let perf = baseline.performance_summary()?;
+    println!(
+        "clean session:  {} iterations, verdict {}, {:.1} iters (RSD {:.2}%)",
+        baseline.iterations.len(),
+        baseline.verdict,
+        perf.mean(),
+        perf.rsd_percent()
+    );
+
+    // --- The same device under a pseudo-random fault barrage. ---
+    // Mean interval 120 s over a ~10-minute session ⇒ several faults land.
+    let plan = FaultPlan::generate(0xBAD5EED, 1200.0, 120.0, &ALL_KINDS);
+    println!("\narming {} scheduled fault(s):", plan.events.len());
+    for e in &plan.events {
+        println!(
+            "  t={:6.1}s  {:24} for {:4.1}s (magnitude {:.2})",
+            e.at,
+            e.kind.as_str(),
+            e.duration,
+            e.magnitude
+        );
+    }
+
+    let handle = FaultHandle::armed(plan);
+    let mut faulty = FaultyDevice::new(catalog::nexus5(BinId(1))?, handle.clone());
+    let mut harness =
+        Harness::new(protocol, Ambient::Fixed(Celsius(26.0)))?.with_faults(handle.clone());
+    let session = harness.run_session(&mut faulty, 4)?;
+
+    println!(
+        "\nfaulty session: {} iterations survived, {} quarantined, verdict {}",
+        session.iterations.len(),
+        session.quarantined_count(),
+        session.verdict
+    );
+    for q in &session.quarantined {
+        println!("  {q}");
+    }
+    if !session.iterations.is_empty() {
+        let perf = session.performance_summary()?;
+        println!(
+            "  surviving iterations: {:.1} iters (RSD {:.2}%)",
+            perf.mean(),
+            perf.rsd_percent()
+        );
+    }
+
+    println!("\nfault log ({} occurrence(s)):", handle.report_count());
+    for r in handle.reports() {
+        println!("  t={:6.1}s  {}: {}", r.at, r.kind, r.detail);
+    }
+
+    println!(
+        "\nQuarantined slots never reach the summaries; the verdict tells a\n\
+         crowd database whether to trust this submission at all."
+    );
+    Ok(())
+}

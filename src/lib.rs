@@ -41,7 +41,10 @@
 #![warn(missing_docs)]
 
 pub use accubench;
+pub use pv_faults;
+pub use pv_json;
 pub use pv_power;
+pub use pv_rng;
 pub use pv_silicon;
 pub use pv_soc;
 pub use pv_stats;
@@ -52,15 +55,17 @@ pub use pv_workload;
 /// The most common imports, for examples and downstream experiments.
 pub mod prelude {
     pub use accubench::experiments::ExperimentConfig;
-    pub use accubench::harness::{Ambient, Harness};
+    pub use accubench::harness::{Ambient, Harness, QualityGates, RetryPolicy};
     pub use accubench::protocol::{CooldownTarget, Protocol};
-    pub use accubench::session::{Iteration, Session};
+    pub use accubench::session::{Iteration, QuarantinedIteration, Session, Verdict};
     pub use accubench::BenchError;
+    pub use pv_faults::{FaultHandle, FaultKind, FaultPlan};
     pub use pv_power::{Battery, EnergyMeter, Monsoon, PowerSupply};
     pub use pv_silicon::binning::BinId;
     pub use pv_silicon::{DieSample, ProcessNode};
     pub use pv_soc::catalog;
-    pub use pv_soc::device::{CpuDemand, Device, FrequencyMode};
+    pub use pv_soc::device::{CpuDemand, Device, Dut, FrequencyMode};
+    pub use pv_soc::faulty::FaultyDevice;
     pub use pv_stats::Summary;
     pub use pv_thermal::thermabox::{ThermaBox, ThermaBoxConfig};
     pub use pv_units::{Celsius, Joules, MegaHertz, Seconds, Volts, Watts};

@@ -67,6 +67,61 @@ fn population_sampling_is_seed_stable() {
 }
 
 #[test]
+fn fault_plans_and_reports_replay_identically() {
+    use process_variation::pv_faults::{FaultHandle, FaultPlan, ALL_KINDS};
+    use process_variation::pv_soc::faulty::FaultyDevice;
+
+    // Same (seed, horizon, interval, kinds) ⇒ the same plan.
+    let a = FaultPlan::generate(42, 1200.0, 120.0, &ALL_KINDS);
+    let b = FaultPlan::generate(42, 1200.0, 120.0, &ALL_KINDS);
+    assert_eq!(a, b);
+
+    // And the same plan driven through the same session ⇒ the same
+    // FaultReport sequence and the same measurements, bit for bit.
+    let run = |plan: FaultPlan| {
+        let handle = FaultHandle::armed(plan);
+        let mut device = FaultyDevice::new(catalog::nexus5(BinId(1)).unwrap(), handle.clone());
+        let protocol = Protocol::unconstrained()
+            .with_warmup(Seconds(50.0))
+            .with_workload(Seconds(80.0));
+        let mut harness = Harness::new(protocol, Ambient::paper_chamber().unwrap())
+            .unwrap()
+            .with_faults(handle.clone());
+        let session = harness.run_session(&mut device, 2).unwrap();
+        (session, handle.reports())
+    };
+    let (s1, r1) = run(a);
+    let (s2, r2) = run(b);
+    assert_eq!(r1, r2, "fault report sequences must replay identically");
+    assert_eq!(s1, s2, "faulty sessions must replay identically");
+}
+
+#[test]
+fn disarmed_fault_layer_is_bit_identical_to_seed_behaviour() {
+    use process_variation::pv_faults::FaultHandle;
+    use process_variation::pv_soc::faulty::FaultyDevice;
+
+    // Plain device through a plain harness...
+    let baseline = run_session(1, 2);
+    // ...vs the same device wrapped in a disarmed fault gate through a
+    // fault-plumbed harness: the outputs must not differ in any bit.
+    let mut device = FaultyDevice::new(catalog::nexus5(BinId(1)).unwrap(), FaultHandle::disarmed());
+    let protocol = Protocol::unconstrained()
+        .with_warmup(Seconds(50.0))
+        .with_workload(Seconds(80.0));
+    let mut harness = Harness::new(protocol, Ambient::paper_chamber().unwrap())
+        .unwrap()
+        .with_faults(FaultHandle::disarmed());
+    let session = harness.run_session(&mut device, 2).unwrap();
+    let gated: Vec<(f64, f64)> = session
+        .iterations
+        .iter()
+        .map(|i| (i.iterations_completed, i.energy.value()))
+        .collect();
+    assert_eq!(baseline, gated);
+}
+
+#[test]
 fn experiment_suite_is_deterministic() {
     use accubench::experiments::{table1, ExperimentConfig};
     let cfg = ExperimentConfig {

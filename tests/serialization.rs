@@ -2,6 +2,7 @@
 //! that support it round-trip.
 
 use process_variation::prelude::*;
+use process_variation::pv_json::{FromJson, Json, ToJson};
 use process_variation::pv_soc::trace::Trace;
 
 #[test]
@@ -14,11 +15,11 @@ fn iteration_serializes_to_json() {
     let mut harness = Harness::new(protocol, Ambient::Fixed(Celsius(26.0))).unwrap();
     let it = harness.run_iteration(&mut device).unwrap();
 
-    let json = serde_json::to_string(&it).unwrap();
+    let json = it.to_json().to_string_compact();
     assert!(json.contains("iterations_completed"));
     assert!(json.contains("workload_trace"));
     // Units serialize as transparent numbers (newtype wrappers).
-    let value: serde_json::Value = serde_json::from_str(&json).unwrap();
+    let value = Json::from_str(&json).unwrap();
     assert!(value["energy"].is_number());
 }
 
@@ -32,8 +33,8 @@ fn trace_round_trips_through_json() {
     let mut harness = Harness::new(protocol, Ambient::Fixed(Celsius(26.0))).unwrap();
     let it = harness.run_iteration(&mut device).unwrap();
 
-    let json = serde_json::to_string(&it.workload_trace).unwrap();
-    let back: Trace = serde_json::from_str(&json).unwrap();
+    let json = it.workload_trace.to_json().to_string_compact();
+    let back = Trace::from_json(&Json::from_str(&json).unwrap()).unwrap();
     assert_eq!(back.len(), it.workload_trace.len());
     for (a, b) in back.samples().iter().zip(it.workload_trace.samples()) {
         assert!((a.t.value() - b.t.value()).abs() < 1e-9);
@@ -51,17 +52,18 @@ fn trace_round_trips_through_json() {
 
 #[test]
 fn units_round_trip_through_json() {
-    let cases = serde_json::to_string(&(
+    let cases = (
         Celsius(26.5),
         Watts(3.25),
         Joules(100.0),
         MegaHertz(2265.0),
         Seconds(300.0),
         Volts(3.85),
-    ))
-    .unwrap();
+    )
+        .to_json()
+        .to_string_compact();
     let (c, w, j, f, s, v): (Celsius, Watts, Joules, MegaHertz, Seconds, Volts) =
-        serde_json::from_str(&cases).unwrap();
+        FromJson::from_json(&Json::from_str(&cases).unwrap()).unwrap();
     assert_eq!(c, Celsius(26.5));
     assert_eq!(w, Watts(3.25));
     assert_eq!(j, Joules(100.0));
@@ -78,8 +80,8 @@ fn study_serializes_with_all_rows() {
         iterations: 1,
     };
     let s = study::plans::nexus5(&cfg).unwrap();
-    let value = serde_json::to_value(&s).unwrap();
+    let value = s.to_json();
     assert_eq!(value["rows"].as_array().unwrap().len(), 4);
-    assert_eq!(value["soc"], "SD-800");
+    assert_eq!(value["soc"].as_str(), Some("SD-800"));
     assert!(value["rows"][0]["perf_mean"].is_number());
 }
