@@ -12,6 +12,10 @@
 //!   --trace <file.csv>          dump the last iteration's full trace as CSV
 //!   --faults <plan.toml>        arm a fault-injection plan for the session
 //!   --json                      emit the session as JSON
+//!   --journal <file>            journal the run (self-checksummed, fsynced)
+//!   --resume                    replay a completed journal instead of
+//!                               re-measuring; refuses a journal whose
+//!                               recorded configuration differs
 //! ```
 //!
 //! Examples:
@@ -23,13 +27,19 @@
 //! accubench --device nexus5:2 --faults examples/fault_plan.toml
 //! ```
 
+use accubench::crowd::SweepOutcome;
 use accubench::harness::{Ambient, Harness};
+use accubench::journal::{fnv64, Journal, Record};
 use accubench::protocol::Protocol;
+use accubench::session::Verdict;
 use pv_faults::{FaultHandle, FaultPlan};
 use pv_soc::catalog;
 use pv_soc::faulty::FaultyDevice;
 use pv_units::{Celsius, MegaHertz, Seconds};
 use std::process::ExitCode;
+
+#[path = "../sigint.rs"]
+mod sigint;
 
 struct Options {
     device: String,
@@ -40,6 +50,8 @@ struct Options {
     trace: Option<String>,
     faults: Option<String>,
     json: bool,
+    journal: Option<String>,
+    resume: bool,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -52,6 +64,8 @@ fn parse_args() -> Result<Options, String> {
         trace: None,
         faults: None,
         json: false,
+        journal: None,
+        resume: false,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -82,6 +96,8 @@ fn parse_args() -> Result<Options, String> {
             "--trace" => opts.trace = Some(value("--trace")?),
             "--faults" => opts.faults = Some(value("--faults")?),
             "--json" => opts.json = true,
+            "--journal" => opts.journal = Some(value("--journal")?),
+            "--resume" => opts.resume = true,
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown option: {other}")),
         }
@@ -95,7 +111,53 @@ fn parse_args() -> Result<Options, String> {
     if !(opts.scale > 0.0 && opts.scale <= 1.0) {
         return Err("--scale must be in (0, 1]".to_owned());
     }
+    if opts.resume && opts.journal.is_none() {
+        return Err("--resume requires --journal <file>".to_owned());
+    }
     Ok(opts)
+}
+
+/// Digest over everything that determines this run's simulated outcome:
+/// device, mode, iterations, ambient, scale, and the fault plan *text*
+/// (so editing the plan file invalidates a stale journal).
+fn run_digest(opts: &Options, fault_toml: &str) -> String {
+    let ambient = match opts.ambient {
+        Some(t) => format!("{:016x}", t.to_bits()),
+        None => "chamber".to_owned(),
+    };
+    let s = format!(
+        "accubench-v1|device={}|mode={}|iters={}|ambient={ambient}|scale={:016x}|faults={:016x}",
+        opts.device,
+        opts.mode,
+        opts.iterations,
+        opts.scale.to_bits(),
+        fnv64(fault_toml.as_bytes()),
+    );
+    format!("{:016x}", fnv64(s.as_bytes()))
+}
+
+/// Prints a journaled outcome (the `--resume` replay path) and converts
+/// it to an exit code.
+fn replay_outcome(outcome: &SweepOutcome, score: Option<f64>, rsd: Option<f64>) -> ExitCode {
+    println!("journaled result for {}:", outcome.device);
+    match outcome.verdict {
+        Some(v) => println!("verdict: {v}"),
+        None => println!("verdict: error"),
+    }
+    if let (Some(score), Some(rsd)) = (score, rsd) {
+        println!("performance: {score:.1} iterations (RSD {rsd:.2}%)");
+    }
+    if outcome.quarantined > 0 {
+        println!("quarantined: {} slot(s)", outcome.quarantined);
+    }
+    if outcome.fault_reports > 0 {
+        println!("fault log: {} occurrence(s)", outcome.fault_reports);
+    }
+    if let Some(e) = &outcome.error {
+        eprintln!("error (journaled): {e}");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
 }
 
 fn main() -> ExitCode {
@@ -124,6 +186,7 @@ fn main() -> ExitCode {
 
     // The device is always driven through the fault gate; without --faults
     // the gate is disarmed and behaves bit-identically to the bare device.
+    let mut fault_toml = String::new();
     let faults = match &opts.faults {
         Some(path) => {
             let text = match std::fs::read_to_string(path) {
@@ -136,6 +199,7 @@ fn main() -> ExitCode {
             match FaultPlan::from_toml_str(&text) {
                 Ok(plan) => {
                     eprintln!("armed fault plan {path}: {} event(s)", plan.events.len());
+                    fault_toml = text;
                     FaultHandle::armed(plan)
                 }
                 Err(e) => {
@@ -146,6 +210,87 @@ fn main() -> ExitCode {
         }
         None => FaultHandle::disarmed(),
     };
+
+    // Journal handling: open (recovering any torn tail), then either seal a
+    // fresh header or verify the existing one before anything runs.
+    let digest = run_digest(&opts, &fault_toml);
+    let mut journal = match &opts.journal {
+        Some(path) => match Journal::open(path) {
+            Ok(j) => {
+                if j.dropped_bytes() > 0 {
+                    eprintln!(
+                        "journal {path}: dropped {} byte(s) of torn tail",
+                        j.dropped_bytes()
+                    );
+                }
+                Some(j)
+            }
+            Err(e) => {
+                eprintln!("--journal: {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
+    };
+    if let Some(j) = journal.as_mut() {
+        if j.recovered().is_empty() {
+            let header = Record::Header {
+                model: opts.device.clone(),
+                digest: digest.clone(),
+                devices: 1,
+            };
+            if let Err(e) = j.append(&header) {
+                eprintln!("--journal: {e}");
+                return ExitCode::FAILURE;
+            }
+        } else {
+            match &j.recovered()[0] {
+                Record::Header {
+                    digest: journaled, ..
+                } if *journaled == digest => {}
+                Record::Header { .. } => {
+                    eprintln!(
+                        "--journal: journal was written by a different configuration; \
+                         refusing to resume (re-run with matching options or a fresh path)"
+                    );
+                    return ExitCode::FAILURE;
+                }
+                _ => {
+                    eprintln!("--journal: journal does not start with a header");
+                    return ExitCode::FAILURE;
+                }
+            }
+            if !opts.resume {
+                eprintln!(
+                    "--journal: journal already holds {} record(s); \
+                     pass --resume to replay it or choose a fresh path",
+                    j.recovered().len()
+                );
+                return ExitCode::FAILURE;
+            }
+            let mut done = None;
+            let mut complete = false;
+            for r in &j.recovered()[1..] {
+                match r {
+                    Record::Outcome {
+                        outcome,
+                        score,
+                        rsd,
+                        ..
+                    } => done = Some((outcome.clone(), *score, *rsd)),
+                    Record::Complete { .. } => complete = true,
+                    _ => {}
+                }
+            }
+            if complete {
+                if let Some((outcome, score, rsd)) = done {
+                    return replay_outcome(&outcome, score, rsd);
+                }
+            }
+            eprintln!("journal is incomplete; re-measuring");
+        }
+    }
+    let device_label = device.label().to_owned();
     let mut device = FaultyDevice::new(device, faults.clone());
 
     let mut protocol = if opts.mode == "unconstrained" {
@@ -185,17 +330,73 @@ fn main() -> ExitCode {
         }
     };
 
+    // First Ctrl-C lets the session finish and journal; the second one
+    // kills the process (recovery then drops any torn journal tail).
+    let _cancel = sigint::install();
+
     eprintln!(
         "measuring {device}: {} iteration(s), mode {} ...",
         opts.iterations, opts.mode
     );
+    let journal_end = |journal: &mut Option<Journal>, record: Record| {
+        if let Some(j) = journal.as_mut() {
+            for r in [&record, &Record::Complete { devices: 1 }] {
+                if let Err(e) = j.append(r) {
+                    eprintln!("warning: journal append failed: {e}");
+                    return;
+                }
+            }
+        }
+    };
     let session = match harness.run_session(&mut device, opts.iterations) {
         Ok(s) => s,
         Err(e) => {
+            // A fatal session error is deterministic, so it completes the
+            // journal: --resume replays the failure instead of re-running.
+            journal_end(
+                &mut journal,
+                Record::Outcome {
+                    index: 0,
+                    outcome: SweepOutcome {
+                        device: device_label,
+                        verdict: None,
+                        accepted: false,
+                        quarantined: 0,
+                        fault_reports: faults.report_count(),
+                        error: Some(e.to_string()),
+                    },
+                    score: None,
+                    rsd: None,
+                },
+            );
             eprintln!("error: {e}");
             return ExitCode::FAILURE;
         }
     };
+    let (score, rsd) = if session.verdict == Verdict::Invalid {
+        (None, None)
+    } else {
+        session
+            .performance_summary()
+            .map(|p| (Some(p.mean()), Some(p.rsd_percent())))
+            .unwrap_or((None, None))
+    };
+    journal_end(
+        &mut journal,
+        Record::Outcome {
+            index: 0,
+            outcome: SweepOutcome {
+                device: device_label,
+                verdict: Some(session.verdict),
+                accepted: session.verdict != Verdict::Invalid,
+                quarantined: session.quarantined.len(),
+                fault_reports: faults.report_count(),
+                error: None,
+            },
+            score,
+            rsd,
+        },
+    );
 
     if let Some(path) = &opts.trace {
         let csv = session

@@ -16,7 +16,10 @@ fn main() {
         Ok(t2) => {
             println!("{}", t2.render());
             for s in &t2.studies {
-                println!("{}", s.render().unwrap());
+                match s.render() {
+                    Ok(table) => println!("{table}"),
+                    Err(e) => println!("{} render failed: {e}", s.soc),
+                }
             }
             let fig13 = experiments::fig13::from_studies(&t2.studies);
             println!("{}", fig13.render());

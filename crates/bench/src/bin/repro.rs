@@ -20,10 +20,35 @@
 //! session-based `rsd` experiment (other experiments ignore it and run
 //! clean): sessions then exercise the harness's retry/quarantine path and
 //! report per-session verdicts.
+//!
+//! The `sweep` target runs a §VI crowd-population sweep over a fleet of
+//! Pixel devices, and is where the durability options live:
+//!
+//! ```text
+//! repro sweep [--quick] [--devices N] [--seed S] \
+//!             [--journal run.journal] [--resume] [--json]
+//! ```
+//!
+//! With `--journal` every finished device is appended to a write-ahead
+//! journal (fsynced, self-checksummed) before the sweep moves on, so the
+//! process can be killed — Ctrl-C, SIGTERM, power loss — and re-run with
+//! `--resume` to continue from the last journaled device; the final
+//! report is bit-identical to an uninterrupted run. `--seed` arms
+//! per-device pseudo-random fault injection to exercise the resilient
+//! path.
 
+use accubench::crowd::{populate_journaled, CrowdDatabase, SweepConfig};
 use accubench::experiments::{self, study, ExperimentConfig};
+use accubench::journal::Journal;
+use accubench::protocol::Protocol;
 use pv_faults::FaultPlan;
+use pv_soc::catalog;
+use pv_soc::device::Device;
+use pv_units::Seconds;
 use std::process::ExitCode;
+
+#[path = "../sigint.rs"]
+mod sigint;
 
 const EXPERIMENTS: &[&str] = &[
     "table1",
@@ -59,6 +84,10 @@ fn usage() -> ExitCode {
         "usage: repro <experiment|all|list> [--quick] [--json] [--export dir] \
          [--faults plan.toml]"
     );
+    eprintln!(
+        "       repro sweep [--quick] [--json] [--devices N] [--seed S] \
+         [--journal run.journal] [--resume]"
+    );
     eprintln!("experiments: {}", EXPERIMENTS.join(" "));
     ExitCode::FAILURE
 }
@@ -75,8 +104,12 @@ fn main() -> ExitCode {
     };
     let export_dir = value_of("--export");
     let faults_path = value_of("--faults");
+    let devices_arg = value_of("--devices");
+    let seed_arg = value_of("--seed");
+    let journal_path = value_of("--journal");
+    let resume = args.iter().any(|a| a == "--resume");
     // Indices consumed as values of flags are not positional targets.
-    let consumed: Vec<usize> = ["--export", "--faults"]
+    let consumed: Vec<usize> = ["--export", "--faults", "--devices", "--seed", "--journal"]
         .iter()
         .filter_map(|f| args.iter().position(|a| a == *f).map(|i| i + 1))
         .collect();
@@ -98,6 +131,16 @@ fn main() -> ExitCode {
     } else {
         ExperimentConfig::paper()
     };
+    if target == "sweep" {
+        return run_sweep(
+            &cfg,
+            devices_arg.as_deref(),
+            seed_arg.as_deref(),
+            journal_path.as_deref(),
+            resume,
+            json,
+        );
+    }
     let fault_plan = match &faults_path {
         Some(path) => match std::fs::read_to_string(path) {
             Ok(text) => match FaultPlan::from_toml_str(&text) {
@@ -352,6 +395,147 @@ fn main() -> ExitCode {
             eprintln!("{t} failed: {e}");
             return ExitCode::FAILURE;
         }
+    }
+    ExitCode::SUCCESS
+}
+
+/// Builds the `sweep` fleet: `n` Pixels with speed grades spread evenly
+/// across the binning range, labelled `pixel-crowd-NNN`.
+fn fleet(n: usize) -> Result<Vec<Device>, accubench::BenchError> {
+    (0..n)
+        .map(|i| {
+            let grade = 0.05 + 0.9 * (i as f64) / (n.max(2) - 1) as f64;
+            catalog::pixel(grade, format!("pixel-crowd-{i:03}")).map_err(Into::into)
+        })
+        .collect()
+}
+
+/// The `sweep` target: a journaled, interruptible crowd-population sweep.
+fn run_sweep(
+    cfg: &ExperimentConfig,
+    devices_arg: Option<&str>,
+    seed_arg: Option<&str>,
+    journal_path: Option<&str>,
+    resume: bool,
+    json: bool,
+) -> ExitCode {
+    let n: usize = match devices_arg.map_or(Ok(100), str::parse) {
+        Ok(n) if n > 0 => n,
+        _ => {
+            eprintln!("--devices must be a positive integer");
+            return ExitCode::FAILURE;
+        }
+    };
+    let seed: Option<u64> = match seed_arg.map(str::parse).transpose() {
+        Ok(s) => s,
+        Err(_) => {
+            eprintln!("--seed must be an unsigned integer");
+            return ExitCode::FAILURE;
+        }
+    };
+    if resume && journal_path.is_none() {
+        eprintln!("--resume requires --journal <path>");
+        return ExitCode::FAILURE;
+    }
+
+    let base = Protocol::unconstrained();
+    let protocol = base
+        .with_warmup(Seconds(base.warmup.value() * cfg.scale))
+        .with_workload(Seconds(base.workload.value() * cfg.scale));
+    let mut sweep_cfg = SweepConfig::clean(protocol, cfg.iterations);
+    if let Some(seed) = seed {
+        let iteration = protocol.warmup.value() + protocol.workload.value() + 100.0;
+        sweep_cfg = sweep_cfg.with_faults(
+            seed,
+            Seconds(iteration * 10.0),
+            pv_faults::ALL_KINDS.to_vec(),
+        );
+    }
+
+    let mut journal = match journal_path {
+        Some(path) => match Journal::open(path) {
+            Ok(j) => {
+                if j.dropped_bytes() > 0 {
+                    eprintln!(
+                        "journal {path}: dropped {} byte(s) of torn tail",
+                        j.dropped_bytes()
+                    );
+                }
+                if !j.recovered().is_empty() && !resume {
+                    eprintln!(
+                        "journal {path} already holds {} record(s); \
+                         pass --resume to continue it or choose a fresh path",
+                        j.recovered().len()
+                    );
+                    return ExitCode::FAILURE;
+                }
+                Some(j)
+            }
+            Err(e) => {
+                eprintln!("--journal: {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
+    };
+
+    let devices = match fleet(n) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut db = match CrowdDatabase::new(5.0) {
+        Ok(db) => db,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let cancel = sigint::install();
+    eprintln!(
+        "sweeping {n} device(s), {} iteration(s) each{} ...",
+        cfg.iterations,
+        journal_path.map_or_else(String::new, |p| format!(", journal {p}")),
+    );
+    let sweep = match populate_journaled(
+        &mut db,
+        "Pixel",
+        devices,
+        &sweep_cfg,
+        journal.as_mut(),
+        &cancel,
+    ) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("sweep failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if sweep.resumed > 0 {
+        eprintln!("resumed {} journaled device(s)", sweep.resumed);
+    }
+    if json {
+        println!(
+            "{}",
+            pv_json::ToJson::to_json(&sweep.report).to_string_pretty()
+        );
+    } else {
+        println!("{}", sweep.report);
+        if let Some(spread) = db.model_spread_percent("Pixel") {
+            println!("model spread: {spread:.1}%");
+        }
+    }
+    if !sweep.complete {
+        eprintln!(
+            "interrupted after {} device(s); resume with: repro sweep --journal {} --resume",
+            sweep.report.outcomes.len(),
+            journal_path.unwrap_or("<path>"),
+        );
+        return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS
 }

@@ -1,0 +1,66 @@
+//! Cooperative SIGINT/SIGTERM handling for the CLI binaries.
+//!
+//! Shared between the `src/bin/*` targets via `#[path]` include (it must
+//! not live in `src/bin/` itself, where cargo would auto-discover it as a
+//! binary, and it cannot live in the library, which forbids unsafe code).
+//!
+//! The handler only flips a static [`AtomicBool`] — the single operation
+//! that is async-signal-safe — and the sweep loop polls it between device
+//! sessions through a [`CancelToken`]: the in-flight session finishes, its
+//! outcome is journaled, and the process exits cleanly so a later
+//! `--resume` picks up exactly where it stopped. The handler then restores
+//! the default disposition, so a second Ctrl-C while the current session
+//! drains kills the process immediately (the journal stays valid: recovery
+//! drops any torn tail).
+
+use accubench::journal::CancelToken;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static INTERRUPTED: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+mod imp {
+    use super::{Ordering, INTERRUPTED};
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    const SIG_DFL: usize = 0;
+
+    // `signal`'s handler argument is pointer-sized and also carries the
+    // sentinel SIG_DFL (0), so it is declared as usize rather than a fn
+    // pointer (Rust fn pointers cannot be null).
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    extern "C" fn on_signal(_signum: i32) {
+        // Async-signal-safe: one atomic store, no allocation, no locks.
+        INTERRUPTED.store(true, Ordering::SeqCst);
+        // Second signal falls through to the default (terminating)
+        // disposition.
+        unsafe {
+            signal(SIGINT, SIG_DFL);
+            signal(SIGTERM, SIG_DFL);
+        }
+    }
+
+    pub fn install() {
+        let handler = on_signal as *const () as usize;
+        unsafe {
+            signal(SIGINT, handler);
+            signal(SIGTERM, handler);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    pub fn install() {}
+}
+
+/// Installs the SIGINT/SIGTERM handler (reinstalling is harmless) and
+/// returns the token the sweep loop polls.
+pub fn install() -> CancelToken {
+    imp::install();
+    CancelToken::from_static(&INTERRUPTED)
+}

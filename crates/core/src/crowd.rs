@@ -13,16 +13,19 @@
 //! *how wide is the spread for this model?*
 
 use crate::harness::{Ambient, Harness};
-use crate::protocol::Protocol;
+use crate::journal::{fnv64, CancelToken, Journal, JournalError, Record};
+use crate::protocol::{CooldownTarget, Protocol};
 use crate::report::TextTable;
 use crate::session::Verdict;
 use crate::BenchError;
 use core::fmt;
+use core::fmt::Write as _;
 use pv_faults::{FaultHandle, FaultKind, FaultPlan};
-use pv_soc::device::Device;
+use pv_soc::device::{Device, FrequencyMode};
 use pv_soc::faulty::FaultyDevice;
 use pv_stats::Summary;
 use pv_units::{Celsius, Seconds};
+use std::collections::BTreeMap;
 
 /// One accepted crowd submission.
 #[derive(Debug, Clone, PartialEq)]
@@ -178,6 +181,28 @@ pv_json::impl_to_json!(CrowdDatabase {
     scores,
     rejected
 });
+pv_json::impl_to_json!(SweepOutcome {
+    device,
+    verdict,
+    accepted,
+    quarantined,
+    fault_reports,
+    error
+});
+pv_json::impl_to_json!(SweepReport { outcomes });
+
+impl pv_json::FromJson for SweepOutcome {
+    fn from_json(value: &pv_json::Json) -> Option<Self> {
+        Some(SweepOutcome {
+            device: String::from_json(value.get("device")?)?,
+            verdict: <Option<Verdict>>::from_json(value.get("verdict")?)?,
+            accepted: bool::from_json(value.get("accepted")?)?,
+            quarantined: usize::from_json(value.get("quarantined")?)?,
+            fault_reports: usize::from_json(value.get("fault_reports")?)?,
+            error: <Option<String>>::from_json(value.get("error")?)?,
+        })
+    }
+}
 
 /// Configuration of a resilient crowd-population sweep
 /// ([`populate_resilient`]).
@@ -230,6 +255,64 @@ impl SweepConfig {
             + self.protocol.workload.value();
         per_iteration * self.iterations as f64 * 4.0
     }
+
+    /// Hex [`fnv64`] digest over every field that determines the sweep's
+    /// simulated outcome — protocol, iterations, ambient, fault plan
+    /// parameters, model name and the device labels, with floats hashed by
+    /// their exact bit patterns. `--resume` refuses a journal whose header
+    /// digest differs, so a crashed sweep can never silently continue
+    /// under a different configuration.
+    pub fn digest(&self, model: &str, device_labels: &[String]) -> String {
+        let mut s = String::new();
+        let bits = |s: &mut String, v: f64| {
+            let _ = write!(s, "{:016x}/", v.to_bits());
+        };
+        let _ = write!(s, "v1|model={model}|");
+        bits(&mut s, self.protocol.warmup.value());
+        bits(&mut s, self.protocol.cooldown_poll.value());
+        match self.protocol.cooldown_target {
+            CooldownTarget::Absolute(t) => {
+                s.push_str("abs:");
+                bits(&mut s, t.value());
+            }
+            CooldownTarget::AboveAmbient(d) => {
+                s.push_str("rel:");
+                bits(&mut s, d.value());
+            }
+        }
+        bits(&mut s, self.protocol.cooldown_timeout.value());
+        bits(&mut s, self.protocol.workload.value());
+        bits(&mut s, self.protocol.busy_dt.value());
+        bits(&mut s, self.protocol.idle_dt.value());
+        match self.protocol.mode {
+            FrequencyMode::Unconstrained => s.push_str("unconstrained"),
+            FrequencyMode::Fixed(f) => {
+                s.push_str("fixed:");
+                bits(&mut s, f.value());
+            }
+        }
+        let _ = write!(
+            s,
+            "|trace={}|iters={}|",
+            self.protocol.record_trace, self.iterations
+        );
+        bits(&mut s, self.ambient.value());
+        match self.fault_seed {
+            Some(seed) => {
+                let _ = write!(s, "|seed={seed:016x}|");
+                bits(&mut s, self.fault_mean_interval.value());
+                for k in &self.fault_kinds {
+                    s.push_str(k.as_str());
+                    s.push(',');
+                }
+            }
+            None => s.push_str("|clean|"),
+        }
+        for label in device_labels {
+            let _ = write!(s, "|{label}");
+        }
+        format!("{:016x}", fnv64(s.as_bytes()))
+    }
 }
 
 /// What happened to one device of a [`populate_resilient`] sweep.
@@ -258,6 +341,30 @@ pub struct SweepReport {
 }
 
 impl SweepReport {
+    /// Reconstructs a report purely from journal records: the outcome
+    /// records, sorted by device index. A sweep that crashed and was never
+    /// resumed reconstructs to its completed prefix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JournalError::MissingHeader`] when the records do not
+    /// start with a sweep header.
+    pub fn from_journal(records: &[Record]) -> Result<Self, JournalError> {
+        match records.first() {
+            Some(Record::Header { .. }) => {}
+            _ => return Err(JournalError::MissingHeader),
+        }
+        let mut by_index: BTreeMap<usize, SweepOutcome> = BTreeMap::new();
+        for r in records {
+            if let Record::Outcome { index, outcome, .. } = r {
+                by_index.insert(*index, outcome.clone());
+            }
+        }
+        Ok(SweepReport {
+            outcomes: by_index.into_values().collect(),
+        })
+    }
+
     /// Devices whose session finished (with any verdict).
     pub fn completed(&self) -> usize {
         self.outcomes.iter().filter(|o| o.verdict.is_some()).count()
@@ -324,12 +431,140 @@ pub fn populate_resilient(
     devices: Vec<Device>,
     cfg: &SweepConfig,
 ) -> Result<SweepReport, BenchError> {
+    populate_journaled(db, model, devices, cfg, None, &CancelToken::new()).map(|s| s.report)
+}
+
+/// Result of a journaled (and possibly interrupted or resumed) sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JournaledSweep {
+    /// Per-device outcomes journaled so far, in device order. For a
+    /// `complete` sweep this is identical to what the uninterrupted,
+    /// unjournaled run would have produced.
+    pub report: SweepReport,
+    /// Whether every device ran. `false` means the sweep was cancelled
+    /// cooperatively; re-run with the same journal to resume.
+    pub complete: bool,
+    /// Devices whose outcome was restored from the journal instead of
+    /// being re-simulated.
+    pub resumed: usize,
+}
+
+/// [`populate_resilient`] with crash durability and cooperative
+/// cancellation — the engine behind `repro sweep --journal/--resume`.
+///
+/// With a [`Journal`]:
+///
+/// * a fresh journal gets a [`Record::Header`] carrying the
+///   [`SweepConfig::digest`] before any device runs;
+/// * a journal with recovered records must lead with a header whose digest
+///   matches the requested sweep — otherwise
+///   [`JournalError::DigestMismatch`] is returned and *nothing* runs;
+/// * devices whose outcome is already journaled are skipped: their
+///   outcome (and crowd-database submission, via the journaled score) is
+///   replayed instead of re-simulated. Because every device session is
+///   seeded independently (`fault_seed + index`), the resumed tail is
+///   bit-identical to what an uninterrupted run would have computed;
+/// * each finished device appends a fsynced [`Record::Outcome`] (plus a
+///   [`Record::Note`] when it hit faults or quarantines) before the sweep
+///   moves on — a kill can lose at most the in-flight device;
+/// * when the last device lands, a [`Record::Complete`] marker seals the
+///   journal.
+///
+/// The [`CancelToken`] is polled between devices: once cancelled, the
+/// current device finishes, is journaled, and the function returns with
+/// `complete = false`.
+///
+/// # Errors
+///
+/// Returns [`BenchError::InvalidProtocol`] for an invalid protocol or
+/// iteration count, and [`BenchError::Journal`] for digest mismatches or
+/// journal I/O failures. Per-device simulation failures are *not* errors;
+/// they land in the report.
+pub fn populate_journaled(
+    db: &mut CrowdDatabase,
+    model: &str,
+    devices: Vec<Device>,
+    cfg: &SweepConfig,
+    mut journal: Option<&mut Journal>,
+    cancel: &CancelToken,
+) -> Result<JournaledSweep, BenchError> {
     cfg.protocol.validate()?;
     if cfg.iterations == 0 {
         return Err(BenchError::InvalidProtocol("iterations must be >= 1"));
     }
-    let mut outcomes = Vec::with_capacity(devices.len());
+    let labels: Vec<String> = devices.iter().map(|d| d.label().to_owned()).collect();
+    let digest = cfg.digest(model, &labels);
+
+    // Restore journaled outcomes (resume path) or write the fresh header.
+    let mut restored: BTreeMap<usize, (SweepOutcome, Option<f64>, Option<f64>)> = BTreeMap::new();
+    let mut already_complete = false;
+    if let Some(j) = journal.as_deref_mut() {
+        if j.recovered().is_empty() {
+            j.append(&Record::Header {
+                model: model.to_owned(),
+                digest,
+                devices: devices.len(),
+            })?;
+        } else {
+            match &j.recovered()[0] {
+                Record::Header {
+                    digest: journaled,
+                    devices: n,
+                    ..
+                } => {
+                    if *journaled != digest || *n != devices.len() {
+                        return Err(JournalError::DigestMismatch {
+                            journaled: journaled.clone(),
+                            requested: digest,
+                        }
+                        .into());
+                    }
+                }
+                _ => return Err(JournalError::MissingHeader.into()),
+            }
+            for r in &j.recovered()[1..] {
+                match r {
+                    Record::Outcome {
+                        index,
+                        outcome,
+                        score,
+                        rsd,
+                    } => {
+                        restored.insert(*index, (outcome.clone(), *score, *rsd));
+                    }
+                    Record::Complete { .. } => already_complete = true,
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    let total = devices.len();
+    let mut outcomes = Vec::with_capacity(total);
+    let mut complete = true;
+    let mut resumed = 0usize;
     for (i, device) in devices.into_iter().enumerate() {
+        if let Some((outcome, score, rsd)) = restored.get(&i) {
+            let mut outcome = outcome.clone();
+            if let (Some(score), Some(rsd)) = (score, rsd) {
+                // Replay the submission so the database matches the
+                // uninterrupted run; admission filtering is deterministic
+                // in the score alone, so `accepted` cannot diverge.
+                outcome.accepted = db.submit(CrowdScore {
+                    model: model.to_owned(),
+                    device: outcome.device.clone(),
+                    score: *score,
+                    rsd: *rsd,
+                });
+            }
+            outcomes.push(outcome);
+            resumed += 1;
+            continue;
+        }
+        if cancel.is_cancelled() {
+            complete = false;
+            break;
+        }
         let label = device.label().to_owned();
         let handle = match cfg.fault_seed {
             Some(seed) => FaultHandle::armed(FaultPlan::generate(
@@ -343,11 +578,15 @@ pub fn populate_resilient(
         let mut gated = FaultyDevice::new(device, handle.clone());
         let mut harness =
             Harness::new(cfg.protocol, Ambient::Fixed(cfg.ambient))?.with_faults(handle.clone());
-        match harness.run_session(&mut gated, cfg.iterations) {
+        let (outcome, score, rsd) = match harness.run_session(&mut gated, cfg.iterations) {
             Ok(session) => {
                 let mut accepted = false;
+                let mut score = None;
+                let mut rsd = None;
                 if session.verdict != Verdict::Invalid {
                     let perf = session.performance_summary()?;
+                    score = Some(perf.mean());
+                    rsd = Some(perf.rsd_percent());
                     accepted = db.submit(CrowdScore {
                         model: model.to_owned(),
                         device: label.clone(),
@@ -355,26 +594,68 @@ pub fn populate_resilient(
                         rsd: perf.rsd_percent(),
                     });
                 }
-                outcomes.push(SweepOutcome {
-                    device: label,
-                    verdict: Some(session.verdict),
-                    accepted,
-                    quarantined: session.quarantined_count(),
-                    fault_reports: handle.report_count(),
-                    error: None,
-                });
+                (
+                    SweepOutcome {
+                        device: label,
+                        verdict: Some(session.verdict),
+                        accepted,
+                        quarantined: session.quarantined_count(),
+                        fault_reports: handle.report_count(),
+                        error: None,
+                    },
+                    score,
+                    rsd,
+                )
             }
-            Err(e) => outcomes.push(SweepOutcome {
-                device: label,
-                verdict: None,
-                accepted: false,
-                quarantined: 0,
-                fault_reports: handle.report_count(),
-                error: Some(e.to_string()),
-            }),
+            Err(e) => (
+                SweepOutcome {
+                    device: label,
+                    verdict: None,
+                    accepted: false,
+                    quarantined: 0,
+                    fault_reports: handle.report_count(),
+                    error: Some(e.to_string()),
+                },
+                None,
+                None,
+            ),
+        };
+        if let Some(j) = journal.as_deref_mut() {
+            if outcome.quarantined > 0 || outcome.fault_reports > 0 || outcome.error.is_some() {
+                j.append(&Record::Note {
+                    index: i,
+                    text: format!(
+                        "{}: {} quarantined, {} fault(s){}",
+                        outcome.device,
+                        outcome.quarantined,
+                        outcome.fault_reports,
+                        outcome
+                            .error
+                            .as_deref()
+                            .map(|e| format!(", fatal: {e}"))
+                            .unwrap_or_default()
+                    ),
+                })?;
+            }
+            j.append(&Record::Outcome {
+                index: i,
+                outcome: outcome.clone(),
+                score,
+                rsd,
+            })?;
+        }
+        outcomes.push(outcome);
+    }
+    if complete && !already_complete {
+        if let Some(j) = journal {
+            j.append(&Record::Complete { devices: total })?;
         }
     }
-    Ok(SweepReport { outcomes })
+    Ok(JournaledSweep {
+        report: SweepReport { outcomes },
+        complete,
+        resumed,
+    })
 }
 
 #[cfg(test)]
@@ -450,5 +731,109 @@ mod tests {
     fn invalid_filter_rejected() {
         assert!(CrowdDatabase::new(0.0).is_err());
         assert!(CrowdDatabase::new(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn digest_is_deterministic_and_sensitive() {
+        let labels = vec!["a".to_owned(), "b".to_owned()];
+        let cfg = SweepConfig::clean(Protocol::unconstrained(), 5);
+        let base = cfg.digest("Pixel", &labels);
+        assert_eq!(base, cfg.digest("Pixel", &labels), "digest must be stable");
+        assert_eq!(base.len(), 16);
+        // Every knob that changes the simulated outcome changes the digest.
+        assert_ne!(base, cfg.digest("Nexus 5", &labels));
+        assert_ne!(base, cfg.digest("Pixel", &labels[..1]));
+        let mut other = cfg.clone();
+        other.iterations = 4;
+        assert_ne!(base, other.digest("Pixel", &labels));
+        let mut other = cfg.clone();
+        other.ambient = Celsius(27.0);
+        assert_ne!(base, other.digest("Pixel", &labels));
+        let other = cfg
+            .clone()
+            .with_faults(7, Seconds(600.0), pv_faults::ALL_KINDS.to_vec());
+        assert_ne!(base, other.digest("Pixel", &labels));
+        let mut other = cfg.clone();
+        other.protocol = Protocol::fixed_frequency(pv_units::MegaHertz(960.0));
+        assert_ne!(base, other.digest("Pixel", &labels));
+        let mut other = cfg;
+        other.protocol = other.protocol.with_workload(Seconds(299.0));
+        assert_ne!(base, other.digest("Pixel", &labels));
+    }
+
+    #[test]
+    fn report_reconstructs_from_journal_records() {
+        let outcome = |d: &str| SweepOutcome {
+            device: d.to_owned(),
+            verdict: Some(Verdict::Valid),
+            accepted: true,
+            quarantined: 0,
+            fault_reports: 0,
+            error: None,
+        };
+        let records = vec![
+            Record::Header {
+                model: "Pixel".into(),
+                digest: "x".into(),
+                devices: 2,
+            },
+            // Out of order on purpose: reconstruction sorts by index.
+            Record::Outcome {
+                index: 1,
+                outcome: outcome("b"),
+                score: Some(2.0),
+                rsd: Some(0.1),
+            },
+            Record::Note {
+                index: 1,
+                text: "noise".into(),
+            },
+            Record::Outcome {
+                index: 0,
+                outcome: outcome("a"),
+                score: Some(1.0),
+                rsd: Some(0.1),
+            },
+            Record::Complete { devices: 2 },
+        ];
+        let report = SweepReport::from_journal(&records).unwrap();
+        assert_eq!(report.outcomes.len(), 2);
+        assert_eq!(report.outcomes[0].device, "a");
+        assert_eq!(report.outcomes[1].device, "b");
+        // No header ⇒ hard error, not a silent empty report.
+        assert!(matches!(
+            SweepReport::from_journal(&records[1..]),
+            Err(JournalError::MissingHeader)
+        ));
+        assert!(matches!(
+            SweepReport::from_journal(&[]),
+            Err(JournalError::MissingHeader)
+        ));
+    }
+
+    #[test]
+    fn sweep_outcome_round_trips_through_json() {
+        use pv_json::{FromJson, ToJson};
+        for o in [
+            SweepOutcome {
+                device: "ok".into(),
+                verdict: Some(Verdict::Degraded),
+                accepted: true,
+                quarantined: 1,
+                fault_reports: 4,
+                error: None,
+            },
+            SweepOutcome {
+                device: "dead".into(),
+                verdict: None,
+                accepted: false,
+                quarantined: 0,
+                fault_reports: 2,
+                error: Some("device: hotplug flap".into()),
+            },
+        ] {
+            let back = SweepOutcome::from_json(&o.to_json()).unwrap();
+            assert_eq!(back, o);
+        }
     }
 }

@@ -1,36 +1,82 @@
-//! Plot-ready data export.
+//! Plot-ready data export with atomic writes and a checksum manifest.
 //!
 //! Regenerating a paper's figures ends with plotting. This module writes
 //! the experiment results as whitespace-separated `.dat` files (the format
 //! gnuplot, matplotlib and friends ingest directly), one file per figure
 //! panel, into a chosen directory. The `repro` binary exposes it as
 //! `--export <dir>`.
+//!
+//! # Crash safety
+//!
+//! A killed export must never leave a half-written `.dat` file that a
+//! downstream plotting script silently ingests. Every file is therefore
+//! written to a hidden temp name, fsynced, then atomically renamed into
+//! place — readers observe either the old complete file or the new
+//! complete file, never a torn one. After each write the exporter also
+//! refreshes `MANIFEST.json` (itself written atomically): a map from file
+//! name to FNV-64 content checksum that [`FigureExporter::verify`] checks,
+//! so plotting pipelines can prove an export directory is whole before
+//! trusting it.
 
 use crate::experiments::fig1112::Fig1112;
 use crate::experiments::fig2::Fig2;
 use crate::experiments::fig45::{Fig45, PhaseTimeline};
 use crate::experiments::study::SocStudy;
+use crate::journal::fnv64;
 use crate::BenchError;
+use pv_json::{Json, ToJson};
 use pv_stats::histogram::Histogram;
+use std::cell::RefCell;
+use std::collections::BTreeMap;
 use std::fmt::Write as _;
+use std::io::Write as _;
 use std::path::{Path, PathBuf};
+
+/// File name of the checksum manifest kept beside the exported data.
+pub const MANIFEST_NAME: &str = "MANIFEST.json";
 
 /// Writes figure data files into one directory.
 #[derive(Debug, Clone)]
 pub struct FigureExporter {
     dir: PathBuf,
+    manifest: RefCell<BTreeMap<String, String>>,
 }
 
 impl FigureExporter {
-    /// Creates the exporter, creating `dir` (and parents) if needed.
+    /// Creates the exporter, creating `dir` (and parents) if needed. An
+    /// existing manifest in `dir` is loaded so re-exports extend it.
     ///
     /// # Errors
     ///
-    /// Returns [`BenchError::Io`] if the directory cannot be created.
+    /// Returns [`BenchError::Io`] if `dir` exists but is not a directory
+    /// (rejected up front, instead of letting individual writes fail
+    /// confusingly later), if it cannot be created, or if an existing
+    /// manifest is unreadable.
     pub fn new(dir: impl AsRef<Path>) -> Result<Self, BenchError> {
-        std::fs::create_dir_all(dir.as_ref()).map_err(BenchError::Io)?;
+        let dir = dir.as_ref();
+        if dir.exists() && !dir.is_dir() {
+            return Err(BenchError::Io(std::io::Error::new(
+                std::io::ErrorKind::NotADirectory,
+                format!(
+                    "export path {} exists and is not a directory",
+                    dir.display()
+                ),
+            )));
+        }
+        std::fs::create_dir_all(dir).map_err(BenchError::Io)?;
+        let manifest = match std::fs::read_to_string(dir.join(MANIFEST_NAME)) {
+            Ok(text) => parse_manifest(&text).ok_or_else(|| {
+                BenchError::Io(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("corrupt manifest in {}", dir.display()),
+                ))
+            })?,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => BTreeMap::new(),
+            Err(e) => return Err(BenchError::Io(e)),
+        };
         Ok(Self {
-            dir: dir.as_ref().to_path_buf(),
+            dir: dir.to_path_buf(),
+            manifest: RefCell::new(manifest),
         })
     }
 
@@ -39,9 +85,65 @@ impl FigureExporter {
         &self.dir
     }
 
-    fn write(&self, name: &str, contents: &str) -> Result<PathBuf, BenchError> {
+    /// Verifies every file listed in `dir`'s manifest against its recorded
+    /// checksum, returning how many files were checked.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BenchError::Io`] when the manifest is missing or corrupt,
+    /// a listed file cannot be read, or a checksum does not match.
+    pub fn verify(dir: impl AsRef<Path>) -> Result<usize, BenchError> {
+        let dir = dir.as_ref();
+        let text = std::fs::read_to_string(dir.join(MANIFEST_NAME)).map_err(BenchError::Io)?;
+        let manifest = parse_manifest(&text).ok_or_else(|| {
+            BenchError::Io(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("corrupt manifest in {}", dir.display()),
+            ))
+        })?;
+        for (name, recorded) in &manifest {
+            let bytes = std::fs::read(dir.join(name)).map_err(BenchError::Io)?;
+            let actual = format!("{:016x}", fnv64(&bytes));
+            if actual != *recorded {
+                return Err(BenchError::Io(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("{name}: checksum {actual}, manifest says {recorded}"),
+                )));
+            }
+        }
+        Ok(manifest.len())
+    }
+
+    /// Writes `bytes` to `dir/name` atomically: temp file in the same
+    /// directory, fsync, rename. A crash at any point leaves either no
+    /// file or the previous complete file — never a torn one.
+    fn write_atomic(&self, name: &str, bytes: &[u8]) -> Result<PathBuf, BenchError> {
         let path = self.dir.join(name);
-        std::fs::write(&path, contents).map_err(BenchError::Io)?;
+        let tmp = self.dir.join(format!(".{name}.tmp"));
+        let result = (|| {
+            let mut f = std::fs::File::create(&tmp)?;
+            f.write_all(bytes)?;
+            f.sync_data()?;
+            std::fs::rename(&tmp, &path)
+        })();
+        if result.is_err() {
+            let _ = std::fs::remove_file(&tmp);
+        }
+        result.map_err(BenchError::Io)?;
+        Ok(path)
+    }
+
+    fn write(&self, name: &str, contents: &str) -> Result<PathBuf, BenchError> {
+        let path = self.write_atomic(name, contents.as_bytes())?;
+        self.manifest.borrow_mut().insert(
+            name.to_owned(),
+            format!("{:016x}", fnv64(contents.as_bytes())),
+        );
+        let mut manifest_json = Json::object();
+        for (k, v) in self.manifest.borrow().iter() {
+            manifest_json.insert(k.clone(), v.to_json());
+        }
+        self.write_atomic(MANIFEST_NAME, manifest_json.to_string_pretty().as_bytes())?;
         Ok(path)
     }
 
@@ -176,6 +278,19 @@ impl FigureExporter {
     }
 }
 
+/// Parses a manifest object (`{"name": "checksum", ...}`) into a map.
+/// Returns `None` for anything that is not an all-string JSON object.
+fn parse_manifest(text: &str) -> Option<BTreeMap<String, String>> {
+    let Ok(Json::Object(entries)) = Json::from_str(text) else {
+        return None;
+    };
+    let mut map = BTreeMap::new();
+    for (name, value) in entries {
+        map.insert(name, value.as_str()?.to_owned());
+    }
+    Some(map)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -243,6 +358,66 @@ mod tests {
         let text = std::fs::read_to_string(&path).unwrap();
         assert_eq!(text.lines().filter(|l| !l.starts_with('#')).count(), 4);
         assert!(text.contains("bin-0"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn rejects_export_path_that_is_a_file() {
+        let dir = tmp_dir("notadir");
+        std::fs::create_dir_all(&dir).unwrap();
+        let file = dir.join("occupied");
+        std::fs::write(&file, "data").unwrap();
+        let err = FigureExporter::new(&file).unwrap_err();
+        assert!(format!("{err}").contains("not a directory"), "{err}");
+        // The file must be left untouched.
+        assert_eq!(std::fs::read_to_string(&file).unwrap(), "data");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn manifest_tracks_checksums_and_verify_passes() {
+        let dir = tmp_dir("manifest");
+        let exporter = FigureExporter::new(&dir).unwrap();
+        let s = study::plans::nexus5(&quick()).unwrap();
+        exporter.export_study("fig6", &s).unwrap();
+        exporter.export_study("fig7", &s).unwrap();
+        assert_eq!(FigureExporter::verify(&dir).unwrap(), 2);
+
+        // No temp files left behind.
+        for entry in std::fs::read_dir(&dir).unwrap() {
+            let name = entry.unwrap().file_name();
+            assert!(!name.to_string_lossy().contains(".tmp"), "{name:?}");
+        }
+
+        // Re-opening the same directory loads the manifest.
+        let reopened = FigureExporter::new(&dir).unwrap();
+        reopened.export_study("fig8", &s).unwrap();
+        assert_eq!(FigureExporter::verify(&dir).unwrap(), 3);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn verify_flags_tampered_file() {
+        let dir = tmp_dir("tamper");
+        let exporter = FigureExporter::new(&dir).unwrap();
+        let s = study::plans::nexus5(&quick()).unwrap();
+        let path = exporter.export_study("fig6", &s).unwrap();
+        std::fs::write(&path, "truncated garbage").unwrap();
+        let err = FigureExporter::verify(&dir).unwrap_err();
+        assert!(format!("{err}").contains("checksum"), "{err}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn verify_reports_missing_or_corrupt_manifest() {
+        let dir = tmp_dir("nomanifest");
+        std::fs::create_dir_all(&dir).unwrap();
+        assert!(FigureExporter::verify(&dir).is_err());
+        std::fs::write(dir.join(MANIFEST_NAME), "not json at all").unwrap();
+        let err = FigureExporter::verify(&dir).unwrap_err();
+        assert!(format!("{err}").contains("corrupt"), "{err}");
+        // A corrupt manifest also blocks opening an exporter over it.
+        assert!(FigureExporter::new(&dir).is_err());
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }

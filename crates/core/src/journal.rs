@@ -1,0 +1,602 @@
+//! Crash-safe write-ahead run journal for long sweeps.
+//!
+//! The paper's methodology (and the ROADMAP's million-handset north star)
+//! rests on *large completed batches* of sessions. A killed process must
+//! not discard hours of finished work, so every fleet sweep can write a
+//! durable, append-only journal:
+//!
+//! * one line per [`Record`], encoded as compact JSON;
+//! * each line carries its own FNV-64 checksum, so any torn or flipped
+//!   byte is detected on re-open;
+//! * every append is `fsync`ed before the sweep moves on — a record either
+//!   survives a crash whole, or not at all;
+//! * [`Journal::open`] performs truncated-tail recovery: the valid prefix
+//!   is kept, the torn tail (if any) is dropped and physically truncated,
+//!   and the journal is ready to append again.
+//!
+//! The record stream is: a [`Record::Header`] binding the journal to one
+//! sweep configuration (via [`fnv64`] digest), per-device
+//! [`Record::Outcome`]s (with the submitted score, so a resumed run can
+//! rebuild the crowd database bit-identically), optional
+//! [`Record::Note`]s for quarantine/fault events, and a final
+//! [`Record::Complete`] marker. See
+//! [`crate::crowd::populate_journaled`] for the consumer.
+//!
+//! [`CancelToken`] is the cooperative-cancellation half: a SIGINT/SIGTERM
+//! handler (or a test) flips it, in-flight sessions finish their current
+//! device, journal it, and return cleanly with `complete = false`.
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
+use crate::crowd::SweepOutcome;
+use core::fmt;
+use pv_json::{FromJson, Json, ToJson};
+use std::io::{Read as _, Seek as _, SeekFrom, Write as _};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// 64-bit FNV-1a over `bytes` — the journal's (and the export manifest's)
+/// content checksum. Not cryptographic; it detects torn writes and bit
+/// flips, which is all a single-writer journal needs.
+pub fn fnv64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Errors from journal I/O, recovery and resume validation.
+#[derive(Debug)]
+pub enum JournalError {
+    /// Underlying filesystem failure.
+    Io(std::io::Error),
+    /// A record failed its checksum or did not parse. Recovery stops at
+    /// the last valid record; this variant is only returned when a caller
+    /// demands a fully-valid journal (e.g. [`Journal::read_records`] never
+    /// returns it — it recovers — but decoding a single line can).
+    Corrupt {
+        /// One-based line number of the offending record.
+        line: usize,
+        /// What was wrong with it.
+        reason: &'static str,
+    },
+    /// `--resume` pointed at a journal written by a *different* sweep:
+    /// the config digest in the header does not match the requested run.
+    DigestMismatch {
+        /// Digest recorded in the journal header.
+        journaled: String,
+        /// Digest of the sweep being resumed.
+        requested: String,
+    },
+    /// The journal has records but no leading header — it was not written
+    /// by a sweep (or the header itself was torn away).
+    MissingHeader,
+}
+
+impl fmt::Display for JournalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JournalError::Io(e) => write!(f, "journal i/o: {e}"),
+            JournalError::Corrupt { line, reason } => {
+                write!(f, "journal corrupt at line {line}: {reason}")
+            }
+            JournalError::DigestMismatch {
+                journaled,
+                requested,
+            } => write!(
+                f,
+                "journal belongs to a different sweep (journaled config digest \
+                 {journaled}, requested {requested}); refusing to resume"
+            ),
+            JournalError::MissingHeader => {
+                write!(f, "journal has records but no sweep header")
+            }
+        }
+    }
+}
+
+impl std::error::Error for JournalError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            JournalError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for JournalError {
+    fn from(e: std::io::Error) -> Self {
+        JournalError::Io(e)
+    }
+}
+
+/// One journaled event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Record {
+    /// First record of every journal: binds it to one sweep.
+    Header {
+        /// Device model being swept.
+        model: String,
+        /// [`fnv64`] digest (hex) of the sweep config + device labels;
+        /// resume refuses to continue a journal whose digest differs.
+        digest: String,
+        /// Number of devices the sweep will run.
+        devices: usize,
+    },
+    /// One device finished (with a verdict or a fatal error).
+    Outcome {
+        /// Zero-based device index within the sweep.
+        index: usize,
+        /// What happened to the device.
+        outcome: SweepOutcome,
+        /// The submitted mean score, when the session produced one —
+        /// needed so a resumed run can re-populate the crowd database.
+        score: Option<f64>,
+        /// The submitted iteration-to-iteration RSD, when present.
+        rsd: Option<f64>,
+    },
+    /// Free-form quarantine / fault-log annotation for one device.
+    Note {
+        /// Zero-based device index the note concerns.
+        index: usize,
+        /// Human-readable description.
+        text: String,
+    },
+    /// The sweep ran every device; the journal is final.
+    Complete {
+        /// Number of devices that were journaled.
+        devices: usize,
+    },
+}
+
+impl ToJson for Record {
+    fn to_json(&self) -> Json {
+        let mut obj = Json::object();
+        match self {
+            Record::Header {
+                model,
+                digest,
+                devices,
+            } => {
+                obj.insert("t", "header".to_json());
+                obj.insert("model", model.to_json());
+                obj.insert("digest", digest.to_json());
+                obj.insert("devices", devices.to_json());
+            }
+            Record::Outcome {
+                index,
+                outcome,
+                score,
+                rsd,
+            } => {
+                obj.insert("t", "outcome".to_json());
+                obj.insert("index", index.to_json());
+                obj.insert("outcome", outcome.to_json());
+                obj.insert("score", score.to_json());
+                obj.insert("rsd", rsd.to_json());
+            }
+            Record::Note { index, text } => {
+                obj.insert("t", "note".to_json());
+                obj.insert("index", index.to_json());
+                obj.insert("text", text.to_json());
+            }
+            Record::Complete { devices } => {
+                obj.insert("t", "complete".to_json());
+                obj.insert("devices", devices.to_json());
+            }
+        }
+        obj
+    }
+}
+
+impl FromJson for Record {
+    fn from_json(value: &Json) -> Option<Self> {
+        match value.get("t")?.as_str()? {
+            "header" => Some(Record::Header {
+                model: String::from_json(value.get("model")?)?,
+                digest: String::from_json(value.get("digest")?)?,
+                devices: usize::from_json(value.get("devices")?)?,
+            }),
+            "outcome" => Some(Record::Outcome {
+                index: usize::from_json(value.get("index")?)?,
+                outcome: SweepOutcome::from_json(value.get("outcome")?)?,
+                score: <Option<f64>>::from_json(value.get("score")?)?,
+                rsd: <Option<f64>>::from_json(value.get("rsd")?)?,
+            }),
+            "note" => Some(Record::Note {
+                index: usize::from_json(value.get("index")?)?,
+                text: String::from_json(value.get("text")?)?,
+            }),
+            "complete" => Some(Record::Complete {
+                devices: usize::from_json(value.get("devices")?)?,
+            }),
+            _ => None,
+        }
+    }
+}
+
+/// Encodes one record as its durable line: 16 hex checksum chars, a
+/// space, compact JSON, newline.
+pub fn encode_line(record: &Record) -> String {
+    let payload = record.to_json().to_string_compact();
+    format!("{:016x} {payload}\n", fnv64(payload.as_bytes()))
+}
+
+/// Decodes one line (without its trailing newline) back into a record,
+/// verifying the checksum.
+///
+/// # Errors
+///
+/// Returns a static description of the first problem found: a malformed
+/// frame, a checksum mismatch, or an unparseable payload.
+pub fn decode_line(line: &str) -> Result<Record, &'static str> {
+    let (sum, payload) = line.split_at_checked(16).ok_or("line shorter than frame")?;
+    let payload = payload.strip_prefix(' ').ok_or("missing frame separator")?;
+    let sum = u64::from_str_radix(sum, 16).map_err(|_| "malformed checksum")?;
+    if sum != fnv64(payload.as_bytes()) {
+        return Err("checksum mismatch");
+    }
+    let json = Json::from_str(payload).map_err(|_| "payload is not valid json")?;
+    Record::from_json(&json).ok_or("payload is not a journal record")
+}
+
+/// An append-only, fsync-on-append write-ahead journal.
+#[derive(Debug)]
+pub struct Journal {
+    file: std::fs::File,
+    path: PathBuf,
+    recovered: Vec<Record>,
+    dropped_bytes: u64,
+}
+
+impl Journal {
+    /// Opens (or creates) the journal at `path`, recovering its valid
+    /// prefix. Any torn tail — a half-written line, a checksum failure, a
+    /// record that does not parse — is physically truncated away, so the
+    /// file is again a clean append target. Records *after* the first
+    /// invalid one are dropped even if they look valid: a write-ahead log
+    /// is only trustworthy up to its first tear.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JournalError::Io`] when the file cannot be opened, read
+    /// or truncated.
+    pub fn open(path: impl AsRef<Path>) -> Result<Self, JournalError> {
+        let path = path.as_ref().to_path_buf();
+        let mut file = std::fs::OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(&path)?;
+        let mut bytes = Vec::new();
+        file.read_to_end(&mut bytes)?;
+        let (recovered, valid_len) = recover(&bytes);
+        let dropped = bytes.len() as u64 - valid_len;
+        if dropped > 0 {
+            file.set_len(valid_len)?;
+            file.sync_data()?;
+        }
+        file.seek(SeekFrom::Start(valid_len))?;
+        Ok(Self {
+            file,
+            path,
+            recovered,
+            dropped_bytes: dropped,
+        })
+    }
+
+    /// The records recovered when the journal was opened (empty for a
+    /// fresh journal).
+    pub fn recovered(&self) -> &[Record] {
+        &self.recovered
+    }
+
+    /// Bytes of torn tail dropped during recovery at open.
+    pub fn dropped_bytes(&self) -> u64 {
+        self.dropped_bytes
+    }
+
+    /// The journal's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Appends one record and syncs it to disk before returning — after
+    /// this call the record survives a crash.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JournalError::Io`] on write or sync failure.
+    pub fn append(&mut self, record: &Record) -> Result<(), JournalError> {
+        self.file.write_all(encode_line(record).as_bytes())?;
+        self.file.sync_data()?;
+        Ok(())
+    }
+
+    /// Reads and recovers a journal without opening it for append (no
+    /// truncation happens; the torn tail is simply ignored).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JournalError::Io`] when the file cannot be read.
+    pub fn read_records(path: impl AsRef<Path>) -> Result<Vec<Record>, JournalError> {
+        let bytes = std::fs::read(path)?;
+        Ok(recover(&bytes).0)
+    }
+}
+
+/// Scans raw journal bytes, returning the valid record prefix and the byte
+/// length it spans. Stops at the first incomplete line (no trailing
+/// newline), checksum failure, or unparseable payload.
+fn recover(bytes: &[u8]) -> (Vec<Record>, u64) {
+    let mut records = Vec::new();
+    let mut valid_end = 0usize;
+    let mut start = 0usize;
+    while start < bytes.len() {
+        let Some(nl) = bytes[start..].iter().position(|&b| b == b'\n') else {
+            break; // incomplete final line: torn tail
+        };
+        let end = start + nl;
+        let Ok(line) = core::str::from_utf8(&bytes[start..end]) else {
+            break;
+        };
+        let Ok(record) = decode_line(line) else {
+            break;
+        };
+        records.push(record);
+        valid_end = end + 1;
+        start = end + 1;
+    }
+    (records, valid_end as u64)
+}
+
+/// Cooperative cancellation: clone it into whatever should stop, flip it
+/// from a signal handler (via [`CancelToken::from_static`]) or another
+/// thread, and long-running sweeps finish their current device, journal
+/// it, and return with `complete = false`.
+#[derive(Debug, Clone)]
+pub struct CancelToken(Flag);
+
+#[derive(Debug, Clone)]
+enum Flag {
+    Shared(Arc<AtomicBool>),
+    Static(&'static AtomicBool),
+}
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> Self {
+        CancelToken(Flag::Shared(Arc::new(AtomicBool::new(false))))
+    }
+
+    /// Wraps a `static AtomicBool` so an async-signal-safe handler
+    /// (SIGINT/SIGTERM) can flip the token with a single atomic store.
+    pub fn from_static(flag: &'static AtomicBool) -> Self {
+        CancelToken(Flag::Static(flag))
+    }
+
+    /// Requests cancellation. Idempotent.
+    pub fn cancel(&self) {
+        match &self.0 {
+            Flag::Shared(f) => f.store(true, Ordering::SeqCst),
+            Flag::Static(f) => f.store(true, Ordering::SeqCst),
+        }
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        match &self.0 {
+            Flag::Shared(f) => f.load(Ordering::SeqCst),
+            Flag::Static(f) => f.load(Ordering::SeqCst),
+        }
+    }
+}
+
+impl Default for CancelToken {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+    use crate::session::Verdict;
+
+    fn outcome(device: &str) -> SweepOutcome {
+        SweepOutcome {
+            device: device.to_owned(),
+            verdict: Some(Verdict::Valid),
+            accepted: true,
+            quarantined: 0,
+            fault_reports: 2,
+            error: None,
+        }
+    }
+
+    fn sample_records() -> Vec<Record> {
+        vec![
+            Record::Header {
+                model: "Pixel".into(),
+                digest: "00ff".into(),
+                devices: 2,
+            },
+            Record::Outcome {
+                index: 0,
+                outcome: outcome("a"),
+                score: Some(101.5),
+                rsd: Some(0.8),
+            },
+            Record::Note {
+                index: 0,
+                text: "2 fault(s)".into(),
+            },
+            Record::Outcome {
+                index: 1,
+                outcome: SweepOutcome {
+                    device: "b".into(),
+                    verdict: None,
+                    accepted: false,
+                    quarantined: 3,
+                    fault_reports: 1,
+                    error: Some("device: hotplug flap".into()),
+                },
+                score: None,
+                rsd: None,
+            },
+            Record::Complete { devices: 2 },
+        ]
+    }
+
+    fn tmp(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("pv-journal-{tag}-{}", std::process::id()))
+    }
+
+    #[test]
+    fn fnv64_matches_reference_vectors() {
+        // Published FNV-1a 64 test vectors.
+        assert_eq!(fnv64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn records_round_trip_through_lines() {
+        for record in sample_records() {
+            let line = encode_line(&record);
+            assert!(line.ends_with('\n'));
+            let back = decode_line(line.trim_end()).unwrap();
+            assert_eq!(back, record);
+        }
+    }
+
+    #[test]
+    fn journal_appends_and_recovers_all_records() {
+        let path = tmp("roundtrip");
+        let _ = std::fs::remove_file(&path);
+        let records = sample_records();
+        {
+            let mut j = Journal::open(&path).unwrap();
+            assert!(j.recovered().is_empty());
+            for r in &records {
+                j.append(r).unwrap();
+            }
+        }
+        let j = Journal::open(&path).unwrap();
+        assert_eq!(j.recovered(), records.as_slice());
+        assert_eq!(j.dropped_bytes(), 0);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn flipped_checksum_byte_rejects_record_and_stops_recovery() {
+        let path = tmp("flip");
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut j = Journal::open(&path).unwrap();
+            for r in sample_records() {
+                j.append(&r).unwrap();
+            }
+        }
+        let mut bytes = std::fs::read(&path).unwrap();
+        // Flip a checksum hex digit of the second record.
+        let second = bytes
+            .iter()
+            .position(|&b| b == b'\n')
+            .map(|i| i + 1)
+            .unwrap();
+        bytes[second] = if bytes[second] == b'0' { b'1' } else { b'0' };
+        std::fs::write(&path, &bytes).unwrap();
+        // Recovery keeps only the header: records after the corrupt line
+        // are dropped even though they would decode.
+        let j = Journal::open(&path).unwrap();
+        assert_eq!(j.recovered().len(), 1);
+        assert!(matches!(j.recovered()[0], Record::Header { .. }));
+        assert!(j.dropped_bytes() > 0);
+        // The file was physically truncated to the valid prefix.
+        let after = std::fs::read(&path).unwrap();
+        assert_eq!(after.len() as u64, bytes.len() as u64 - j.dropped_bytes());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn mid_record_truncation_drops_the_tail_cleanly() {
+        let path = tmp("tear");
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut j = Journal::open(&path).unwrap();
+            for r in sample_records() {
+                j.append(&r).unwrap();
+            }
+        }
+        let bytes = std::fs::read(&path).unwrap();
+        // Cut in the middle of the final record's payload.
+        std::fs::write(&path, &bytes[..bytes.len() - 7]).unwrap();
+        let j = Journal::open(&path).unwrap();
+        assert_eq!(j.recovered().len(), sample_records().len() - 1);
+        // After recovery, appending works and the re-appended record lands
+        // exactly where the torn one was.
+        let mut j = j;
+        j.append(&Record::Complete { devices: 2 }).unwrap();
+        drop(j);
+        assert_eq!(std::fs::read(&path).unwrap(), bytes);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn decode_rejects_malformed_frames() {
+        assert!(decode_line("short").is_err());
+        assert!(decode_line("zzzzzzzzzzzzzzzz {\"t\":\"complete\",\"devices\":1}").is_err());
+        let good = encode_line(&Record::Complete { devices: 1 });
+        let no_sep = good.trim_end().replacen(' ', "", 1);
+        assert!(decode_line(&no_sep).is_err());
+        // Valid checksum over a payload that is not a record.
+        let payload = "[1,2,3]";
+        let line = format!("{:016x} {payload}", fnv64(payload.as_bytes()));
+        assert_eq!(decode_line(&line), Err("payload is not a journal record"));
+        // Valid checksum over invalid JSON.
+        let payload = "{broken";
+        let line = format!("{:016x} {payload}", fnv64(payload.as_bytes()));
+        assert_eq!(decode_line(&line), Err("payload is not valid json"));
+    }
+
+    #[test]
+    fn cancel_token_flips_once_and_shares() {
+        let t = CancelToken::new();
+        let clone = t.clone();
+        assert!(!clone.is_cancelled());
+        t.cancel();
+        assert!(clone.is_cancelled());
+        static FLAG: AtomicBool = AtomicBool::new(false);
+        let s = CancelToken::from_static(&FLAG);
+        assert!(!s.is_cancelled());
+        FLAG.store(true, Ordering::SeqCst);
+        assert!(s.is_cancelled());
+        s.cancel(); // idempotent
+        assert!(s.is_cancelled());
+        assert!(!CancelToken::default().is_cancelled());
+    }
+
+    #[test]
+    fn errors_display_with_context() {
+        use std::error::Error as _;
+        let e = JournalError::Corrupt {
+            line: 3,
+            reason: "checksum mismatch",
+        };
+        assert!(format!("{e}").contains("line 3"));
+        assert!(e.source().is_none());
+        let e = JournalError::DigestMismatch {
+            journaled: "aa".into(),
+            requested: "bb".into(),
+        };
+        assert!(format!("{e}").contains("refusing to resume"));
+        let e = JournalError::from(std::io::Error::other("boom"));
+        assert!(e.source().is_some());
+        assert!(format!("{}", JournalError::MissingHeader).contains("header"));
+    }
+}

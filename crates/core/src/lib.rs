@@ -49,6 +49,7 @@ pub mod crowd;
 pub mod experiments;
 pub mod export;
 pub mod harness;
+pub mod journal;
 pub mod protocol;
 pub mod report;
 pub mod session;
@@ -70,6 +71,9 @@ pub enum BenchError {
     Stats(pv_stats::StatsError),
     /// I/O failure while exporting results.
     Io(std::io::Error),
+    /// Run-journal failure: corrupt record, resume digest mismatch, or
+    /// journal I/O.
+    Journal(journal::JournalError),
 }
 
 impl BenchError {
@@ -111,6 +115,7 @@ impl fmt::Display for BenchError {
             BenchError::Power(e) => write!(f, "power: {e}"),
             BenchError::Stats(e) => write!(f, "statistics: {e}"),
             BenchError::Io(e) => write!(f, "i/o: {e}"),
+            BenchError::Journal(e) => write!(f, "{e}"),
         }
     }
 }
@@ -123,8 +128,15 @@ impl std::error::Error for BenchError {
             BenchError::Power(e) => Some(e),
             BenchError::Stats(e) => Some(e),
             BenchError::Io(e) => Some(e),
+            BenchError::Journal(e) => Some(e),
             BenchError::InvalidProtocol(_) => None,
         }
+    }
+}
+
+impl From<journal::JournalError> for BenchError {
+    fn from(e: journal::JournalError) -> Self {
+        BenchError::Journal(e)
     }
 }
 
@@ -169,6 +181,10 @@ mod tests {
         assert!(format!("{e}").contains("device"));
         let e: BenchError = pv_power::PowerError::MeterDisconnected.into();
         assert!(format!("{e}").contains("power"));
+        let e: BenchError = journal::JournalError::MissingHeader.into();
+        assert!(format!("{e}").contains("header"));
+        assert!(e.source().is_some());
+        assert!(!e.is_transient());
     }
 
     #[test]

@@ -148,6 +148,13 @@ impl Verdict {
             Verdict::Invalid => "invalid",
         }
     }
+
+    /// Inverse of [`Verdict::as_str`].
+    pub fn parse(s: &str) -> Option<Self> {
+        [Verdict::Valid, Verdict::Degraded, Verdict::Invalid]
+            .into_iter()
+            .find(|v| v.as_str() == s)
+    }
 }
 
 impl fmt::Display for Verdict {
@@ -159,6 +166,12 @@ impl fmt::Display for Verdict {
 impl pv_json::ToJson for Verdict {
     fn to_json(&self) -> pv_json::Json {
         pv_json::Json::String(self.as_str().to_owned())
+    }
+}
+
+impl pv_json::FromJson for Verdict {
+    fn from_json(value: &pv_json::Json) -> Option<Self> {
+        Verdict::parse(value.as_str()?)
     }
 }
 
@@ -390,7 +403,7 @@ mod tests {
 
     #[test]
     fn verdict_names_and_json() {
-        use pv_json::ToJson;
+        use pv_json::{FromJson, ToJson};
         assert_eq!(Verdict::Valid.as_str(), "valid");
         assert_eq!(Verdict::Degraded.as_str(), "degraded");
         assert_eq!(Verdict::Invalid.as_str(), "invalid");
@@ -399,6 +412,11 @@ mod tests {
             Verdict::Degraded.to_json().to_string_compact(),
             "\"degraded\""
         );
+        for v in [Verdict::Valid, Verdict::Degraded, Verdict::Invalid] {
+            assert_eq!(Verdict::parse(v.as_str()), Some(v));
+            assert_eq!(Verdict::from_json(&v.to_json()), Some(v));
+        }
+        assert_eq!(Verdict::parse("bogus"), None);
     }
 
     #[test]

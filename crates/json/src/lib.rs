@@ -568,6 +568,17 @@ impl<T: ToJson> ToJson for Option<T> {
     }
 }
 
+impl<T: FromJson> FromJson for Option<T> {
+    /// `null` rebuilds as `None`; anything else must rebuild as `T`.
+    fn from_json(value: &Json) -> Option<Self> {
+        if value.is_null() {
+            Some(None)
+        } else {
+            T::from_json(value).map(Some)
+        }
+    }
+}
+
 impl<T: ToJson> ToJson for Vec<T> {
     fn to_json(&self) -> Json {
         Json::Array(self.iter().map(ToJson::to_json).collect())
@@ -722,6 +733,16 @@ mod tests {
         assert_eq!(j["label"].as_str(), Some("x"));
         assert_eq!(j["values"].as_array().unwrap().len(), 2);
         assert!(j["flag"].is_null());
+    }
+
+    #[test]
+    fn options_round_trip() {
+        let some: Option<f64> = FromJson::from_json(&Json::Number(2.5)).unwrap();
+        assert_eq!(some, Some(2.5));
+        let none: Option<f64> = FromJson::from_json(&Json::Null).unwrap();
+        assert_eq!(none, None);
+        let bad: Option<Option<f64>> = FromJson::from_json(&Json::Bool(true));
+        assert!(bad.is_none());
     }
 
     #[test]

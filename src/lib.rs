@@ -54,8 +54,12 @@ pub use pv_workload;
 
 /// The most common imports, for examples and downstream experiments.
 pub mod prelude {
+    pub use accubench::crowd::{
+        populate_journaled, populate_resilient, CrowdDatabase, CrowdScore, SweepConfig, SweepReport,
+    };
     pub use accubench::experiments::ExperimentConfig;
     pub use accubench::harness::{Ambient, Harness, QualityGates, RetryPolicy};
+    pub use accubench::journal::{CancelToken, Journal, Record};
     pub use accubench::protocol::{CooldownTarget, Protocol};
     pub use accubench::session::{Iteration, QuarantinedIteration, Session, Verdict};
     pub use accubench::BenchError;
