@@ -1,0 +1,197 @@
+//! Fleet-sweep throughput: serial vs work-stealing parallel executor.
+//!
+//! Runs the same journald-free crowd sweep at several thread counts,
+//! checks the merged reports are identical (the executor's determinism
+//! contract), and writes machine-readable scaling numbers to
+//! `BENCH_sweep.json` for CI's perf gate:
+//!
+//! ```text
+//! cargo bench -p pv-bench --bench sweep -- --devices 192 --threads-list 1,2,4
+//! ```
+//!
+//! Flags: `--devices N` (fleet size, default 768), `--threads-list a,b,c`
+//! (default 1,2,4 plus the host's available parallelism), `--out PATH`
+//! (default `BENCH_sweep.json`), `--test` (libtest smoke mode: a tiny
+//! fleet, so `cargo bench -- --test` stays fast).
+
+use accubench::crowd::{populate_parallel, CrowdDatabase, SweepConfig};
+use accubench::executor;
+use accubench::journal::CancelToken;
+use accubench::protocol::Protocol;
+use pv_faults::ALL_KINDS;
+use pv_json::{Json, ToJson};
+use pv_soc::catalog;
+use pv_soc::device::Device;
+use pv_units::Seconds;
+use std::time::Instant;
+
+struct Options {
+    devices: usize,
+    threads_list: Vec<usize>,
+    out: String,
+    iterations: usize,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: cargo bench -p pv-bench --bench sweep -- \
+         [--devices N] [--threads-list a,b,c] [--out PATH] [--test]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Options {
+    let mut opts = Options {
+        devices: 768,
+        threads_list: Vec::new(),
+        out: "BENCH_sweep.json".to_owned(),
+        iterations: 2,
+    };
+    let mut smoke = false;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--devices" => {
+                i += 1;
+                opts.devices = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| usage());
+            }
+            "--threads-list" => {
+                i += 1;
+                opts.threads_list = args
+                    .get(i)
+                    .map(|v| {
+                        v.split(',')
+                            .map(|t| t.trim().parse::<usize>())
+                            .collect::<Result<Vec<_>, _>>()
+                            .unwrap_or_else(|_| usage())
+                    })
+                    .filter(|l| !l.is_empty() && l.iter().all(|&t| t > 0))
+                    .unwrap_or_else(|| usage());
+            }
+            "--out" => {
+                i += 1;
+                opts.out = args.get(i).cloned().unwrap_or_else(|| usage());
+            }
+            // `cargo bench -- --test` forwards libtest smoke flags to
+            // every bench binary; shrink to a sanity-check run. (`--bench`
+            // itself is cargo's routine marker — not smoke mode.)
+            "--test" => smoke = true,
+            "--bench" => {}
+            "--help" | "-h" => usage(),
+            other if other.starts_with("--") => usage(),
+            // Ignore bare libtest filter strings.
+            _ => {}
+        }
+        i += 1;
+    }
+    if smoke {
+        opts.devices = opts.devices.min(16);
+    }
+    if opts.threads_list.is_empty() {
+        opts.threads_list = vec![1, 2, 4, executor::default_threads()];
+    }
+    if !opts.threads_list.contains(&1) {
+        opts.threads_list.push(1); // speedup baseline
+    }
+    opts.threads_list.sort_unstable();
+    opts.threads_list.dedup();
+    opts
+}
+
+fn fleet(n: usize) -> Vec<Device> {
+    (0..n)
+        .map(|i| {
+            let grade = 0.05 + 0.9 * (i as f64) / (n.max(2) - 1) as f64;
+            catalog::pixel(grade, format!("pixel-bench-{i:04}")).unwrap()
+        })
+        .collect()
+}
+
+fn main() {
+    let opts = parse_args();
+    // Short protocol + faults: realistic uneven per-device cost without a
+    // multi-minute serial baseline.
+    let protocol = Protocol::unconstrained()
+        .with_warmup(Seconds(20.0))
+        .with_workload(Seconds(30.0));
+    let cfg = SweepConfig::clean(protocol, opts.iterations).with_faults(
+        0xC0FFEE,
+        Seconds(1500.0),
+        ALL_KINDS.to_vec(),
+    );
+
+    let mut runs: Vec<(usize, f64, String)> = Vec::new(); // (threads, secs, fingerprint)
+    for &threads in &opts.threads_list {
+        let devices = fleet(opts.devices);
+        let mut db = CrowdDatabase::new(5.0).unwrap();
+        let start = Instant::now();
+        let sweep = populate_parallel(
+            &mut db,
+            "Pixel",
+            devices,
+            &cfg,
+            None,
+            &CancelToken::new(),
+            threads,
+        )
+        .expect("sweep failed");
+        let secs = start.elapsed().as_secs_f64();
+        assert!(sweep.complete);
+        runs.push((threads, secs, sweep.report.to_json().to_string_compact()));
+        eprintln!(
+            "threads={threads:>3}  {secs:7.3} s  {:8.1} devices/s",
+            opts.devices as f64 / secs
+        );
+    }
+
+    let serial_secs = runs
+        .iter()
+        .find(|(t, _, _)| *t == 1)
+        .map(|(_, s, _)| *s)
+        .expect("threads=1 baseline always present");
+    let reports_identical = runs.iter().all(|(_, _, f)| *f == runs[0].2);
+
+    let mut out = Json::object();
+    out.insert("devices", Json::Number(opts.devices as f64));
+    out.insert("iterations", Json::Number(opts.iterations as f64));
+    out.insert(
+        "host_parallelism",
+        Json::Number(executor::default_threads() as f64),
+    );
+    out.insert("reports_identical", Json::Bool(reports_identical));
+    out.insert(
+        "runs",
+        Json::Array(
+            runs.iter()
+                .map(|(threads, secs, _)| {
+                    let mut r = Json::object();
+                    r.insert("threads", Json::Number(*threads as f64));
+                    r.insert("secs", Json::Number(*secs));
+                    r.insert("devices_per_sec", Json::Number(opts.devices as f64 / secs));
+                    r.insert("speedup", Json::Number(serial_secs / secs));
+                    r
+                })
+                .collect(),
+        ),
+    );
+    std::fs::write(&opts.out, out.to_string_pretty() + "\n").expect("write BENCH_sweep.json");
+
+    for (threads, secs, _) in &runs {
+        println!(
+            "sweep/{} devices/threads={threads}: {:.3} s ({:.2}x vs serial)",
+            opts.devices,
+            secs,
+            serial_secs / secs
+        );
+    }
+    println!("wrote {}", opts.out);
+    if !reports_identical {
+        eprintln!("FATAL: reports diverged across thread counts");
+        std::process::exit(1);
+    }
+}

@@ -16,6 +16,9 @@
 //!   --resume                    replay a completed journal instead of
 //!                               re-measuring; refuses a journal whose
 //!                               recorded configuration differs
+//!   --threads <n>               accepted for symmetry with `repro sweep`;
+//!                               a single-device session is one unit of
+//!                               work, so it always runs on one worker
 //! ```
 //!
 //! Examples:
@@ -52,6 +55,7 @@ struct Options {
     json: bool,
     journal: Option<String>,
     resume: bool,
+    threads: usize,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -66,6 +70,7 @@ fn parse_args() -> Result<Options, String> {
         json: false,
         journal: None,
         resume: false,
+        threads: 1,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -98,6 +103,11 @@ fn parse_args() -> Result<Options, String> {
             "--json" => opts.json = true,
             "--journal" => opts.journal = Some(value("--journal")?),
             "--resume" => opts.resume = true,
+            "--threads" => {
+                opts.threads = value("--threads")?
+                    .parse()
+                    .map_err(|_| "--threads must be a positive integer".to_owned())?
+            }
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown option: {other}")),
         }
@@ -113,6 +123,17 @@ fn parse_args() -> Result<Options, String> {
     }
     if opts.resume && opts.journal.is_none() {
         return Err("--resume requires --journal <file>".to_owned());
+    }
+    if opts.threads == 0 {
+        return Err("--threads must be at least 1".to_owned());
+    }
+    if opts.threads > 1 {
+        eprintln!(
+            "note: a single-device session is one unit of work; \
+             --threads {} runs it on one worker (use `repro sweep --threads` \
+             to parallelise a fleet)",
+            opts.threads
+        );
     }
     Ok(opts)
 }
@@ -170,7 +191,7 @@ fn main() -> ExitCode {
             eprintln!(
                 "usage: accubench --device <model:selector> [--mode unconstrained|<MHz>] \
                  [--iterations N] [--ambient °C] [--scale F] [--trace out.csv] \
-                 [--faults plan.toml] [--json]"
+                 [--faults plan.toml] [--json] [--journal file] [--resume] [--threads N]"
             );
             return ExitCode::FAILURE;
         }

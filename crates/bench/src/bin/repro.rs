@@ -25,7 +25,7 @@
 //! Pixel devices, and is where the durability options live:
 //!
 //! ```text
-//! repro sweep [--quick] [--devices N] [--seed S] \
+//! repro sweep [--quick] [--devices N] [--seed S] [--threads T] \
 //!             [--journal run.journal] [--resume] [--json]
 //! ```
 //!
@@ -35,9 +35,12 @@
 //! `--resume` to continue from the last journaled device; the final
 //! report is bit-identical to an uninterrupted run. `--seed` arms
 //! per-device pseudo-random fault injection to exercise the resilient
-//! path.
+//! path. `--threads` (default: the host's available parallelism) fans
+//! device sessions out across a work-stealing pool; the report, database
+//! and journal stay bit-identical to `--threads 1`.
 
-use accubench::crowd::{populate_journaled, CrowdDatabase, SweepConfig};
+use accubench::crowd::{populate_parallel, CrowdDatabase, SweepConfig};
+use accubench::executor;
 use accubench::experiments::{self, study, ExperimentConfig};
 use accubench::journal::Journal;
 use accubench::protocol::Protocol;
@@ -86,7 +89,7 @@ fn usage() -> ExitCode {
     );
     eprintln!(
         "       repro sweep [--quick] [--json] [--devices N] [--seed S] \
-         [--journal run.journal] [--resume]"
+         [--threads T] [--journal run.journal] [--resume]"
     );
     eprintln!("experiments: {}", EXPERIMENTS.join(" "));
     ExitCode::FAILURE
@@ -107,12 +110,20 @@ fn main() -> ExitCode {
     let devices_arg = value_of("--devices");
     let seed_arg = value_of("--seed");
     let journal_path = value_of("--journal");
+    let threads_arg = value_of("--threads");
     let resume = args.iter().any(|a| a == "--resume");
     // Indices consumed as values of flags are not positional targets.
-    let consumed: Vec<usize> = ["--export", "--faults", "--devices", "--seed", "--journal"]
-        .iter()
-        .filter_map(|f| args.iter().position(|a| a == *f).map(|i| i + 1))
-        .collect();
+    let consumed: Vec<usize> = [
+        "--export",
+        "--faults",
+        "--devices",
+        "--seed",
+        "--journal",
+        "--threads",
+    ]
+    .iter()
+    .filter_map(|f| args.iter().position(|a| a == *f).map(|i| i + 1))
+    .collect();
     let mut positional = args
         .iter()
         .enumerate()
@@ -136,6 +147,7 @@ fn main() -> ExitCode {
             &cfg,
             devices_arg.as_deref(),
             seed_arg.as_deref(),
+            threads_arg.as_deref(),
             journal_path.as_deref(),
             resume,
             json,
@@ -410,11 +422,13 @@ fn fleet(n: usize) -> Result<Vec<Device>, accubench::BenchError> {
         .collect()
 }
 
-/// The `sweep` target: a journaled, interruptible crowd-population sweep.
+/// The `sweep` target: a journaled, interruptible, parallel
+/// crowd-population sweep.
 fn run_sweep(
     cfg: &ExperimentConfig,
     devices_arg: Option<&str>,
     seed_arg: Option<&str>,
+    threads_arg: Option<&str>,
     journal_path: Option<&str>,
     resume: bool,
     json: bool,
@@ -430,6 +444,13 @@ fn run_sweep(
         Ok(s) => s,
         Err(_) => {
             eprintln!("--seed must be an unsigned integer");
+            return ExitCode::FAILURE;
+        }
+    };
+    let threads: usize = match threads_arg.map_or(Ok(executor::default_threads()), str::parse) {
+        Ok(t) if t > 0 => t,
+        _ => {
+            eprintln!("--threads must be a positive integer");
             return ExitCode::FAILURE;
         }
     };
@@ -496,17 +517,18 @@ fn run_sweep(
 
     let cancel = sigint::install();
     eprintln!(
-        "sweeping {n} device(s), {} iteration(s) each{} ...",
+        "sweeping {n} device(s), {} iteration(s) each, {threads} thread(s){} ...",
         cfg.iterations,
         journal_path.map_or_else(String::new, |p| format!(", journal {p}")),
     );
-    let sweep = match populate_journaled(
+    let sweep = match populate_parallel(
         &mut db,
         "Pixel",
         devices,
         &sweep_cfg,
         journal.as_mut(),
         &cancel,
+        threads,
     ) {
         Ok(s) => s,
         Err(e) => {

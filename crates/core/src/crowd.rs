@@ -12,6 +12,7 @@
 //! two §VI questions: *where does my device rank within its model?* and
 //! *how wide is the spread for this model?*
 
+use crate::executor;
 use crate::harness::{Ambient, Harness};
 use crate::journal::{fnv64, CancelToken, Journal, JournalError, Record};
 use crate::protocol::{CooldownTarget, Protocol};
@@ -68,6 +69,17 @@ impl CrowdDatabase {
     }
 
     /// Submits a score. Returns `true` if accepted, `false` if filtered.
+    ///
+    /// The accept/reject *decision* is order-independent: each submission
+    /// is judged only against the fixed RSD filter, never against earlier
+    /// submissions, so the final [`rejected`](Self::rejected) count is the
+    /// same however a batch is permuted. The database's *contents* are
+    /// order-sensitive, though — [`scores`](Self::scores) preserves
+    /// submission order, and the JSON serialisation embeds it. Fleet
+    /// sweeps therefore commit submissions in **canonical device order**
+    /// (index 0, 1, 2, …) behind the executor's single-writer merge step
+    /// (see [`populate_parallel`]), which keeps databases, reports and
+    /// journals bit-identical regardless of thread count.
     pub fn submit(&mut self, score: CrowdScore) -> bool {
         if !score.score.is_finite() || score.score <= 0.0 {
             self.rejected += 1;
@@ -485,8 +497,162 @@ pub fn populate_journaled(
     model: &str,
     devices: Vec<Device>,
     cfg: &SweepConfig,
+    journal: Option<&mut Journal>,
+    cancel: &CancelToken,
+) -> Result<JournaledSweep, BenchError> {
+    populate_parallel(db, model, devices, cfg, journal, cancel, 1)
+}
+
+/// Result of simulating one device, before the canonical-order merge step
+/// submits it to the database and journals it.
+struct DeviceRun {
+    outcome: SweepOutcome,
+    score: Option<f64>,
+    rsd: Option<f64>,
+    /// `false` when the outcome was replayed from the journal instead of
+    /// being re-simulated (replays are never re-journaled).
+    fresh: bool,
+}
+
+/// Simulates one device session — the parallel-safe unit of work. It owns
+/// its device, builds its own per-index fault handle and harness, and
+/// touches no shared state, so its result is a pure function of
+/// `(cfg, index, device)` regardless of which worker thread runs it.
+/// The returned outcome's `accepted` flag is a placeholder; the merge
+/// step sets it when it submits the score in canonical device order.
+fn simulate_device(
+    cfg: &SweepConfig,
+    index: usize,
+    device: Device,
+) -> Result<DeviceRun, BenchError> {
+    let label = device.label().to_owned();
+    let handle = match cfg.fault_seed {
+        Some(seed) => FaultHandle::armed(FaultPlan::generate(
+            seed.wrapping_add(index as u64),
+            cfg.fault_horizon(),
+            cfg.fault_mean_interval.value(),
+            &cfg.fault_kinds,
+        )),
+        None => FaultHandle::disarmed(),
+    };
+    let mut gated = FaultyDevice::new(device, handle.clone());
+    let mut harness =
+        Harness::new(cfg.protocol, Ambient::Fixed(cfg.ambient))?.with_faults(handle.clone());
+    Ok(match harness.run_session(&mut gated, cfg.iterations) {
+        Ok(session) => {
+            let mut score = None;
+            let mut rsd = None;
+            if session.verdict != Verdict::Invalid {
+                let perf = session.performance_summary()?;
+                score = Some(perf.mean());
+                rsd = Some(perf.rsd_percent());
+            }
+            DeviceRun {
+                outcome: SweepOutcome {
+                    device: label,
+                    verdict: Some(session.verdict),
+                    accepted: false,
+                    quarantined: session.quarantined_count(),
+                    fault_reports: handle.report_count(),
+                    error: None,
+                },
+                score,
+                rsd,
+                fresh: true,
+            }
+        }
+        Err(e) => DeviceRun {
+            outcome: SweepOutcome {
+                device: label,
+                verdict: None,
+                accepted: false,
+                quarantined: 0,
+                fault_reports: handle.report_count(),
+                error: Some(e.to_string()),
+            },
+            score: None,
+            rsd: None,
+            fresh: true,
+        },
+    })
+}
+
+/// Journals one freshly simulated outcome: its fault/quarantine note (when
+/// warranted) and the outcome record, committed with a single fsync. Both
+/// the serial and the parallel path go through here, so their journal
+/// bytes cannot diverge.
+fn journal_outcome(
+    journal: &mut Journal,
+    index: usize,
+    outcome: &SweepOutcome,
+    score: Option<f64>,
+    rsd: Option<f64>,
+) -> Result<(), BenchError> {
+    let mut records = Vec::with_capacity(2);
+    if outcome.quarantined > 0 || outcome.fault_reports > 0 || outcome.error.is_some() {
+        records.push(Record::Note {
+            index,
+            text: format!(
+                "{}: {} quarantined, {} fault(s){}",
+                outcome.device,
+                outcome.quarantined,
+                outcome.fault_reports,
+                outcome
+                    .error
+                    .as_deref()
+                    .map(|e| format!(", fatal: {e}"))
+                    .unwrap_or_default()
+            ),
+        });
+    }
+    records.push(Record::Outcome {
+        index,
+        outcome: outcome.clone(),
+        score,
+        rsd,
+    });
+    journal.append_all(&records)?;
+    Ok(())
+}
+
+/// [`populate_journaled`] fanned out across a work-stealing thread pool
+/// (`crate::executor`) — the engine behind `repro sweep --threads N`.
+///
+/// Device sessions are independent, deterministically seeded simulations,
+/// so workers may run them in any order on any thread; the calling thread
+/// is the **single writer** that merges completed outcomes back in
+/// canonical device order (buffering out-of-order completions), submits
+/// scores to `db`, and appends to the journal. The resulting
+/// [`SweepReport`], database contents, and journal bytes are therefore
+/// **bit-identical** to the serial path (`threads == 1`) for every thread
+/// count and OS schedule.
+///
+/// Composition with the existing machinery:
+///
+/// * **Resume.** A journal's contiguous restored prefix is replayed on the
+///   caller before any worker spawns; only the unsimulated tail is fanned
+///   out. The prefix replay is not gated on `cancel`, matching the serial
+///   path.
+/// * **Cancellation.** Workers poll `cancel` between devices: in-flight
+///   sessions finish, the writer flushes the contiguous finished prefix
+///   to the journal, and results past the first gap are discarded — a
+///   later `--resume` recomputes them bit-identically.
+/// * **`threads`** is clamped to `1..=devices.len()`; `1` runs the serial
+///   reference path inline with no thread spawned.
+///
+/// # Errors
+///
+/// As [`populate_journaled`]: invalid protocol/iterations, digest
+/// mismatches, journal I/O. Per-device simulation failures land in the
+/// report.
+pub fn populate_parallel(
+    db: &mut CrowdDatabase,
+    model: &str,
+    devices: Vec<Device>,
+    cfg: &SweepConfig,
     mut journal: Option<&mut Journal>,
     cancel: &CancelToken,
+    threads: usize,
 ) -> Result<JournaledSweep, BenchError> {
     cfg.protocol.validate()?;
     if cfg.iterations == 0 {
@@ -540,112 +706,77 @@ pub fn populate_journaled(
     }
 
     let total = devices.len();
-    let mut outcomes = Vec::with_capacity(total);
-    let mut complete = true;
+    let mut outcomes: Vec<SweepOutcome> = Vec::with_capacity(total);
     let mut resumed = 0usize;
-    for (i, device) in devices.into_iter().enumerate() {
-        if let Some((outcome, score, rsd)) = restored.get(&i) {
-            let mut outcome = outcome.clone();
-            if let (Some(score), Some(rsd)) = (score, rsd) {
-                // Replay the submission so the database matches the
-                // uninterrupted run; admission filtering is deterministic
-                // in the score alone, so `accepted` cannot diverge.
+
+    // Replay the journal's contiguous restored prefix on the caller — no
+    // simulation, no cancellation gate, exactly as the serial path did.
+    // Replaying the submission keeps the database identical to the
+    // uninterrupted run; admission filtering is deterministic in the score
+    // alone, so `accepted` cannot diverge.
+    let mut prefix = 0usize;
+    while let Some((outcome, score, rsd)) = restored.get(&prefix) {
+        let mut outcome = outcome.clone();
+        if let (Some(score), Some(rsd)) = (score, rsd) {
+            outcome.accepted = db.submit(CrowdScore {
+                model: model.to_owned(),
+                device: outcome.device.clone(),
+                score: *score,
+                rsd: *rsd,
+            });
+        }
+        outcomes.push(outcome);
+        resumed += 1;
+        prefix += 1;
+    }
+
+    // Fan the unsimulated tail out across the executor. The worker is a
+    // pure function of the device index; the sink below runs on this
+    // thread only, in canonical device order.
+    let tail: Vec<(usize, Device)> = devices.into_iter().enumerate().skip(prefix).collect();
+    let restored = &restored;
+    let done = executor::map_ordered(
+        tail,
+        threads,
+        cancel,
+        |_, (index, device)| -> Result<DeviceRun, BenchError> {
+            // A restored outcome beyond the contiguous prefix (possible
+            // only in a hand-assembled journal) is replayed, not re-run.
+            if let Some((outcome, score, rsd)) = restored.get(&index) {
+                return Ok(DeviceRun {
+                    outcome: outcome.clone(),
+                    score: *score,
+                    rsd: *rsd,
+                    fresh: false,
+                });
+            }
+            simulate_device(cfg, index, device)
+        },
+        |tail_index, run: Result<DeviceRun, BenchError>| -> Result<(), BenchError> {
+            let run = run?;
+            let index = prefix + tail_index;
+            let mut outcome = run.outcome;
+            if let (Some(score), Some(rsd)) = (run.score, run.rsd) {
                 outcome.accepted = db.submit(CrowdScore {
                     model: model.to_owned(),
                     device: outcome.device.clone(),
-                    score: *score,
-                    rsd: *rsd,
-                });
-            }
-            outcomes.push(outcome);
-            resumed += 1;
-            continue;
-        }
-        if cancel.is_cancelled() {
-            complete = false;
-            break;
-        }
-        let label = device.label().to_owned();
-        let handle = match cfg.fault_seed {
-            Some(seed) => FaultHandle::armed(FaultPlan::generate(
-                seed.wrapping_add(i as u64),
-                cfg.fault_horizon(),
-                cfg.fault_mean_interval.value(),
-                &cfg.fault_kinds,
-            )),
-            None => FaultHandle::disarmed(),
-        };
-        let mut gated = FaultyDevice::new(device, handle.clone());
-        let mut harness =
-            Harness::new(cfg.protocol, Ambient::Fixed(cfg.ambient))?.with_faults(handle.clone());
-        let (outcome, score, rsd) = match harness.run_session(&mut gated, cfg.iterations) {
-            Ok(session) => {
-                let mut accepted = false;
-                let mut score = None;
-                let mut rsd = None;
-                if session.verdict != Verdict::Invalid {
-                    let perf = session.performance_summary()?;
-                    score = Some(perf.mean());
-                    rsd = Some(perf.rsd_percent());
-                    accepted = db.submit(CrowdScore {
-                        model: model.to_owned(),
-                        device: label.clone(),
-                        score: perf.mean(),
-                        rsd: perf.rsd_percent(),
-                    });
-                }
-                (
-                    SweepOutcome {
-                        device: label,
-                        verdict: Some(session.verdict),
-                        accepted,
-                        quarantined: session.quarantined_count(),
-                        fault_reports: handle.report_count(),
-                        error: None,
-                    },
                     score,
                     rsd,
-                )
+                });
             }
-            Err(e) => (
-                SweepOutcome {
-                    device: label,
-                    verdict: None,
-                    accepted: false,
-                    quarantined: 0,
-                    fault_reports: handle.report_count(),
-                    error: Some(e.to_string()),
-                },
-                None,
-                None,
-            ),
-        };
-        if let Some(j) = journal.as_deref_mut() {
-            if outcome.quarantined > 0 || outcome.fault_reports > 0 || outcome.error.is_some() {
-                j.append(&Record::Note {
-                    index: i,
-                    text: format!(
-                        "{}: {} quarantined, {} fault(s){}",
-                        outcome.device,
-                        outcome.quarantined,
-                        outcome.fault_reports,
-                        outcome
-                            .error
-                            .as_deref()
-                            .map(|e| format!(", fatal: {e}"))
-                            .unwrap_or_default()
-                    ),
-                })?;
+            if run.fresh {
+                if let Some(j) = journal.as_deref_mut() {
+                    journal_outcome(j, index, &outcome, run.score, run.rsd)?;
+                }
+            } else {
+                resumed += 1;
             }
-            j.append(&Record::Outcome {
-                index: i,
-                outcome: outcome.clone(),
-                score,
-                rsd,
-            })?;
-        }
-        outcomes.push(outcome);
-    }
+            outcomes.push(outcome);
+            Ok(())
+        },
+    )?;
+
+    let complete = prefix + done == total;
     if complete && !already_complete {
         if let Some(j) = journal {
             j.append(&Record::Complete { devices: total })?;
@@ -689,6 +820,42 @@ mod tests {
         assert!(db.submit(score("Nexus 5", "ok", 100.0, 1.9)));
         assert_eq!(db.rejected(), 3);
         assert_eq!(db.scores().len(), 1);
+    }
+
+    #[test]
+    fn submission_order_shapes_contents_not_admission() {
+        // The admission decision is pointwise: permuting a batch changes
+        // which slots scores land in (contents), never what is accepted or
+        // the rejected count. This is the property that lets the parallel
+        // sweep replay submissions in canonical order without changing
+        // which devices are admitted.
+        let batch = [
+            score("Nexus 5", "a", 100.0, 0.5),
+            score("Nexus 5", "noisy", 80.0, 9.0),
+            score("Nexus 5", "b", 95.0, 1.9),
+            score("Nexus 5", "bad", f64::NAN, 0.1),
+            score("Nexus 5", "c", 90.0, 0.2),
+        ];
+        let admit = |order: &[usize]| {
+            let mut db = CrowdDatabase::new(2.0).unwrap();
+            let verdicts: BTreeMap<&str, bool> = order
+                .iter()
+                .map(|&i| (batch[i].device.as_str(), db.submit(batch[i].clone())))
+                .collect();
+            (verdicts, db.rejected(), db.scores().len())
+        };
+        let forward = admit(&[0, 1, 2, 3, 4]);
+        let reversed = admit(&[4, 3, 2, 1, 0]);
+        let shuffled = admit(&[2, 0, 4, 1, 3]);
+        assert_eq!(forward, reversed);
+        assert_eq!(forward, shuffled);
+        assert_eq!(forward.1, 2, "noisy + NaN rejected in every order");
+        // Contents ARE order-sensitive: submission order is preserved.
+        let mut db = CrowdDatabase::new(2.0).unwrap();
+        db.submit(batch[2].clone());
+        db.submit(batch[0].clone());
+        let labels: Vec<&str> = db.scores().iter().map(|s| s.device.as_str()).collect();
+        assert_eq!(labels, ["b", "a"]);
     }
 
     #[test]

@@ -1,0 +1,369 @@
+//! Work-stealing parallel executor for fleet sweeps.
+//!
+//! The paper's §VI crowdsourcing vision only pays off at fleet scale, and
+//! every device session is already an independent, deterministically seeded
+//! simulation — embarrassingly parallel work that the serial sweep loop
+//! left on the table. This module fans such indexed task batches out
+//! across a small `std::thread` pool (no external dependencies; the
+//! workspace builds offline) while keeping the *observable* result
+//! bit-identical to the serial loop:
+//!
+//! * **Work stealing.** Tasks start in a shared injector queue; each
+//!   worker drains batches of it into a private deque and, when both run
+//!   dry, steals the back half of a sibling's deque. Uneven per-device
+//!   costs (faulty devices retry and backoff, clean ones finish early)
+//!   therefore cannot idle a core while work remains.
+//! * **Canonical-order merge.** Workers hand each completed result to the
+//!   caller's thread — the single writer — which buffers out-of-order
+//!   completions and invokes the sink strictly in task order 0, 1, 2, ….
+//!   Any order-sensitive state behind the sink (journal appends,
+//!   [`CrowdDatabase`](crate::crowd::CrowdDatabase) submissions) observes
+//!   exactly the serial schedule, regardless of thread count or OS
+//!   scheduling.
+//! * **Cooperative cancellation.** Workers poll the [`CancelToken`]
+//!   between tasks: once flipped, in-flight tasks finish, nothing new is
+//!   claimed, and the merge step flushes the contiguous finished prefix.
+//!   Results past the first unfinished index are discarded — they are
+//!   deterministic, so a resume recomputes them bit-identically.
+//!
+//! Determinism does **not** come from the pool (scheduling is arbitrary);
+//! it comes from tasks being pure functions of their index plus the
+//! ordered merge. The pool only decides *when* work happens, never *what*
+//! the sink observes. See DESIGN.md §10.
+
+use crate::journal::CancelToken;
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{mpsc, Mutex, MutexGuard, PoisonError};
+
+/// Worker count that `--threads` defaults to: the host's available
+/// parallelism, or 1 when it cannot be determined.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Locks a mutex, recovering the guard from a poisoned lock — a worker
+/// panic must not wedge its siblings or the writer.
+fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// What a worker's claim attempt produced.
+enum Claim<T> {
+    /// A task to run.
+    Task(T),
+    /// Nothing visible right now, but unclaimed tasks exist (e.g. mid
+    /// transfer between queues) — yield and retry.
+    Retry,
+    /// Every task has been claimed; the worker can exit.
+    Drained,
+}
+
+/// Shared injector queue plus per-worker deques.
+struct Pool<T> {
+    injector: Mutex<VecDeque<(usize, T)>>,
+    locals: Vec<Mutex<VecDeque<(usize, T)>>>,
+    /// Tasks not yet claimed for execution (they may sit in the injector,
+    /// a local deque, or be mid-transfer). Workers only exit on zero, so a
+    /// task can never be stranded in a deque nobody will revisit.
+    unclaimed: AtomicUsize,
+    /// How many tasks a worker moves from the injector per refill.
+    batch: usize,
+}
+
+impl<T> Pool<T> {
+    fn new(items: Vec<T>, threads: usize) -> Self {
+        let total = items.len();
+        Pool {
+            injector: Mutex::new(items.into_iter().enumerate().collect()),
+            locals: (0..threads).map(|_| Mutex::new(VecDeque::new())).collect(),
+            unclaimed: AtomicUsize::new(total),
+            batch: total.div_ceil(threads * 2).max(1),
+        }
+    }
+
+    /// Claims the next task for worker `who`: own deque first, then a
+    /// batch from the injector, then the back half of a sibling's deque.
+    /// At most one lock is held at a time, so claims cannot deadlock.
+    fn try_claim(&self, who: usize) -> Claim<(usize, T)> {
+        if let Some(task) = lock(&self.locals[who]).pop_front() {
+            self.unclaimed.fetch_sub(1, Ordering::SeqCst);
+            return Claim::Task(task);
+        }
+        let refill: VecDeque<(usize, T)> = {
+            let mut injector = lock(&self.injector);
+            let take = self.batch.min(injector.len());
+            injector.drain(..take).collect()
+        };
+        if let Some(task) = self.adopt(who, refill) {
+            return Claim::Task(task);
+        }
+        for victim in (0..self.locals.len()).filter(|&v| v != who) {
+            let stolen = {
+                let mut deque = lock(&self.locals[victim]);
+                // Leave the front half with its owner; take the rest.
+                let keep = deque.len().div_ceil(2);
+                deque.split_off(keep)
+            };
+            if let Some(task) = self.adopt(who, stolen) {
+                return Claim::Task(task);
+            }
+        }
+        if self.unclaimed.load(Ordering::SeqCst) == 0 {
+            Claim::Drained
+        } else {
+            Claim::Retry
+        }
+    }
+
+    /// Moves `tasks` into `who`'s deque and claims the first of them.
+    fn adopt(&self, who: usize, tasks: VecDeque<(usize, T)>) -> Option<(usize, T)> {
+        if tasks.is_empty() {
+            return None;
+        }
+        let mut local = lock(&self.locals[who]);
+        local.extend(tasks);
+        let task = local.pop_front();
+        if task.is_some() {
+            self.unclaimed.fetch_sub(1, Ordering::SeqCst);
+        }
+        task
+    }
+}
+
+/// Runs `worker` over every `(index, item)` across `threads` workers and
+/// feeds the results to `sink` **in strictly increasing index order** on
+/// the calling thread, buffering out-of-order completions. Returns how
+/// many items were sunk — the contiguous completed prefix.
+///
+/// * `threads` is clamped to `1..=items.len()`. With one thread everything
+///   runs inline on the caller — that *is* the serial reference path, and
+///   the parallel path is bit-identical to it whenever `worker` is a pure
+///   function of `(index, item)`.
+/// * `cancel` is polled before every claim: a cancelled run finishes
+///   in-flight work, sinks the contiguous prefix, and returns short.
+///   Computed results beyond the first gap are discarded.
+/// * A `sink` error aborts the run: workers stop claiming, and the error
+///   is returned after in-flight tasks drain.
+pub fn map_ordered<T, R, E, W, S>(
+    items: Vec<T>,
+    threads: usize,
+    cancel: &CancelToken,
+    worker: W,
+    mut sink: S,
+) -> Result<usize, E>
+where
+    T: Send,
+    R: Send,
+    W: Fn(usize, T) -> R + Sync,
+    S: FnMut(usize, R) -> Result<(), E>,
+{
+    let total = items.len();
+    if total == 0 {
+        return Ok(0);
+    }
+    let threads = threads.clamp(1, total);
+    if threads == 1 {
+        let mut done = 0usize;
+        for (index, item) in items.into_iter().enumerate() {
+            if cancel.is_cancelled() {
+                break;
+            }
+            sink(index, worker(index, item))?;
+            done += 1;
+        }
+        return Ok(done);
+    }
+
+    let pool = Pool::new(items, threads);
+    let abort = AtomicBool::new(false);
+    let (tx, rx) = mpsc::channel::<(usize, R)>();
+    std::thread::scope(|scope| {
+        for who in 0..threads {
+            let tx = tx.clone();
+            let (pool, abort, worker) = (&pool, &abort, &worker);
+            scope.spawn(move || loop {
+                if cancel.is_cancelled() || abort.load(Ordering::SeqCst) {
+                    break;
+                }
+                match pool.try_claim(who) {
+                    Claim::Task((index, item)) => {
+                        // Send fails only when the writer already returned
+                        // (sink error); nothing left to do either way.
+                        if tx.send((index, worker(index, item))).is_err() {
+                            break;
+                        }
+                    }
+                    Claim::Retry => std::thread::yield_now(),
+                    Claim::Drained => break,
+                }
+            });
+        }
+        drop(tx);
+
+        // Single-writer merge: buffer out-of-order completions, sink the
+        // canonical prefix as it becomes contiguous.
+        let mut buffered: BTreeMap<usize, R> = BTreeMap::new();
+        let mut next = 0usize;
+        while let Ok((index, result)) = rx.recv() {
+            buffered.insert(index, result);
+            while let Some(result) = buffered.remove(&next) {
+                if let Err(e) = sink(next, result) {
+                    abort.store(true, Ordering::SeqCst);
+                    return Err(e);
+                }
+                next += 1;
+            }
+        }
+        Ok(next)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn default_threads_is_at_least_one() {
+        assert!(default_threads() >= 1);
+    }
+
+    #[test]
+    fn empty_input_is_a_noop() {
+        let done: Result<usize, ()> = map_ordered(
+            Vec::<u32>::new(),
+            8,
+            &CancelToken::new(),
+            |_, x| x,
+            |_, _| panic!("sink must not run"),
+        );
+        assert_eq!(done, Ok(0));
+    }
+
+    #[test]
+    fn sink_sees_canonical_order_at_every_thread_count() {
+        for threads in [1, 2, 3, 8, 64] {
+            let mut seen = Vec::new();
+            let done: Result<usize, ()> = map_ordered(
+                (0..100u64).collect(),
+                threads,
+                &CancelToken::new(),
+                |i, x| (i as u64) * 1000 + x,
+                |i, r| {
+                    seen.push((i, r));
+                    Ok(())
+                },
+            );
+            assert_eq!(done, Ok(100), "threads={threads}");
+            let expect: Vec<(usize, u64)> = (0..100).map(|i| (i, (i as u64) * 1001)).collect();
+            assert_eq!(seen, expect, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn uneven_task_costs_do_not_perturb_sink_order() {
+        // Early tasks are slow, late ones fast: with stealing, late tasks
+        // finish first and must be buffered until the prefix lands.
+        let mut seen = Vec::new();
+        let done: Result<usize, ()> = map_ordered(
+            (0..40u64).collect(),
+            4,
+            &CancelToken::new(),
+            |i, x| {
+                if i < 8 {
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                x * 2
+            },
+            |i, r| {
+                seen.push((i, r));
+                Ok(())
+            },
+        );
+        assert_eq!(done, Ok(40));
+        assert!(seen
+            .iter()
+            .enumerate()
+            .all(|(k, &(i, r))| k == i && r == i as u64 * 2));
+    }
+
+    #[test]
+    fn sink_error_aborts_with_contiguous_prefix() {
+        let mut sunk = Vec::new();
+        let result = map_ordered(
+            (0..64u64).collect(),
+            4,
+            &CancelToken::new(),
+            |_, x| x,
+            |i, _| {
+                if i == 5 {
+                    return Err("boom");
+                }
+                sunk.push(i);
+                Ok(())
+            },
+        );
+        assert_eq!(result, Err("boom"));
+        assert_eq!(sunk, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn pre_cancelled_run_claims_nothing() {
+        let cancel = CancelToken::new();
+        cancel.cancel();
+        for threads in [1, 4] {
+            let done: Result<usize, ()> = map_ordered(
+                (0..32u64).collect(),
+                threads,
+                &cancel,
+                |_, x| x,
+                |_, _| panic!("nothing may reach the sink"),
+            );
+            assert_eq!(done, Ok(0), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn mid_run_cancellation_stops_short_and_keeps_order() {
+        let cancel = CancelToken::new();
+        let mut seen = Vec::new();
+        let done: Result<usize, ()> = map_ordered(
+            (0..64u64).collect(),
+            4,
+            &cancel,
+            |_, x| {
+                std::thread::sleep(Duration::from_millis(1));
+                x
+            },
+            |i, _| {
+                if i == 0 {
+                    cancel.cancel();
+                }
+                seen.push(i);
+                Ok(())
+            },
+        );
+        let done = done.unwrap();
+        assert!(done >= 1, "the in-flight prefix still lands");
+        assert!(done < 64, "cancellation stopped the run early");
+        assert_eq!(seen, (0..done).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn oversized_thread_count_is_clamped() {
+        let mut seen = Vec::new();
+        let done: Result<usize, ()> = map_ordered(
+            vec![7u64, 8, 9],
+            1000,
+            &CancelToken::new(),
+            |_, x| x + 1,
+            |i, r| {
+                seen.push((i, r));
+                Ok(())
+            },
+        );
+        assert_eq!(done, Ok(3));
+        assert_eq!(seen, vec![(0, 8), (1, 9), (2, 10)]);
+    }
+}

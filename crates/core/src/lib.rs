@@ -46,6 +46,7 @@
 #![warn(missing_docs)]
 
 pub mod crowd;
+pub mod executor;
 pub mod experiments;
 pub mod export;
 pub mod harness;

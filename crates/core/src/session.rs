@@ -212,6 +212,15 @@ pub struct Session {
     pub verdict: Verdict,
 }
 
+// Sessions are produced on worker threads during parallel fleet sweeps and
+// handed to the merge thread; keep them (and what they contain) `Send`.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<Session>();
+    assert_send::<Iteration>();
+    assert_send::<Verdict>();
+};
+
 impl Session {
     /// Summary statistics of the performance metric across iterations.
     ///

@@ -84,7 +84,10 @@ impl std::error::Error for PowerError {}
 /// The device simulator calls [`terminal_voltage`](Self::terminal_voltage)
 /// each step (the OS samples this for input-voltage throttling) and
 /// [`draw`](Self::draw) to account the energy consumed over the step.
-pub trait PowerSupply: fmt::Debug {
+///
+/// Supplies are owned by devices that migrate across worker threads in
+/// parallel fleet sweeps, so implementations must be `Send`.
+pub trait PowerSupply: fmt::Debug + Send {
     /// Voltage at the device's power input under the given load.
     ///
     /// For an ideal source this is the programmed voltage; for a battery it

@@ -129,6 +129,10 @@ impl StepReport {
 /// ```
 #[derive(Debug)]
 pub struct Device {
+    // Fleet sweeps move whole devices onto executor worker threads; every
+    // field (including the boxed supply, whose trait requires Send) must
+    // stay Send. The assertion below turns a regression into a compile
+    // error at the definition site instead of deep inside the executor.
     spec: DeviceSpec,
     die: DieSample,
     label: String,
@@ -144,6 +148,11 @@ pub struct Device {
     last_supply_voltage: Volts,
     time: Seconds,
 }
+
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<Device>();
+};
 
 impl Device {
     /// Builds a device from a spec, a die, and a power supply.
