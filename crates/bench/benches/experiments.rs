@@ -17,6 +17,7 @@ fn bench_cfg() -> ExperimentConfig {
     ExperimentConfig {
         scale: 0.12,
         iterations: 1,
+        ..ExperimentConfig::quick()
     }
 }
 

@@ -1,0 +1,403 @@
+//! Per-device step throughput: Euler / RK4 reference vs the exponential
+//! fast path.
+//!
+//! Three measurements per integrator, written to `BENCH_step.json` for
+//! CI's perf gate:
+//!
+//! * **thermal step-rate** — `ThermalNetwork::step` throughput on the
+//!   catalog Pixel RC topology at the protocol's busy cadence. This is
+//!   the number the ≥ 5× gate reads: the exponential propagator replaces
+//!   RK4's four derivative sweeps with one dense mat-vec pair;
+//! * a **raw device-step loop** on one Pixel (`ns/step`, `steps/s`),
+//!   with a counting global allocator snapshotted around the measured
+//!   region — steady-state stepping must make **zero** heap allocations
+//!   once caches are warm, and the bench aborts if the fast path does;
+//! * **aggregated full sessions** at *default protocol settings*
+//!   (3 min warmup, cooldown, 5 min workload) through the real harness.
+//!   A single session is ~2 ms of wall-clock, so many repeats are summed
+//!   to get a measurable number. The session ratio is reported honestly:
+//!   probe sampling, battery accounting and throttle bookkeeping are
+//!   integrator-independent, so the end-to-end ratio is smaller than the
+//!   thermal step-rate ratio (Amdahl; see DESIGN.md §11).
+//!
+//! ```text
+//! cargo bench -p pv-bench --bench step -- --steps 200000
+//! ```
+//!
+//! Flags: `--steps N` (raw/thermal loop length, default 200000),
+//! `--sessions N` (session repeats, default 60), `--out PATH` (default
+//! `BENCH_step.json`), `--test` (libtest smoke mode: short loops so
+//! `cargo bench -- --test` stays fast).
+
+use accubench::harness::{Ambient, Harness};
+use accubench::protocol::Protocol;
+use pv_json::Json;
+use pv_soc::catalog;
+use pv_soc::device::{CpuDemand, Device, FrequencyMode, StepReport};
+use pv_thermal::network::{Integrator, NodeId, ThermalNetwork, ThermalNetworkBuilder};
+use pv_units::{Celsius, Seconds, ThermalCapacitance, ThermalResistance, Watts};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Pass-through allocator that counts every allocation, so the bench can
+/// prove the fast path's steady state touches the heap zero times.
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+static ALLOC_BYTES: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn alloc_snapshot() -> (u64, u64) {
+    (
+        ALLOCS.load(Ordering::Relaxed),
+        ALLOC_BYTES.load(Ordering::Relaxed),
+    )
+}
+
+const INTEGRATORS: [Integrator; 3] = [Integrator::Euler, Integrator::Rk4, Integrator::Exponential];
+
+struct Options {
+    steps: usize,
+    sessions: usize,
+    out: String,
+    smoke: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: cargo bench -p pv-bench --bench step -- \
+         [--steps N] [--sessions N] [--out PATH] [--test]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Options {
+    let mut opts = Options {
+        steps: 200_000,
+        sessions: 60,
+        out: "BENCH_step.json".to_owned(),
+        smoke: false,
+    };
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--steps" => {
+                i += 1;
+                opts.steps = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| usage());
+            }
+            "--sessions" => {
+                i += 1;
+                opts.sessions = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| usage());
+            }
+            "--out" => {
+                i += 1;
+                opts.out = args.get(i).cloned().unwrap_or_else(|| usage());
+            }
+            // `cargo bench -- --test` forwards libtest smoke flags to
+            // every bench binary; shrink to a sanity-check run. (`--bench`
+            // itself is cargo's routine marker — not smoke mode.)
+            "--test" => opts.smoke = true,
+            "--bench" => {}
+            "--help" | "-h" => usage(),
+            other if other.starts_with("--") => usage(),
+            // Ignore bare libtest filter strings.
+            _ => {}
+        }
+        i += 1;
+    }
+    if opts.smoke {
+        opts.steps = opts.steps.min(2_000);
+        opts.sessions = opts.sessions.min(2);
+    }
+    opts
+}
+
+fn device() -> Device {
+    catalog::pixel(0.5, "pixel-step-bench").unwrap()
+}
+
+/// The catalog Pixel RC topology (die/package/case chain to an ambient
+/// boundary), built standalone so the thermal step-rate is measured on
+/// exactly the network every Pixel device steps.
+fn pixel_network(integrator: Integrator) -> (ThermalNetwork, NodeId) {
+    let mut b = ThermalNetworkBuilder::new();
+    let die = b
+        .add_node("die", ThermalCapacitance(2.4), Celsius(26.0))
+        .unwrap();
+    let pkg = b
+        .add_node("package", ThermalCapacitance(6.8), Celsius(26.0))
+        .unwrap();
+    let case = b
+        .add_node("case", ThermalCapacitance(4.0), Celsius(26.0))
+        .unwrap();
+    let amb = b.add_boundary("ambient", Celsius(26.0)).unwrap();
+    b.connect(die, pkg, ThermalResistance(3.0)).unwrap();
+    b.connect(pkg, case, ThermalResistance(2.8)).unwrap();
+    b.connect(case, amb, ThermalResistance(9.0)).unwrap();
+    let mut network = b.build().unwrap();
+    network.set_integrator(integrator);
+    (network, die)
+}
+
+struct LoopRun {
+    integrator: Integrator,
+    ns_per_step: f64,
+    steps_per_sec: f64,
+    allocs: u64,
+    alloc_bytes: u64,
+}
+
+fn loop_json(r: &LoopRun) -> Json {
+    let mut o = Json::object();
+    o.insert("integrator", Json::String(r.integrator.as_str().to_owned()));
+    o.insert("ns_per_step", Json::Number(r.ns_per_step));
+    o.insert("steps_per_sec", Json::Number(r.steps_per_sec));
+    o.insert("allocs", Json::Number(r.allocs as f64));
+    o.insert("alloc_bytes", Json::Number(r.alloc_bytes as f64));
+    o
+}
+
+/// How many times each timed loop repeats. The fastest trial is kept:
+/// minimum-of-N is the standard noise-robust throughput estimator on a
+/// shared host, where a single trial can be slowed 2× by neighbours.
+const TRIALS: usize = 5;
+
+/// Thermal step-rate: `ThermalNetwork::step` alone on the Pixel topology
+/// at the busy cadence, heat held constant. This is the metric the ≥ 5×
+/// CI gate reads.
+fn thermal_loop(integrator: Integrator, steps: usize) -> LoopRun {
+    let (mut network, die) = pixel_network(integrator);
+    let dt = Seconds(0.1);
+    let heat = [(die, Watts(2.5))];
+    for _ in 0..500 {
+        network.step(dt, &heat).unwrap();
+    }
+    let before = alloc_snapshot();
+    let mut best = f64::INFINITY;
+    for _ in 0..TRIALS {
+        let start = Instant::now();
+        for _ in 0..steps {
+            network.step(dt, &heat).unwrap();
+        }
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    let after = alloc_snapshot();
+    std::hint::black_box(network.temperature(die));
+    LoopRun {
+        integrator,
+        ns_per_step: best * 1e9 / steps as f64,
+        steps_per_sec: steps as f64 / best,
+        allocs: after.0 - before.0,
+        alloc_bytes: after.1 - before.1,
+    }
+}
+
+/// Busy-steps one device `steps` times at the protocol's busy cadence,
+/// after a warmup that settles the propagator/OPP/power caches. The
+/// allocator is snapshotted only around the measured region.
+fn raw_loop(integrator: Integrator, steps: usize) -> LoopRun {
+    let dt = Seconds(0.1);
+    let demand = CpuDemand::busy();
+    let mode = FrequencyMode::Unconstrained;
+    let mut best = f64::INFINITY;
+    let mut allocs = 0;
+    let mut alloc_bytes = 0;
+    // A fresh device per trial keeps the battery from draining across
+    // trials; the allocator is snapshotted only around the timed loops.
+    for _ in 0..TRIALS {
+        let mut d = device();
+        d.set_integrator(integrator);
+        let mut report = StepReport::empty();
+        for _ in 0..500 {
+            d.step_into(dt, demand, mode, &mut report).unwrap();
+        }
+        let before = alloc_snapshot();
+        let start = Instant::now();
+        for _ in 0..steps {
+            d.step_into(dt, demand, mode, &mut report).unwrap();
+        }
+        best = best.min(start.elapsed().as_secs_f64());
+        let after = alloc_snapshot();
+        allocs += after.0 - before.0;
+        alloc_bytes += after.1 - before.1;
+    }
+    LoopRun {
+        integrator,
+        ns_per_step: best * 1e9 / steps as f64,
+        steps_per_sec: steps as f64 / best,
+        allocs,
+        alloc_bytes,
+    }
+}
+
+/// Sums `repeats` full sessions at **default protocol settings** through
+/// the real harness: the honest end-to-end number. One session is only a
+/// couple of milliseconds of wall-clock, so repeats are aggregated.
+fn session_runs(integrator: Integrator, repeats: usize) -> f64 {
+    let protocol = Protocol::unconstrained().with_integrator(integrator);
+    let mut total = 0.0;
+    for _ in 0..repeats {
+        let mut harness = Harness::new(protocol, Ambient::Fixed(Celsius(26.0))).unwrap();
+        let mut d = device();
+        let start = Instant::now();
+        let session = harness.run_session(&mut d, 1).expect("session");
+        total += start.elapsed().as_secs_f64();
+        assert!(
+            session.performance_summary().is_ok(),
+            "session produced no surviving iterations"
+        );
+    }
+    total
+}
+
+fn main() {
+    let opts = parse_args();
+
+    let mut thermals: Vec<LoopRun> = Vec::new();
+    for integrator in INTEGRATORS {
+        let run = thermal_loop(integrator, opts.steps);
+        eprintln!(
+            "thermal/{:<12} {:9.1} ns/step  {:11.0} steps/s  {} alloc(s), {} B",
+            integrator.as_str(),
+            run.ns_per_step,
+            run.steps_per_sec,
+            run.allocs,
+            run.alloc_bytes
+        );
+        thermals.push(run);
+    }
+
+    let mut raws: Vec<LoopRun> = Vec::new();
+    for integrator in INTEGRATORS {
+        let run = raw_loop(integrator, opts.steps);
+        eprintln!(
+            "device/{:<12}  {:9.1} ns/step  {:11.0} steps/s  {} alloc(s), {} B",
+            integrator.as_str(),
+            run.ns_per_step,
+            run.steps_per_sec,
+            run.allocs,
+            run.alloc_bytes
+        );
+        raws.push(run);
+    }
+
+    let mut sessions: Vec<(Integrator, f64)> = Vec::new();
+    for integrator in INTEGRATORS {
+        let secs = session_runs(integrator, opts.sessions);
+        eprintln!(
+            "session/{:<12} {secs:8.3} s total over {} run(s)",
+            integrator.as_str(),
+            opts.sessions
+        );
+        sessions.push((integrator, secs));
+    }
+
+    let thermal_of = |which: Integrator| {
+        thermals
+            .iter()
+            .find(|r| r.integrator == which)
+            .unwrap()
+            .steps_per_sec
+    };
+    let secs_of = |which: Integrator| {
+        sessions
+            .iter()
+            .find(|(i, _)| *i == which)
+            .map(|(_, s)| *s)
+            .unwrap()
+    };
+    let thermal_speedup_vs_rk4 = thermal_of(Integrator::Exponential) / thermal_of(Integrator::Rk4);
+    let thermal_speedup_vs_euler =
+        thermal_of(Integrator::Exponential) / thermal_of(Integrator::Euler);
+    let session_speedup_vs_rk4 = secs_of(Integrator::Rk4) / secs_of(Integrator::Exponential);
+    let session_speedup_vs_euler = secs_of(Integrator::Euler) / secs_of(Integrator::Exponential);
+
+    let mut out = Json::object();
+    out.insert("steps", Json::Number(opts.steps as f64));
+    out.insert("session_repeats", Json::Number(opts.sessions as f64));
+    out.insert(
+        "thermal",
+        Json::Array(thermals.iter().map(loop_json).collect()),
+    );
+    out.insert("device", Json::Array(raws.iter().map(loop_json).collect()));
+    out.insert(
+        "session",
+        Json::Array(
+            sessions
+                .iter()
+                .map(|(integrator, secs)| {
+                    let mut o = Json::object();
+                    o.insert("integrator", Json::String(integrator.as_str().to_owned()));
+                    o.insert("total_secs", Json::Number(*secs));
+                    o
+                })
+                .collect(),
+        ),
+    );
+    out.insert(
+        "thermal_step_rate_speedup_exp_vs_rk4",
+        Json::Number(thermal_speedup_vs_rk4),
+    );
+    out.insert(
+        "thermal_step_rate_speedup_exp_vs_euler",
+        Json::Number(thermal_speedup_vs_euler),
+    );
+    out.insert(
+        "session_speedup_exp_vs_rk4",
+        Json::Number(session_speedup_vs_rk4),
+    );
+    out.insert(
+        "session_speedup_exp_vs_euler",
+        Json::Number(session_speedup_vs_euler),
+    );
+    let steady_allocs: u64 = thermals.iter().chain(raws.iter()).map(|r| r.allocs).sum();
+    out.insert("steady_state_allocs", Json::Number(steady_allocs as f64));
+    std::fs::write(&opts.out, out.to_string_pretty() + "\n").expect("write BENCH_step.json");
+
+    println!(
+        "step/thermal step-rate: exponential {thermal_speedup_vs_rk4:.2}x vs rk4, \
+         {thermal_speedup_vs_euler:.2}x vs euler"
+    );
+    println!(
+        "step/session wall-clock: exponential {session_speedup_vs_rk4:.2}x vs rk4, \
+         {session_speedup_vs_euler:.2}x vs euler"
+    );
+    println!("wrote {}", opts.out);
+    if steady_allocs != 0 {
+        eprintln!(
+            "FATAL: steady-state stepping made {steady_allocs} heap allocation(s) \
+             (must be zero for every integrator)"
+        );
+        std::process::exit(1);
+    }
+}

@@ -9,6 +9,9 @@
 //!   --iterations <n>            back-to-back iterations (default: 5)
 //!   --ambient <°C>              fixed ambient instead of the THERMABOX
 //!   --scale <f>                 shrink warmup/workload durations (default: 1.0)
+//!   --integrator <scheme>       euler|rk4|exponential thermal stepping
+//!                               (default: euler; exponential is the fast
+//!                               path, see DESIGN.md §11)
 //!   --trace <file.csv>          dump the last iteration's full trace as CSV
 //!   --faults <plan.toml>        arm a fault-injection plan for the session
 //!   --json                      emit the session as JSON
@@ -50,6 +53,7 @@ struct Options {
     iterations: usize,
     ambient: Option<f64>,
     scale: f64,
+    integrator: pv_thermal::network::Integrator,
     trace: Option<String>,
     faults: Option<String>,
     json: bool,
@@ -65,6 +69,7 @@ fn parse_args() -> Result<Options, String> {
         iterations: 5,
         ambient: None,
         scale: 1.0,
+        integrator: pv_thermal::network::Integrator::Euler,
         trace: None,
         faults: None,
         json: false,
@@ -97,6 +102,11 @@ fn parse_args() -> Result<Options, String> {
                 opts.scale = value("--scale")?
                     .parse()
                     .map_err(|_| "--scale must be a positive number".to_owned())?
+            }
+            "--integrator" => {
+                let name = value("--integrator")?;
+                opts.integrator = pv_thermal::network::Integrator::parse(&name)
+                    .ok_or_else(|| format!("--integrator: unknown scheme {name:?}"))?
             }
             "--trace" => opts.trace = Some(value("--trace")?),
             "--faults" => opts.faults = Some(value("--faults")?),
@@ -139,19 +149,22 @@ fn parse_args() -> Result<Options, String> {
 }
 
 /// Digest over everything that determines this run's simulated outcome:
-/// device, mode, iterations, ambient, scale, and the fault plan *text*
-/// (so editing the plan file invalidates a stale journal).
+/// device, mode, iterations, ambient, scale, integrator, and the fault
+/// plan *text* (so editing the plan file invalidates a stale journal).
+/// `v2` adds the integrator so a journal written with one scheme refuses
+/// to resume under another.
 fn run_digest(opts: &Options, fault_toml: &str) -> String {
     let ambient = match opts.ambient {
         Some(t) => format!("{:016x}", t.to_bits()),
         None => "chamber".to_owned(),
     };
     let s = format!(
-        "accubench-v1|device={}|mode={}|iters={}|ambient={ambient}|scale={:016x}|faults={:016x}",
+        "accubench-v2|device={}|mode={}|iters={}|ambient={ambient}|scale={:016x}|integrator={}|faults={:016x}",
         opts.device,
         opts.mode,
         opts.iterations,
         opts.scale.to_bits(),
+        opts.integrator.as_str(),
         fnv64(fault_toml.as_bytes()),
     );
     format!("{:016x}", fnv64(s.as_bytes()))
@@ -190,7 +203,8 @@ fn main() -> ExitCode {
             }
             eprintln!(
                 "usage: accubench --device <model:selector> [--mode unconstrained|<MHz>] \
-                 [--iterations N] [--ambient °C] [--scale F] [--trace out.csv] \
+                 [--iterations N] [--ambient °C] [--scale F] \
+                 [--integrator euler|rk4|exponential] [--trace out.csv] \
                  [--faults plan.toml] [--json] [--journal file] [--resume] [--threads N]"
             );
             return ExitCode::FAILURE;
@@ -327,7 +341,8 @@ fn main() -> ExitCode {
     };
     protocol = protocol
         .with_warmup(Seconds(protocol.warmup.value() * opts.scale))
-        .with_workload(Seconds(protocol.workload.value() * opts.scale));
+        .with_workload(Seconds(protocol.workload.value() * opts.scale))
+        .with_integrator(opts.integrator);
     if opts.trace.is_some() {
         protocol = protocol.with_trace();
     }

@@ -16,6 +16,14 @@
 //! `--export <dir>` additionally writes plot-ready `.dat` files for the
 //! figure experiments.
 //!
+//! `--integrator <euler|rk4|exponential>` selects the thermal integration
+//! scheme for every experiment (default: `euler`, the seed-era reference).
+//! `exponential` is the fast path — a dense discrete-time propagator that
+//! steps the whole RC network in one fused matrix-vector product (see
+//! DESIGN.md §11); figure verdicts match the reference within the
+//! documented tolerance. In debug builds `--verbose` prints the per-run
+//! step/substep counters so the integrators' work can be compared.
+//!
 //! `--faults <plan.toml>` arms a fault-injection plan for the
 //! session-based `rsd` experiment (other experiments ignore it and run
 //! clean): sessions then exercise the harness's retry/quarantine path and
@@ -85,11 +93,12 @@ const EXPERIMENTS: &[&str] = &[
 fn usage() -> ExitCode {
     eprintln!(
         "usage: repro <experiment|all|list> [--quick] [--json] [--export dir] \
-         [--faults plan.toml]"
+         [--faults plan.toml] [--integrator euler|rk4|exponential] [--verbose]"
     );
     eprintln!(
         "       repro sweep [--quick] [--json] [--devices N] [--seed S] \
-         [--threads T] [--journal run.journal] [--resume]"
+         [--threads T] [--journal run.journal] [--resume] \
+         [--integrator euler|rk4|exponential]"
     );
     eprintln!("experiments: {}", EXPERIMENTS.join(" "));
     ExitCode::FAILURE
@@ -111,7 +120,9 @@ fn main() -> ExitCode {
     let seed_arg = value_of("--seed");
     let journal_path = value_of("--journal");
     let threads_arg = value_of("--threads");
+    let integrator_arg = value_of("--integrator");
     let resume = args.iter().any(|a| a == "--resume");
+    let verbose = args.iter().any(|a| a == "--verbose");
     // Indices consumed as values of flags are not positional targets.
     let consumed: Vec<usize> = [
         "--export",
@@ -120,6 +131,7 @@ fn main() -> ExitCode {
         "--seed",
         "--journal",
         "--threads",
+        "--integrator",
     ]
     .iter()
     .filter_map(|f| args.iter().position(|a| a == *f).map(|i| i + 1))
@@ -137,11 +149,20 @@ fn main() -> ExitCode {
         println!("{}", EXPERIMENTS.join("\n"));
         return ExitCode::SUCCESS;
     }
-    let cfg = if quick {
+    let mut cfg = if quick {
         ExperimentConfig::quick()
     } else {
         ExperimentConfig::paper()
     };
+    if let Some(name) = &integrator_arg {
+        match pv_thermal::network::Integrator::parse(name) {
+            Some(i) => cfg = cfg.with_integrator(i),
+            None => {
+                eprintln!("--integrator: unknown scheme {name:?} (euler|rk4|exponential)");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
     if target == "sweep" {
         return run_sweep(
             &cfg,
@@ -408,6 +429,18 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     }
+    if verbose {
+        #[cfg(debug_assertions)]
+        {
+            let (steps, substeps) = pv_thermal::network::step_stats::snapshot();
+            eprintln!(
+                "[step-stats] integrator={}: {steps} thermal steps, {substeps} substeps",
+                cfg.integrator
+            );
+        }
+        #[cfg(not(debug_assertions))]
+        eprintln!("[step-stats] only collected in debug builds");
+    }
     ExitCode::SUCCESS
 }
 
@@ -459,10 +492,10 @@ fn run_sweep(
         return ExitCode::FAILURE;
     }
 
-    let base = Protocol::unconstrained();
-    let protocol = base
-        .with_warmup(Seconds(base.warmup.value() * cfg.scale))
-        .with_workload(Seconds(base.workload.value() * cfg.scale));
+    // `scaled` also pins the configured integrator, which the journal's
+    // config digest covers: a journal written with one scheme cannot be
+    // silently resumed with another.
+    let protocol = cfg.scaled(Protocol::unconstrained());
     let mut sweep_cfg = SweepConfig::clean(protocol, cfg.iterations);
     if let Some(seed) = seed {
         let iteration = protocol.warmup.value() + protocol.workload.value() + 100.0;

@@ -279,7 +279,12 @@ impl SweepConfig {
         let bits = |s: &mut String, v: f64| {
             let _ = write!(s, "{:016x}/", v.to_bits());
         };
-        let _ = write!(s, "v1|model={model}|");
+        // v2: integrator joined the digested protocol fields. The version
+        // bump makes every pre-existing journal digest mismatch loudly
+        // instead of resuming under a silently different scheme.
+        let _ = write!(s, "v2|model={model}|");
+        s.push_str(self.protocol.integrator.as_str());
+        s.push('|');
         bits(&mut s, self.protocol.warmup.value());
         bits(&mut s, self.protocol.cooldown_poll.value());
         match self.protocol.cooldown_target {
@@ -922,6 +927,11 @@ mod tests {
         assert_ne!(base, other.digest("Pixel", &labels));
         let mut other = cfg.clone();
         other.protocol = Protocol::fixed_frequency(pv_units::MegaHertz(960.0));
+        assert_ne!(base, other.digest("Pixel", &labels));
+        let mut other = cfg.clone();
+        other.protocol = other
+            .protocol
+            .with_integrator(pv_thermal::network::Integrator::Exponential);
         assert_ne!(base, other.digest("Pixel", &labels));
         let mut other = cfg;
         other.protocol = other.protocol.with_workload(Seconds(299.0));

@@ -273,6 +273,7 @@ mod tests {
         let cfg = ExperimentConfig {
             scale: 0.4,
             iterations: 1,
+            ..ExperimentConfig::quick()
         };
         let study = run(&cfg).unwrap();
         assert_eq!(study.trials.len(), 4);

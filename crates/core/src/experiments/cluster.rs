@@ -173,6 +173,7 @@ mod tests {
         let cfg = ExperimentConfig {
             scale: 0.12,
             iterations: 1,
+            ..ExperimentConfig::quick()
         };
         let study = run(&cfg, 24, 3, 77).unwrap();
         assert_eq!(study.points.len(), 24);

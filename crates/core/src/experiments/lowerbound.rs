@@ -167,6 +167,7 @@ mod tests {
         let cfg = ExperimentConfig {
             scale: 0.15,
             iterations: 1,
+            ..ExperimentConfig::quick()
         };
         let mc = run(&cfg, 200, 24, 31337).unwrap();
         assert_eq!(mc.small_fleet_spreads.len(), 200);

@@ -50,6 +50,7 @@ pub mod table1;
 pub mod table2;
 
 use crate::protocol::Protocol;
+use pv_thermal::network::Integrator;
 use pv_units::Seconds;
 
 /// How long and how often to run each experiment.
@@ -66,6 +67,9 @@ pub struct ExperimentConfig {
     pub scale: f64,
     /// Back-to-back iterations per device per workload (paper: 5).
     pub iterations: usize,
+    /// Thermal integration scheme every experiment protocol runs with
+    /// (default: the Euler reference; see `Protocol::integrator`).
+    pub integrator: Integrator,
 }
 
 impl ExperimentConfig {
@@ -74,6 +78,7 @@ impl ExperimentConfig {
         Self {
             scale: 1.0,
             iterations: 5,
+            integrator: Integrator::Euler,
         }
     }
 
@@ -82,14 +87,23 @@ impl ExperimentConfig {
         Self {
             scale: 0.45,
             iterations: 2,
+            integrator: Integrator::Euler,
         }
     }
 
-    /// Applies the scale to a protocol's phase durations.
+    /// Selects the thermal integration scheme (builder-style).
+    pub fn with_integrator(mut self, integrator: Integrator) -> Self {
+        self.integrator = integrator;
+        self
+    }
+
+    /// Applies the scale and integrator to a protocol — the single funnel
+    /// every experiment's protocol passes through.
     pub fn scaled(&self, protocol: Protocol) -> Protocol {
         protocol
             .with_warmup(Seconds(protocol.warmup.value() * self.scale))
             .with_workload(Seconds(protocol.workload.value() * self.scale))
+            .with_integrator(self.integrator)
     }
 }
 
@@ -99,7 +113,18 @@ impl Default for ExperimentConfig {
     }
 }
 
-pv_json::impl_to_json!(ExperimentConfig { scale, iterations });
+impl pv_json::ToJson for ExperimentConfig {
+    fn to_json(&self) -> pv_json::Json {
+        let mut obj = pv_json::Json::object();
+        obj.insert("scale", pv_json::ToJson::to_json(&self.scale));
+        obj.insert("iterations", pv_json::ToJson::to_json(&self.iterations));
+        obj.insert(
+            "integrator",
+            pv_json::Json::String(self.integrator.as_str().to_owned()),
+        );
+        obj
+    }
+}
 
 #[cfg(test)]
 mod tests {
@@ -110,6 +135,7 @@ mod tests {
         let cfg = ExperimentConfig {
             scale: 0.5,
             iterations: 3,
+            integrator: Integrator::Euler,
         };
         let p = cfg.scaled(Protocol::unconstrained());
         assert_eq!(p.warmup, Seconds(90.0));

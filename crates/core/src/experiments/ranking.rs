@@ -142,6 +142,7 @@ mod tests {
         let cfg = ExperimentConfig {
             scale: 0.25,
             iterations: 2,
+            ..ExperimentConfig::quick()
         };
         let study = run(&cfg, 14, 4242).unwrap();
 

@@ -306,6 +306,7 @@ mod tests {
         ExperimentConfig {
             scale: 0.12,
             iterations: 1,
+            ..ExperimentConfig::quick()
         }
     }
 

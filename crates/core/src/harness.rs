@@ -34,7 +34,7 @@ use crate::session::{Event, Iteration, QuarantinedIteration, Session, Verdict};
 use crate::BenchError;
 use pv_faults::FaultHandle;
 use pv_power::FaultyMeter;
-use pv_soc::device::{CpuDemand, Dut, FrequencyMode};
+use pv_soc::device::{CpuDemand, Dut, FrequencyMode, StepReport};
 use pv_soc::trace::Trace;
 use pv_stats::Summary;
 use pv_thermal::thermabox::{FaultyThermaBox, ThermaBox, ThermaBoxConfig};
@@ -289,19 +289,21 @@ impl Harness {
     /// One device step with the chamber coupled: the device sees the chamber
     /// air as its ambient, and its supply draw heats the chamber. The fault
     /// clock advances with every successful step — the single place
-    /// simulated time maps onto the fault timeline.
+    /// simulated time maps onto the fault timeline. Fills a caller-owned
+    /// report so the session loop reuses one allocation for all telemetry.
     fn coupled_step<D: Dut>(
         &mut self,
         device: &mut D,
         dt: Seconds,
         demand: CpuDemand,
         mode: FrequencyMode,
-    ) -> Result<pv_soc::device::StepReport, BenchError> {
+        report: &mut StepReport,
+    ) -> Result<(), BenchError> {
         device.set_ambient(self.ambient.current())?;
-        let report = device.step(dt, demand, mode)?;
+        device.step_into(dt, demand, mode, report)?;
         self.ambient.step(dt, report.supply_power)?;
         self.faults.advance(dt.value());
-        Ok(report)
+        Ok(())
     }
 
     /// Idles the device for `duration` of simulated time — the retry
@@ -309,9 +311,10 @@ impl Harness {
     /// when an iteration failed is typically gone by the retry.
     fn idle_wait<D: Dut>(&mut self, device: &mut D, duration: Seconds) -> Result<(), BenchError> {
         let mut remaining = duration.value();
+        let mut report = StepReport::empty();
         while remaining > 0.0 {
             let dt = Seconds(remaining.min(self.protocol.idle_dt.value()));
-            self.coupled_step(device, dt, CpuDemand::Idle, self.protocol.mode)?;
+            self.coupled_step(device, dt, CpuDemand::Idle, self.protocol.mode, &mut report)?;
             remaining -= dt.value();
         }
         Ok(())
@@ -328,6 +331,11 @@ impl Harness {
     /// Returns a wrapped substrate error if the device or chamber fails
     /// mid-run.
     pub fn run_iteration<D: Dut>(&mut self, device: &mut D) -> Result<Iteration, BenchError> {
+        // Pin the protocol's integration scheme on the DUT. Idempotent and
+        // cheap; doing it per iteration keeps retried/quarantined slots and
+        // directly driven iterations on the recorded configuration.
+        device.set_integrator(self.protocol.integrator);
+
         // "The app first communicates with the THERMABOX and confirms that
         // it is within the target temperature range."
         self.ambient.settle()?;
@@ -337,13 +345,16 @@ impl Harness {
         let mut full_trace = Trace::new();
         let mut events: Vec<(Seconds, Event)> = Vec::new();
         let record = self.protocol.record_trace;
+        // One report reused for every step of the iteration: with
+        // `Device::step_into` this keeps the steady-state loop off the heap.
+        let mut report = StepReport::empty();
 
         // --- Warmup: wakelock held, all cores busy. ---
         events.push((t, Event::WakelockAcquired));
         let mut remaining = self.protocol.warmup.value();
         while remaining > 0.0 {
             let dt = Seconds(remaining.min(self.protocol.busy_dt.value()));
-            let report = self.coupled_step(device, dt, CpuDemand::busy(), mode)?;
+            self.coupled_step(device, dt, CpuDemand::busy(), mode, &mut report)?;
             t += dt;
             if record {
                 full_trace.push(report.to_sample(t));
@@ -388,7 +399,7 @@ impl Harness {
                     .value()
                     .min(self.protocol.cooldown_poll.value()),
             );
-            let report = self.coupled_step(device, dt, CpuDemand::Idle, mode)?;
+            self.coupled_step(device, dt, CpuDemand::Idle, mode, &mut report)?;
             t += dt;
             cooldown_elapsed += dt.value();
             since_poll += dt.value();
@@ -418,7 +429,7 @@ impl Harness {
         let mut remaining = self.protocol.workload.value();
         while remaining > 0.0 {
             let dt = Seconds(remaining.min(self.protocol.busy_dt.value()));
-            let report = self.coupled_step(device, dt, CpuDemand::busy(), mode)?;
+            self.coupled_step(device, dt, CpuDemand::busy(), mode, &mut report)?;
             t += dt;
             meter.record(report.supply_power, dt)?;
             work_cycles += report.work_cycles;

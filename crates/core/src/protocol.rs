@@ -6,6 +6,7 @@
 
 use crate::BenchError;
 use pv_soc::device::FrequencyMode;
+use pv_thermal::network::Integrator;
 use pv_units::{Celsius, MegaHertz, Seconds, TempDelta};
 
 /// When the cooldown phase ends: the sensor must report below this.
@@ -65,6 +66,11 @@ pub struct Protocol {
     /// Whether to keep full per-step traces (Figs 4/5/11/12 need them; the
     /// bulk studies do not).
     pub record_trace: bool,
+    /// Thermal integration scheme the harness pins on the DUT at the start
+    /// of every iteration. Part of the recorded configuration: sweeps fold
+    /// it into the journal's config digest, so resuming a journal with a
+    /// different integrator is rejected rather than silently mixed.
+    pub integrator: Integrator,
 }
 
 impl Protocol {
@@ -82,6 +88,7 @@ impl Protocol {
             idle_dt: Seconds(0.5),
             mode: FrequencyMode::Unconstrained,
             record_trace: false,
+            integrator: Integrator::Euler,
         }
     }
 
@@ -116,6 +123,15 @@ impl Protocol {
     /// Overrides the cooldown target (builder-style).
     pub fn with_cooldown_target(mut self, target: CooldownTarget) -> Self {
         self.cooldown_target = target;
+        self
+    }
+
+    /// Overrides the thermal integration scheme (builder-style). The
+    /// default, [`Integrator::Euler`], reproduces the original reference
+    /// arithmetic bit-for-bit; [`Integrator::Exponential`] is the fast
+    /// path (see DESIGN.md §11 for the tolerance budget).
+    pub fn with_integrator(mut self, integrator: Integrator) -> Self {
+        self.integrator = integrator;
         self
     }
 
@@ -174,7 +190,24 @@ mod tests {
         assert_eq!(p.cooldown_poll, Seconds(5.0));
         assert_eq!(p.mode, FrequencyMode::Unconstrained);
         assert!(!p.record_trace);
+        // Euler is the seed-era reference; fast paths are opt-in.
+        assert_eq!(p.integrator, Integrator::Euler);
         p.validate().unwrap();
+    }
+
+    #[test]
+    fn with_integrator_only_changes_integrator() {
+        let base = Protocol::unconstrained();
+        let fast = base.with_integrator(Integrator::Exponential);
+        assert_eq!(fast.integrator, Integrator::Exponential);
+        assert_eq!(
+            Protocol {
+                integrator: Integrator::Euler,
+                ..fast
+            },
+            base
+        );
+        fast.validate().unwrap();
     }
 
     #[test]

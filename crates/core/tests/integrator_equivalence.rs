@@ -1,0 +1,76 @@
+//! Figure-level integrator equivalence: a full repeatability (§VII
+//! "repro rsd") run must produce the *same verdicts and structure* under
+//! every integrator, with summary statistics agreeing within the
+//! documented tolerance (DESIGN.md §11: Euler/RK4/Exponential differ
+//! only by time-discretisation error of the thermal trajectory, which at
+//! the protocol's `busy_dt = 0.1 s` against die time constants of ~7 s
+//! is far below the quality-gate thresholds).
+
+use accubench::experiments::{rsd, ExperimentConfig};
+use pv_thermal::network::Integrator;
+
+fn run_with(integrator: Integrator) -> rsd::Repeatability {
+    let cfg = ExperimentConfig {
+        iterations: 3,
+        ..ExperimentConfig::quick()
+    }
+    .with_integrator(integrator);
+    rsd::run(&cfg).unwrap()
+}
+
+/// Documented figure-level tolerance on the per-session RSD statistic
+/// (absolute percentage points) between any two integrators.
+const RSD_TOLERANCE_PP: f64 = 0.25;
+
+#[test]
+fn repro_rsd_figure_matches_across_integrators() {
+    let reference = run_with(Integrator::Rk4);
+    for integrator in [Integrator::Euler, Integrator::Exponential] {
+        let other = run_with(integrator);
+        assert_eq!(
+            reference.rows.len(),
+            other.rows.len(),
+            "{integrator}: row count diverged"
+        );
+        for (a, b) in reference.rows.iter().zip(other.rows.iter()) {
+            assert_eq!(a.label, b.label, "{integrator}: device order diverged");
+            assert_eq!(a.workload, b.workload, "{integrator}: workload diverged");
+            assert_eq!(
+                a.verdict, b.verdict,
+                "{integrator}: verdict diverged on {} {}",
+                a.label, a.workload
+            );
+            assert_eq!(
+                a.iterations, b.iterations,
+                "{integrator}: iteration count diverged on {} {}",
+                a.label, a.workload
+            );
+            assert!(
+                (a.perf_rsd - b.perf_rsd).abs() <= RSD_TOLERANCE_PP,
+                "{integrator}: {} {} RSD {:.4}% vs reference {:.4}% (tolerance {} pp)",
+                a.label,
+                a.workload,
+                b.perf_rsd,
+                a.perf_rsd,
+                RSD_TOLERANCE_PP
+            );
+        }
+        assert!(
+            (reference.average_rsd() - other.average_rsd()).abs() <= RSD_TOLERANCE_PP,
+            "{integrator}: average RSD {:.4}% vs reference {:.4}%",
+            other.average_rsd(),
+            reference.average_rsd()
+        );
+    }
+}
+
+/// The same integrator must reproduce the figure bit-identically run to
+/// run — the fast path is deterministic, not just statistically close.
+#[test]
+fn repro_rsd_figure_is_deterministic_per_integrator() {
+    for integrator in [Integrator::Euler, Integrator::Rk4, Integrator::Exponential] {
+        let a = run_with(integrator);
+        let b = run_with(integrator);
+        assert_eq!(a, b, "{integrator}: repeated run diverged");
+    }
+}

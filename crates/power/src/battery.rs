@@ -15,6 +15,7 @@
 //! than running from its own (mostly-full, ≈4.3 V) battery (Fig 10).
 
 use crate::{PowerError, PowerSupply};
+use core::cell::Cell;
 use core::fmt;
 use pv_units::{Joules, Seconds, Volts, Watts};
 
@@ -45,12 +46,33 @@ const DEFAULT_OCV_KNOTS: [(f64, f64); 7] = [
 /// assert!(idle_v > Volts(4.0)); // well above the 3.85 V throttle region
 /// # Ok::<(), pv_power::PowerError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct Battery {
     capacity: Joules,
     internal_resistance: f64, // ohms
     soc: f64,
     energy_delivered: Joules,
+    /// Memoised OCV interpolation, keyed on the state-of-charge bits. A
+    /// device step consults the OCV several times (terminal voltage, max
+    /// power, discharge accounting) at one unchanged state of charge; the
+    /// cached value IS the previous interpolation result, so hits are
+    /// bit-identical to recomputing.
+    ocv_cache: Cell<(u64, f64)>,
+    /// Memoised terminal-voltage solve, keyed on (soc bits, load bits) —
+    /// the step loop asks twice per step (once for the rail reading, once
+    /// inside [`Battery::draw`]) with identical inputs.
+    vt_cache: Cell<(u64, u64, f64)>,
+}
+
+/// Equality is over the semantic state only; the derived value caches are
+/// transparent (hits are bit-identical to recomputing).
+impl PartialEq for Battery {
+    fn eq(&self, other: &Self) -> bool {
+        self.capacity == other.capacity
+            && self.internal_resistance == other.internal_resistance
+            && self.soc == other.soc
+            && self.energy_delivered == other.energy_delivered
+    }
 }
 
 impl Battery {
@@ -76,25 +98,39 @@ impl Battery {
             internal_resistance,
             soc,
             energy_delivered: Joules::ZERO,
+            ocv_cache: Cell::new((f64::NAN.to_bits(), 0.0)),
+            vt_cache: Cell::new((f64::NAN.to_bits(), 0, 0.0)),
         })
     }
 
     /// Open-circuit voltage at the current state of charge.
     pub fn ocv(&self) -> Volts {
+        let bits = self.soc.to_bits();
+        let (cached_soc, cached) = self.ocv_cache.get();
+        if cached_soc == bits {
+            return Volts(cached);
+        }
+        let v = self.ocv_uncached();
+        self.ocv_cache.set((bits, v));
+        Volts(v)
+    }
+
+    /// The piecewise-linear OCV interpolation itself.
+    fn ocv_uncached(&self) -> f64 {
         let soc = self.soc;
         let knots = &DEFAULT_OCV_KNOTS;
         if soc <= knots[0].0 {
-            return Volts(knots[0].1);
+            return knots[0].1;
         }
         for w in knots.windows(2) {
             let (s0, v0) = w[0];
             let (s1, v1) = w[1];
             if soc <= s1 {
                 let t = (soc - s0) / (s1 - s0);
-                return Volts(v0 + t * (v1 - v0));
+                return v0 + t * (v1 - v0);
             }
         }
-        Volts(knots[knots.len() - 1].1)
+        knots[knots.len() - 1].1
     }
 
     /// Current state of charge in `[0, 1]`.
@@ -121,18 +157,27 @@ impl Battery {
 
 impl PowerSupply for Battery {
     fn terminal_voltage(&self, load: Watts) -> Volts {
+        let key = (self.soc.to_bits(), load.value().to_bits());
+        let (s, l, cached) = self.vt_cache.get();
+        if (s, l) == key {
+            return Volts(cached);
+        }
         let ocv = self.ocv().value();
         let p = load.value().max(0.0);
-        if self.internal_resistance == 0.0 || p == 0.0 {
-            return Volts(ocv);
-        }
-        let disc = ocv * ocv - 4.0 * self.internal_resistance * p;
-        if disc <= 0.0 {
-            // Beyond deliverable power: voltage collapses.
-            return Volts(ocv / 2.0);
-        }
-        let current = (ocv - disc.sqrt()) / (2.0 * self.internal_resistance);
-        Volts(ocv - current * self.internal_resistance)
+        let v = if self.internal_resistance == 0.0 || p == 0.0 {
+            ocv
+        } else {
+            let disc = ocv * ocv - 4.0 * self.internal_resistance * p;
+            if disc <= 0.0 {
+                // Beyond deliverable power: voltage collapses.
+                ocv / 2.0
+            } else {
+                let current = (ocv - disc.sqrt()) / (2.0 * self.internal_resistance);
+                ocv - current * self.internal_resistance
+            }
+        };
+        self.vt_cache.set((key.0, key.1, v));
+        Volts(v)
     }
 
     fn draw(&mut self, power: Watts, dt: Seconds) -> Result<(), PowerError> {

@@ -22,9 +22,23 @@ use core::fmt;
 use pv_power::PowerSupply;
 use pv_silicon::binning::{voltage_bin_table, VfTable};
 use pv_silicon::DieSample;
-use pv_thermal::network::{NodeId, ThermalNetwork, ThermalNetworkBuilder};
+use pv_thermal::network::{Integrator, NodeId, ThermalNetwork, ThermalNetworkBuilder};
 use pv_thermal::probe::Probe;
 use pv_units::{Celsius, MegaHertz, Seconds, TempDelta, Volts, Watts};
+
+/// Fast-path power-cache temperature resolution in kelvin. Die temperature
+/// is snapped to this grid before the voltage trim and power model run, so
+/// an unchanged operating point turns into a cache hit. 0.1 K bounds the
+/// leakage error at roughly 0.25 % (β ≈ 0.025/K), well inside the
+/// documented fast-path tolerance budget (DESIGN.md §11).
+const POWER_CACHE_TEMP_QUANTUM: f64 = 0.1;
+
+/// Per-cluster cap on cached (frequency, temperature-bin, load) power
+/// points. Steady states touch a handful; throttle ladders a few dozen.
+const POWER_CACHE_CAP: usize = 64;
+
+/// Per-cluster cap on memoised governor-target → OPP resolutions.
+const OPP_MEMO_CAP: usize = 16;
 
 /// What the CPU cores are asked to do this step.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -95,6 +109,26 @@ pub struct StepReport {
 }
 
 impl StepReport {
+    /// An all-zero report whose `Vec`s can be filled in place by
+    /// [`Device::step_into`] — the harness keeps one as reusable scratch so
+    /// the session loop never reallocates telemetry.
+    pub fn empty() -> Self {
+        Self {
+            dt: Seconds::ZERO,
+            die_temp: Celsius(0.0),
+            sensor_temp: Celsius(0.0),
+            case_temp: Celsius(0.0),
+            cluster_freqs: Vec::new(),
+            cluster_voltages: Vec::new(),
+            active_cores: Vec::new(),
+            soc_power: Watts::ZERO,
+            supply_power: Watts::ZERO,
+            supply_voltage: Volts(0.0),
+            work_cycles: 0.0,
+            throttled: false,
+        }
+    }
+
     /// Converts to a [`TraceSample`] stamped at time `t`.
     pub fn to_sample(&self, t: Seconds) -> TraceSample {
         TraceSample {
@@ -147,6 +181,29 @@ pub struct Device {
     supply: Box<dyn PowerSupply>,
     last_supply_voltage: Volts,
     time: Seconds,
+    /// True iff the network runs [`Integrator::Exponential`]. Gates the OPP
+    /// memo and power cache so the Euler/RK4 reference paths stay
+    /// bit-identical to the original implementation.
+    fast_path: bool,
+    /// Per-cluster governor-target → (ladder frequency, nominal voltage)
+    /// memo, keyed on the target's bit pattern (fast path only).
+    opp_memo: Vec<Vec<(u64, MegaHertz, Volts)>>,
+    /// Per-cluster power cache keyed on (frequency, quantised-temperature
+    /// bin, powered cores, utilisation); values are the trimmed rail
+    /// voltage and modelled power computed *at the quantised temperature*,
+    /// so a hit is bit-identical to recomputing (fast path only). The
+    /// temperature bin in the key is what invalidates RBCPR trims when the
+    /// die moves: a new bin is a miss and an exact recompute.
+    power_cache: Vec<Vec<(PowerKey, Volts, Watts)>>,
+}
+
+/// Operating-point key for the fast-path power cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct PowerKey {
+    freq_bits: u64,
+    temp_bin: i64,
+    powered_bits: u64,
+    util_bits: u64,
 }
 
 const _: () = {
@@ -205,6 +262,7 @@ impl Device {
         probe.reset(ambient);
         let last_supply_voltage = supply.terminal_voltage(spec.idle_power);
 
+        let n_clusters = spec.soc.clusters.len();
         Ok(Self {
             spec,
             die,
@@ -220,7 +278,31 @@ impl Device {
             supply,
             last_supply_voltage,
             time: Seconds::ZERO,
+            fast_path: false,
+            opp_memo: vec![Vec::new(); n_clusters],
+            power_cache: vec![Vec::new(); n_clusters],
         })
+    }
+
+    /// Thermal integration scheme currently in effect.
+    pub fn integrator(&self) -> Integrator {
+        self.network.integrator()
+    }
+
+    /// Selects the thermal integration scheme. [`Integrator::Exponential`]
+    /// additionally enables the device-level fast path (OPP memoisation and
+    /// the quantised-temperature power cache); Euler/RK4 run the original
+    /// reference arithmetic bit-for-bit. Caches are cleared on every
+    /// switch, so alternating schemes cannot leak stale entries.
+    pub fn set_integrator(&mut self, integrator: Integrator) {
+        self.network.set_integrator(integrator);
+        self.fast_path = integrator == Integrator::Exponential;
+        for m in &mut self.opp_memo {
+            m.clear();
+        }
+        for c in &mut self.power_cache {
+            c.clear();
+        }
     }
 
     /// The device's model specification.
@@ -316,6 +398,25 @@ impl Device {
         demand: CpuDemand,
         mode: FrequencyMode,
     ) -> Result<StepReport, SocError> {
+        let mut report = StepReport::empty();
+        self.step_into(dt, demand, mode, &mut report)?;
+        Ok(report)
+    }
+
+    /// As [`Device::step`], but fills a caller-owned report in place. The
+    /// report's `Vec`s are cleared and re-pushed, so a reused report makes
+    /// steady-state stepping allocation-free end to end.
+    ///
+    /// # Errors
+    ///
+    /// As [`Device::step`]. On error the report contents are unspecified.
+    pub fn step_into(
+        &mut self,
+        dt: Seconds,
+        demand: CpuDemand,
+        mode: FrequencyMode,
+        out: &mut StepReport,
+    ) -> Result<(), SocError> {
         if !(dt.value() > 0.0 && dt.is_finite()) {
             return Err(SocError::InvalidStep("dt must be > 0"));
         }
@@ -337,16 +438,27 @@ impl Device {
                 .update(&self.spec.throttle, sensor_temp, self.last_supply_voltage);
 
         let n_clusters = self.spec.soc.clusters.len();
-        let mut cluster_freqs = Vec::with_capacity(n_clusters);
-        let mut cluster_voltages = Vec::with_capacity(n_clusters);
-        let mut active_cores = Vec::with_capacity(n_clusters);
+        out.cluster_freqs.clear();
+        out.cluster_voltages.clear();
+        out.active_cores.clear();
         let mut core_power = Watts::ZERO;
         let mut work_cycles = 0.0;
 
         // Emergency thermal shutdown suspends the workload outright.
         let idle = matches!(demand, CpuDemand::Idle) || decision.emergency_stop;
 
-        for (ci, cluster) in self.spec.soc.clusters.iter().enumerate() {
+        // Fast path: the power model (and RBCPR trim) sees the die
+        // temperature snapped to the cache grid, so an unchanged operating
+        // point is a pure lookup and a hit is bit-identical to recomputing.
+        let temp_bin = (die_temp.value() / POWER_CACHE_TEMP_QUANTUM).round() as i64;
+        let power_temp = if self.fast_path {
+            Celsius(temp_bin as f64 * POWER_CACHE_TEMP_QUANTUM)
+        } else {
+            die_temp
+        };
+
+        for ci in 0..n_clusters {
+            let cluster = &self.spec.soc.clusters[ci];
             let table = &self.tables[ci];
             let max_f = table.max_freq();
 
@@ -366,9 +478,31 @@ impl Device {
             if idle {
                 target = table.min_freq();
             }
-            let freq = table
-                .highest_freq_at_or_below(target)
-                .unwrap_or_else(|| table.min_freq());
+
+            // OPP resolution: ladder snap + nominal voltage, memoised per
+            // target on the fast path (the ladder is fixed per device).
+            let freq = if self.fast_path {
+                let memo = &mut self.opp_memo[ci];
+                let bits = target.value().to_bits();
+                if let Some(pos) = memo.iter().position(|e| e.0 == bits) {
+                    let hit = memo[pos];
+                    if pos != 0 {
+                        memo.swap(pos, pos - 1);
+                    }
+                    hit.1
+                } else {
+                    let f = table
+                        .highest_freq_at_or_below(target)
+                        .unwrap_or_else(|| table.min_freq());
+                    memo.truncate(OPP_MEMO_CAP - 1);
+                    memo.insert(0, (bits, f, table.voltage_at(f)));
+                    f
+                }
+            } else {
+                table
+                    .highest_freq_at_or_below(target)
+                    .unwrap_or_else(|| table.min_freq())
+            };
 
             // Hotplug floor.
             let mut cores = cluster.cores;
@@ -384,26 +518,67 @@ impl Device {
                 (f64::from(cores), demand.util())
             };
 
-            // Rail voltage.
-            let nominal_v = table.voltage_at(freq);
-            let v = match &self.spec.voltage_scheme {
-                VoltageScheme::StaticTable => nominal_v,
-                VoltageScheme::Rbcpr(rb) => rb.trim(nominal_v, &self.die, die_temp),
+            // Rail voltage + modelled power. The fast path caches both per
+            // (frequency, temperature bin, load) point; the temperature bin
+            // in the key invalidates RBCPR trims as the die moves.
+            let (v, power) = if self.fast_path {
+                let key = PowerKey {
+                    freq_bits: freq.value().to_bits(),
+                    temp_bin,
+                    powered_bits: powered.to_bits(),
+                    util_bits: util.to_bits(),
+                };
+                let cache = &mut self.power_cache[ci];
+                if let Some(pos) = cache.iter().position(|e| e.0 == key) {
+                    let hit = cache[pos];
+                    if pos != 0 {
+                        cache.swap(pos, pos - 1);
+                    }
+                    (hit.1, hit.2)
+                } else {
+                    let nominal_v = table.voltage_at(freq);
+                    let v = match &self.spec.voltage_scheme {
+                        VoltageScheme::StaticTable => nominal_v,
+                        VoltageScheme::Rbcpr(rb) => rb.trim(nominal_v, &self.die, power_temp),
+                    };
+                    let p = cluster.power.total_power(
+                        &self.die,
+                        v,
+                        freq,
+                        power_temp,
+                        powered * util,
+                        powered,
+                    );
+                    cache.truncate(POWER_CACHE_CAP - 1);
+                    cache.insert(0, (key, v, p));
+                    (v, p)
+                }
+            } else {
+                let nominal_v = table.voltage_at(freq);
+                let v = match &self.spec.voltage_scheme {
+                    VoltageScheme::StaticTable => nominal_v,
+                    VoltageScheme::Rbcpr(rb) => rb.trim(nominal_v, &self.die, die_temp),
+                };
+                let p = cluster.power.total_power(
+                    &self.die,
+                    v,
+                    freq,
+                    die_temp,
+                    powered * util,
+                    powered,
+                );
+                (v, p)
             };
-
-            let power =
-                cluster
-                    .power
-                    .total_power(&self.die, v, freq, die_temp, powered * util, powered);
             core_power += power;
 
             if !idle {
                 work_cycles += powered * util * freq.to_hz() * cluster.perf_weight * dt.value();
             }
 
-            cluster_freqs.push(freq);
-            cluster_voltages.push(v);
-            active_cores.push(if idle { powered as u32 } else { cores });
+            out.cluster_freqs.push(freq);
+            out.cluster_voltages.push(v);
+            out.active_cores
+                .push(if idle { powered as u32 } else { cores });
         }
 
         let uncore = if idle {
@@ -431,20 +606,16 @@ impl Device {
         self.probe.observe(new_die_temp, dt)?;
         self.time += dt;
 
-        Ok(StepReport {
-            dt,
-            die_temp: new_die_temp,
-            sensor_temp,
-            case_temp: self.network.temperature(self.case_node),
-            cluster_freqs,
-            cluster_voltages,
-            active_cores,
-            soc_power,
-            supply_power,
-            supply_voltage,
-            work_cycles,
-            throttled: decision.is_throttled(),
-        })
+        out.dt = dt;
+        out.die_temp = new_die_temp;
+        out.sensor_temp = sensor_temp;
+        out.case_temp = self.network.temperature(self.case_node);
+        out.soc_power = soc_power;
+        out.supply_power = supply_power;
+        out.supply_voltage = supply_voltage;
+        out.work_cycles = work_cycles;
+        out.throttled = decision.is_throttled();
+        Ok(())
     }
 }
 
@@ -563,6 +734,32 @@ pub trait Dut {
         demand: CpuDemand,
         mode: FrequencyMode,
     ) -> Result<StepReport, SocError>;
+
+    /// As [`Dut::step`], but fills a caller-owned report in place so a hot
+    /// driver loop can reuse one report's allocations. The default simply
+    /// delegates to [`Dut::step`]; [`Device`] overrides it with a true
+    /// in-place implementation.
+    ///
+    /// # Errors
+    ///
+    /// As [`Dut::step`]. On error the report contents are unspecified.
+    fn step_into(
+        &mut self,
+        dt: Seconds,
+        demand: CpuDemand,
+        mode: FrequencyMode,
+        out: &mut StepReport,
+    ) -> Result<(), SocError> {
+        *out = self.step(dt, demand, mode)?;
+        Ok(())
+    }
+
+    /// Selects the thermal integration scheme (see
+    /// [`Device::set_integrator`]). The default is a no-op so simple test
+    /// doubles keep compiling; real DUTs forward to their device.
+    fn set_integrator(&mut self, integrator: Integrator) {
+        let _ = integrator;
+    }
 }
 
 impl Dut for Device {
@@ -589,6 +786,20 @@ impl Dut for Device {
         mode: FrequencyMode,
     ) -> Result<StepReport, SocError> {
         Device::step(self, dt, demand, mode)
+    }
+
+    fn step_into(
+        &mut self,
+        dt: Seconds,
+        demand: CpuDemand,
+        mode: FrequencyMode,
+        out: &mut StepReport,
+    ) -> Result<(), SocError> {
+        Device::step_into(self, dt, demand, mode, out)
+    }
+
+    fn set_integrator(&mut self, integrator: Integrator) {
+        Device::set_integrator(self, integrator);
     }
 }
 

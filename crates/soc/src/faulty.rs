@@ -130,6 +130,18 @@ impl Dut for FaultyDevice {
         demand: CpuDemand,
         mode: FrequencyMode,
     ) -> Result<StepReport, SocError> {
+        let mut report = StepReport::empty();
+        self.step_into(dt, demand, mode, &mut report)?;
+        Ok(report)
+    }
+
+    fn step_into(
+        &mut self,
+        dt: Seconds,
+        demand: CpuDemand,
+        mode: FrequencyMode,
+        out: &mut StepReport,
+    ) -> Result<(), SocError> {
         // A flapping core only breaks *busy* work: the housekeeping core
         // that idles the device stays up, so waiting out the fault in
         // simulated time always progresses.
@@ -147,7 +159,11 @@ impl Dut for FaultyDevice {
                 .report_once(&e, format!("spurious throttle pinned frequency to {floor}"));
             mode = FrequencyMode::Fixed(floor);
         }
-        self.inner.step(dt, demand, mode)
+        self.inner.step_into(dt, demand, mode, out)
+    }
+
+    fn set_integrator(&mut self, integrator: pv_thermal::network::Integrator) {
+        self.inner.set_integrator(integrator);
     }
 }
 

@@ -9,14 +9,25 @@
 //! C_i · dT_i/dt = P_i(t) + Σ_j (T_j − T_i) / R_ij
 //! ```
 //!
-//! with sub-stepped explicit Euler: the step is subdivided so no substep
-//! exceeds a fifth of the fastest node time constant, which keeps the
-//! integration stable for the stiff die→package couplings found in phone
-//! models.
+//! with one of three integrators. The sub-stepped explicit Euler default
+//! subdivides the step so no substep exceeds a fifth of the fastest node
+//! time constant, which keeps the integration stable for the stiff
+//! die→package couplings found in phone models; RK4 trades four derivative
+//! evaluations per substep for fourth-order accuracy. Because the network
+//! is linear and time-invariant with heat held constant within a step,
+//! [`Integrator::Exponential`] instead applies the exact discrete-time
+//! propagator `T' = Φ·T + B·q` (a precomputed matrix exponential, cached
+//! per step size) — no substeps, no derivative evaluations, and exact up
+//! to floating-point roundoff.
 
 use crate::ThermalError;
 use core::fmt;
 use pv_units::{Celsius, Seconds, ThermalCapacitance, ThermalResistance, Watts};
+
+/// Entries kept in the per-step-size propagator cache. Sessions alternate
+/// between a busy and an idle step size (plus occasional tail steps), so a
+/// handful of slots covers every realistic protocol without ever growing.
+const PROPAGATOR_CACHE_CAP: usize = 8;
 
 /// Handle to a node of a [`ThermalNetwork`].
 ///
@@ -55,16 +66,53 @@ struct Edge {
 
 /// Numerical integration scheme for [`ThermalNetwork::step`].
 ///
-/// Both schemes sub-step automatically to respect the fastest node time
+/// Euler and RK4 sub-step automatically to respect the fastest node time
 /// constant. Euler is the default (cheap, robust); RK4 gives fourth-order
 /// accuracy per substep for workloads where larger steps matter.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+/// Exponential is the fast path: it solves the linear network exactly for
+/// the whole step with a cached matrix-exponential propagator, so its cost
+/// is one dense mat-vec regardless of step size or network stiffness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum Integrator {
     /// Sub-stepped explicit (forward) Euler.
     #[default]
     Euler,
     /// Sub-stepped classic fourth-order Runge–Kutta.
     Rk4,
+    /// Exact discrete-time propagator `T' = Φ·T + B·q` with
+    /// `Φ = exp(M·dt)` computed by scaling-and-squaring and cached per
+    /// step size. Exact for the piecewise-constant heat profile `step`
+    /// already assumes, up to floating-point roundoff.
+    Exponential,
+}
+
+impl Integrator {
+    /// Canonical lower-case name (stable; used in config digests, CLI
+    /// flags, and bench output).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Integrator::Euler => "euler",
+            Integrator::Rk4 => "rk4",
+            Integrator::Exponential => "exponential",
+        }
+    }
+
+    /// Parses the output of [`Integrator::as_str`] (case-insensitive;
+    /// `exp` is accepted as shorthand for `exponential`).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.to_ascii_lowercase().as_str() {
+            "euler" => Some(Integrator::Euler),
+            "rk4" => Some(Integrator::Rk4),
+            "exp" | "exponential" => Some(Integrator::Exponential),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Integrator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
 }
 
 /// Incrementally builds a validated [`ThermalNetwork`].
@@ -197,6 +245,7 @@ impl ThermalNetworkBuilder {
                 }
             }
         }
+        let n = self.nodes.len();
         Ok(ThermalNetwork {
             nodes: self.nodes,
             edges: self.edges,
@@ -206,20 +255,78 @@ impl ThermalNetworkBuilder {
                 f64::INFINITY
             },
             integrator: self.integrator,
-            heat_scratch: Vec::new(),
+            heat_scratch: vec![0.0; n],
+            scratch: StepScratch::sized(n),
+            propagators: Vec::new(),
         })
     }
 }
 
+/// Struct-owned per-step work buffers, sized once at build so the step
+/// loop never touches the heap. `y` holds the state snapshot, `stage` the
+/// RK4 trial states, and `k1..k4` the derivative evaluations (Euler uses
+/// only `y`/`k1`; Exponential uses `y`/`k1` as mat-vec input/output).
+#[derive(Debug, Clone, Default)]
+struct StepScratch {
+    y: Vec<f64>,
+    stage: Vec<f64>,
+    k1: Vec<f64>,
+    k2: Vec<f64>,
+    k3: Vec<f64>,
+    k4: Vec<f64>,
+}
+
+impl StepScratch {
+    fn sized(n: usize) -> Self {
+        Self {
+            y: vec![0.0; n],
+            stage: vec![0.0; n],
+            k1: vec![0.0; n],
+            k2: vec![0.0; n],
+            k3: vec![0.0; n],
+            k4: vec![0.0; n],
+        }
+    }
+}
+
+/// A cached discrete-time propagator for one step size: `T' = Φ·T + B·q`
+/// with `Φ = exp(M·dt)` and `B = (∫₀^dt exp(M·τ) dτ)·diag(1/Cᵢ)`, both
+/// dense `n×n` row-major. Exact for heat held constant over the step.
+#[derive(Debug, Clone)]
+struct Propagator {
+    dt_bits: u64,
+    phi: Vec<f64>,
+    b: Vec<f64>,
+}
+
 /// A built thermal network. Step it with [`ThermalNetwork::step`], read
 /// temperatures with [`ThermalNetwork::temperature`].
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Topology (nodes, edges, capacitances, boundary placement) is sealed by
+/// [`ThermalNetworkBuilder::build`]; only temperatures and the integrator
+/// choice mutate afterwards. The propagator cache relies on this: entries
+/// are keyed on step size alone and never need structural invalidation.
+#[derive(Debug, Clone)]
 pub struct ThermalNetwork {
     nodes: Vec<Node>,
     edges: Vec<Edge>,
     max_substep: f64,
     integrator: Integrator,
     heat_scratch: Vec<f64>,
+    scratch: StepScratch,
+    propagators: Vec<Propagator>,
+}
+
+/// Equality is semantic: two networks are equal when they would produce
+/// identical trajectories — same topology, state, and integrator. Work
+/// buffers and the propagator cache are excluded (they are derived data).
+impl PartialEq for ThermalNetwork {
+    fn eq(&self, other: &Self) -> bool {
+        self.nodes == other.nodes
+            && self.edges == other.edges
+            && self.max_substep == other.max_substep
+            && self.integrator == other.integrator
+    }
 }
 
 impl ThermalNetwork {
@@ -287,9 +394,24 @@ impl ThermalNetwork {
         Ok(())
     }
 
+    /// Currently selected integration scheme.
+    pub fn integrator(&self) -> Integrator {
+        self.integrator
+    }
+
+    /// Switches the integration scheme mid-life (e.g. to put an already
+    /// built device on the fast path). State and topology are untouched;
+    /// cached propagators stay valid because they are keyed on step size
+    /// against the sealed topology.
+    pub fn set_integrator(&mut self, integrator: Integrator) {
+        self.integrator = integrator;
+    }
+
     /// Advances the network by `dt`, injecting `heat` (node, power) pairs
-    /// into capacitive nodes. The step is internally subdivided for
-    /// stability, so any positive `dt` is safe.
+    /// into capacitive nodes. Euler/RK4 internally subdivide the step for
+    /// stability; Exponential applies the exact propagator in one go. Any
+    /// positive `dt` is safe, and steady-state stepping is allocation-free
+    /// (all work buffers live on the struct).
     ///
     /// # Errors
     ///
@@ -300,9 +422,11 @@ impl ThermalNetwork {
         if !(dt.value() > 0.0 && dt.is_finite()) {
             return Err(ThermalError::InvalidParameter("dt must be > 0"));
         }
-        // Build dense heat vector, validating targets.
-        self.heat_scratch.clear();
-        self.heat_scratch.resize(self.nodes.len(), 0.0);
+        // Build the dense heat vector, validating targets. The buffer is
+        // sized at build time; `fill` keeps the capacity without the
+        // clear()+resize() round-trip of earlier revisions.
+        debug_assert_eq!(self.heat_scratch.len(), self.nodes.len());
+        self.heat_scratch.fill(0.0);
         for &(node, power) in heat {
             if node.0 >= self.nodes.len() {
                 return Err(ThermalError::UnknownNode(node.0));
@@ -316,16 +440,26 @@ impl ThermalNetwork {
             self.heat_scratch[node.0] += power.value();
         }
 
+        if self.integrator == Integrator::Exponential {
+            self.step_exponential(dt.value());
+            #[cfg(debug_assertions)]
+            step_stats::record(1);
+            return Ok(());
+        }
+
         let substeps = if self.max_substep.is_finite() {
             (dt.value() / self.max_substep).ceil().max(1.0) as usize
         } else {
             1
         };
         let h = dt.value() / substeps as f64;
+        #[cfg(debug_assertions)]
+        step_stats::record(substeps as u64);
 
         match self.integrator {
             Integrator::Euler => self.substep_euler(substeps, h),
             Integrator::Rk4 => self.substep_rk4(substeps, h),
+            Integrator::Exponential => unreachable!("handled above"),
         }
         Ok(())
     }
@@ -350,53 +484,214 @@ impl ThermalNetwork {
     }
 
     fn substep_euler(&mut self, substeps: usize, h: f64) {
-        let n = self.nodes.len();
-        let mut temps = vec![0.0f64; n];
-        let mut k = vec![0.0f64; n];
+        // The scratch is detached while borrowed so `derivatives` can take
+        // `&self`; putting it back preserves the buffers (no allocation).
+        let mut s = std::mem::take(&mut self.scratch);
         for _ in 0..substeps {
-            for (t, node) in temps.iter_mut().zip(&self.nodes) {
+            for (t, node) in s.y.iter_mut().zip(&self.nodes) {
                 *t = node.temp.value();
             }
-            self.derivatives(&temps, &mut k);
+            self.derivatives(&s.y, &mut s.k1);
             for (i, node) in self.nodes.iter_mut().enumerate() {
                 if matches!(node.kind, NodeKind::Capacitive(_)) {
-                    node.temp = Celsius(temps[i] + k[i] * h);
+                    node.temp = Celsius(s.y[i] + s.k1[i] * h);
                 }
             }
         }
+        self.scratch = s;
     }
 
     fn substep_rk4(&mut self, substeps: usize, h: f64) {
         let n = self.nodes.len();
-        let mut y = vec![0.0f64; n];
-        let mut stage = vec![0.0f64; n];
-        let mut k1 = vec![0.0f64; n];
-        let mut k2 = vec![0.0f64; n];
-        let mut k3 = vec![0.0f64; n];
-        let mut k4 = vec![0.0f64; n];
+        let mut s = std::mem::take(&mut self.scratch);
         for _ in 0..substeps {
-            for (t, node) in y.iter_mut().zip(&self.nodes) {
+            for (t, node) in s.y.iter_mut().zip(&self.nodes) {
                 *t = node.temp.value();
             }
-            self.derivatives(&y, &mut k1);
+            self.derivatives(&s.y, &mut s.k1);
             for i in 0..n {
-                stage[i] = y[i] + 0.5 * h * k1[i];
+                s.stage[i] = s.y[i] + 0.5 * h * s.k1[i];
             }
-            self.derivatives(&stage, &mut k2);
+            self.derivatives(&s.stage, &mut s.k2);
             for i in 0..n {
-                stage[i] = y[i] + 0.5 * h * k2[i];
+                s.stage[i] = s.y[i] + 0.5 * h * s.k2[i];
             }
-            self.derivatives(&stage, &mut k3);
+            self.derivatives(&s.stage, &mut s.k3);
             for i in 0..n {
-                stage[i] = y[i] + h * k3[i];
+                s.stage[i] = s.y[i] + h * s.k3[i];
             }
-            self.derivatives(&stage, &mut k4);
+            self.derivatives(&s.stage, &mut s.k4);
             for (i, node) in self.nodes.iter_mut().enumerate() {
                 if matches!(node.kind, NodeKind::Capacitive(_)) {
-                    node.temp =
-                        Celsius(y[i] + h / 6.0 * (k1[i] + 2.0 * k2[i] + 2.0 * k3[i] + k4[i]));
+                    node.temp = Celsius(
+                        s.y[i] + h / 6.0 * (s.k1[i] + 2.0 * s.k2[i] + 2.0 * s.k3[i] + s.k4[i]),
+                    );
                 }
             }
+        }
+        self.scratch = s;
+    }
+
+    /// Applies the cached exact propagator: `T' = Φ·T + B·q` over the full
+    /// `dt` in a single dense mat-vec pair — no substeps, no derivative
+    /// evaluations. Builds and caches the propagator on first sight of a
+    /// step size (sessions reuse two sizes, so this amortises to zero).
+    fn step_exponential(&mut self, dt: f64) {
+        let idx = self.propagator_index(dt);
+        // Disjoint field borrows: the propagator is read while node temps
+        // and scratch are written, with no buffer swaps in the hot path.
+        let Self {
+            nodes,
+            propagators,
+            scratch,
+            heat_scratch,
+            ..
+        } = self;
+        let p = &propagators[idx];
+        let n = nodes.len();
+        let y = &mut scratch.y;
+        let out = &mut scratch.k1;
+        for (t, node) in y.iter_mut().zip(nodes.iter()) {
+            *t = node.temp.value();
+        }
+        // out = Φ·y + B·q, fused row by row. `chunks_exact` + `zip` keep
+        // the inner loop free of bounds checks.
+        for ((o, phi_row), b_row) in out
+            .iter_mut()
+            .zip(p.phi.chunks_exact(n))
+            .zip(p.b.chunks_exact(n))
+        {
+            let mut acc = 0.0;
+            for ((&ph, &bb), (&yy, &qq)) in phi_row
+                .iter()
+                .zip(b_row.iter())
+                .zip(y.iter().zip(heat_scratch.iter()))
+            {
+                acc += ph * yy + bb * qq;
+            }
+            *o = acc;
+        }
+        // Boundary rows of Φ are identity (and of B zero), so boundary
+        // temperatures pass through bit-exactly and the write-back needs
+        // no per-node kind check.
+        for (node, &t) in nodes.iter_mut().zip(out.iter()) {
+            node.temp = Celsius(t);
+        }
+    }
+
+    /// Index of the propagator for `dt` in the cache, building it on miss.
+    /// Hits are moved to the front so the two protocol step sizes stay in
+    /// the first slots; the cache is capped at [`PROPAGATOR_CACHE_CAP`]
+    /// entries (oldest evicted) so pathological dt sequences cannot grow it.
+    fn propagator_index(&mut self, dt: f64) -> usize {
+        let dt_bits = dt.to_bits();
+        if let Some(pos) = self.propagators.iter().position(|p| p.dt_bits == dt_bits) {
+            if pos != 0 {
+                self.propagators.swap(pos, pos - 1);
+                return pos - 1;
+            }
+            return 0;
+        }
+        let p = self.build_propagator(dt);
+        self.propagators.truncate(PROPAGATOR_CACHE_CAP - 1);
+        self.propagators.insert(0, p);
+        0
+    }
+
+    /// Computes `Φ = exp(M·dt)` and `B = S·diag(1/Cᵢ)` with
+    /// `S = ∫₀^dt exp(M·τ) dτ` by scaling-and-squaring: a Taylor base step
+    /// at `h = dt/2ˢ` (scaled so `‖M·h‖∞ ≤ 0.5`, keeping the series fast
+    /// and well conditioned), then `s` doublings using
+    /// `Φ(2h) = Φ(h)²` and `S(2h) = (I + Φ(h))·S(h)`.
+    fn build_propagator(&self, dt: f64) -> Propagator {
+        let n = self.nodes.len();
+        // System matrix M (row-major): dT/dt = M·T + diag(1/Cᵢ)·q.
+        // Boundary rows are zero, so their Φ rows stay exactly identity and
+        // pinned temperatures pass through the propagator untouched.
+        let mut m = vec![0.0f64; n * n];
+        for e in &self.edges {
+            if let NodeKind::Capacitive(c) = self.nodes[e.a].kind {
+                let g = e.conductance / c.value();
+                m[e.a * n + e.b] += g;
+                m[e.a * n + e.a] -= g;
+            }
+            if let NodeKind::Capacitive(c) = self.nodes[e.b].kind {
+                let g = e.conductance / c.value();
+                m[e.b * n + e.a] += g;
+                m[e.b * n + e.b] -= g;
+            }
+        }
+
+        // Scaling: pick s with ‖M·dt‖∞ / 2ˢ ≤ 0.5.
+        let norm = (0..n)
+            .map(|i| m[i * n..(i + 1) * n].iter().map(|v| v.abs()).sum::<f64>())
+            .fold(0.0f64, f64::max)
+            * dt;
+        let mut scalings = 0i32;
+        let mut scaled = norm;
+        while scaled > 0.5 && scalings < 64 {
+            scaled /= 2.0;
+            scalings += 1;
+        }
+        let h = dt / 2f64.powi(scalings);
+
+        // A = M·h; Taylor: Φ = Σ Aᵏ/k!, S = h·Σ Aᵏ/(k+1)!.
+        let a: Vec<f64> = m.iter().map(|v| v * h).collect();
+        let mut phi = identity(n);
+        let mut s_sum = identity(n); // Σ Aᵏ/(k+1)! accumulator, k = 0 term = I
+        let mut term = identity(n); // Aᵏ/k!
+        let mut next = vec![0.0f64; n * n];
+        for k in 1..=30u32 {
+            mat_mul(n, &term, &a, &mut next);
+            let kf = f64::from(k);
+            for v in next.iter_mut() {
+                *v /= kf;
+            }
+            std::mem::swap(&mut term, &mut next);
+            let mut max_term = 0.0f64;
+            for (p, t) in phi.iter_mut().zip(&term) {
+                *p += t;
+                max_term = max_term.max(t.abs());
+            }
+            let sk = 1.0 / f64::from(k + 1);
+            for (sv, t) in s_sum.iter_mut().zip(&term) {
+                *sv += t * sk;
+            }
+            if max_term < 1e-18 {
+                break;
+            }
+        }
+        let mut s_int: Vec<f64> = s_sum.iter().map(|v| v * h).collect();
+
+        // Doubling: Φ ← Φ², S ← (I + Φ)·S.
+        let mut tmp = vec![0.0f64; n * n];
+        for _ in 0..scalings {
+            let mut i_plus_phi = phi.clone();
+            for i in 0..n {
+                i_plus_phi[i * n + i] += 1.0;
+            }
+            mat_mul(n, &i_plus_phi, &s_int, &mut tmp);
+            std::mem::swap(&mut s_int, &mut tmp);
+            mat_mul(n, &phi, &phi, &mut tmp);
+            std::mem::swap(&mut phi, &mut tmp);
+        }
+
+        // B = S·diag(dⱼ), dⱼ = 1/Cⱼ for capacitive nodes, 0 for boundaries
+        // (heat into boundaries is rejected upstream anyway).
+        let mut b = s_int;
+        for j in 0..n {
+            let d = match self.nodes[j].kind {
+                NodeKind::Capacitive(c) => 1.0 / c.value(),
+                NodeKind::Boundary => 0.0,
+            };
+            for i in 0..n {
+                b[i * n + j] *= d;
+            }
+        }
+        Propagator {
+            dt_bits: dt.to_bits(),
+            phi,
+            b,
         }
     }
 
@@ -422,6 +717,62 @@ impl ThermalNetwork {
             remaining -= step;
         }
         Ok(())
+    }
+}
+
+/// `n×n` identity, row-major.
+fn identity(n: usize) -> Vec<f64> {
+    let mut m = vec![0.0f64; n * n];
+    for i in 0..n {
+        m[i * n + i] = 1.0;
+    }
+    m
+}
+
+/// Dense row-major `out = a·b` for `n×n` matrices. Networks are tiny
+/// (phones model 3–5 nodes), so the naïve triple loop is the right tool.
+fn mat_mul(n: usize, a: &[f64], b: &[f64], out: &mut [f64]) {
+    out.fill(0.0);
+    for i in 0..n {
+        for k in 0..n {
+            let aik = a[i * n + k];
+            if aik == 0.0 {
+                continue;
+            }
+            for j in 0..n {
+                out[i * n + j] += aik * b[k * n + j];
+            }
+        }
+    }
+}
+
+/// Debug-build-only integration counters for profiling (surfaced by
+/// `repro --verbose`): total [`ThermalNetwork::step`] calls and the
+/// substeps they expanded into. Compiled out of release builds entirely.
+#[cfg(debug_assertions)]
+pub mod step_stats {
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static STEPS: AtomicU64 = AtomicU64::new(0);
+    static SUBSTEPS: AtomicU64 = AtomicU64::new(0);
+
+    pub(super) fn record(substeps: u64) {
+        STEPS.fetch_add(1, Ordering::Relaxed);
+        SUBSTEPS.fetch_add(substeps, Ordering::Relaxed);
+    }
+
+    /// (network steps, integrator substeps) recorded since the last reset.
+    pub fn snapshot() -> (u64, u64) {
+        (
+            STEPS.load(Ordering::Relaxed),
+            SUBSTEPS.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Zeroes both counters (e.g. at session start).
+    pub fn reset() {
+        STEPS.store(0, Ordering::Relaxed);
+        SUBSTEPS.store(0, Ordering::Relaxed);
     }
 }
 
@@ -688,6 +1039,187 @@ mod integrator_tests {
     #[test]
     fn default_integrator_is_euler() {
         assert_eq!(Integrator::default(), Integrator::Euler);
+    }
+
+    #[test]
+    fn integrator_names_round_trip() {
+        for i in [Integrator::Euler, Integrator::Rk4, Integrator::Exponential] {
+            assert_eq!(Integrator::parse(i.as_str()), Some(i));
+            assert_eq!(format!("{i}"), i.as_str());
+        }
+        assert_eq!(Integrator::parse("exp"), Some(Integrator::Exponential));
+        assert_eq!(Integrator::parse("RK4"), Some(Integrator::Rk4));
+        assert_eq!(Integrator::parse("simpson"), None);
+    }
+}
+
+#[cfg(test)]
+mod exponential_tests {
+    use super::*;
+
+    fn decay_pair(integrator: Integrator) -> (ThermalNetwork, NodeId) {
+        let mut b = ThermalNetworkBuilder::new();
+        b.integrator(integrator);
+        let die = b
+            .add_node("die", ThermalCapacitance(10.0), Celsius(80.0))
+            .unwrap();
+        let amb = b.add_boundary("ambient", Celsius(26.0)).unwrap();
+        b.connect(die, amb, ThermalResistance(5.0)).unwrap();
+        (b.build().unwrap(), die)
+    }
+
+    #[test]
+    fn single_giant_step_is_exact() {
+        // tau = 50 s; one 60 s step lands on the analytic solution to
+        // floating-point precision — the whole point of the propagator.
+        let (mut net, die) = decay_pair(Integrator::Exponential);
+        net.step(Seconds(60.0), &[]).unwrap();
+        let exact = 26.0 + 54.0 * (-60.0f64 / 50.0).exp();
+        let err = (net.temperature(die).value() - exact).abs();
+        assert!(err < 1e-9, "exponential error {err:.3e}");
+    }
+
+    #[test]
+    fn steady_state_with_heat_matches_fourier() {
+        let (mut net, die) = decay_pair(Integrator::Exponential);
+        net.run(Seconds(2000.0), Seconds(500.0), &[(die, Watts(3.0))])
+            .unwrap();
+        assert!((net.temperature(die).value() - 41.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn boundary_is_bit_exact() {
+        let (mut net, die) = decay_pair(Integrator::Exponential);
+        let amb = NodeId(1);
+        net.run(Seconds(300.0), Seconds(0.5), &[(die, Watts(8.0))])
+            .unwrap();
+        assert_eq!(net.temperature(amb), Celsius(26.0));
+    }
+
+    #[test]
+    fn propagator_cache_hits_and_caps() {
+        let (mut net, die) = decay_pair(Integrator::Exponential);
+        // Alternate the two protocol step sizes: exactly two cache entries.
+        for _ in 0..50 {
+            net.step(Seconds(0.1), &[(die, Watts(1.0))]).unwrap();
+            net.step(Seconds(0.5), &[]).unwrap();
+        }
+        assert_eq!(net.propagators.len(), 2);
+        // A pathological stream of distinct step sizes stays capped.
+        for i in 1..(4 * PROPAGATOR_CACHE_CAP) {
+            net.step(Seconds(0.01 * i as f64), &[]).unwrap();
+        }
+        assert!(net.propagators.len() <= PROPAGATOR_CACHE_CAP);
+    }
+
+    #[test]
+    fn set_integrator_switches_mid_run() {
+        let (mut net, die) = decay_pair(Integrator::Euler);
+        net.run(Seconds(20.0), Seconds(0.1), &[(die, Watts(3.0))])
+            .unwrap();
+        assert_eq!(net.integrator(), Integrator::Euler);
+        net.set_integrator(Integrator::Exponential);
+        assert_eq!(net.integrator(), Integrator::Exponential);
+        net.run(Seconds(1000.0), Seconds(0.5), &[(die, Watts(3.0))])
+            .unwrap();
+        assert!((net.temperature(die).value() - 41.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn equality_ignores_derived_caches() {
+        let (mut a, die) = decay_pair(Integrator::Exponential);
+        let (b, _) = decay_pair(Integrator::Exponential);
+        a.step(Seconds(0.1), &[]).unwrap(); // populates the cache
+        a.set_temperature(die, Celsius(80.0)).unwrap(); // restore state
+        assert_eq!(a, b, "cache contents must not affect equality");
+    }
+
+    /// Tiny deterministic xorshift so the property test needs no RNG dep.
+    struct Lcg(u64);
+    impl Lcg {
+        fn next_f64(&mut self) -> f64 {
+            self.0 ^= self.0 << 13;
+            self.0 ^= self.0 >> 7;
+            self.0 ^= self.0 << 17;
+            (self.0 >> 11) as f64 / (1u64 << 53) as f64
+        }
+        fn range(&mut self, lo: f64, hi: f64) -> f64 {
+            lo + (hi - lo) * self.next_f64()
+        }
+    }
+
+    /// Property-style equivalence: on randomized RC networks (varying node
+    /// counts, boundary placement, topology, and heat patterns) the
+    /// Exponential propagator tracks sub-stepped RK4 to tight tolerance
+    /// over a mixed-step-size trajectory.
+    #[test]
+    fn matches_rk4_on_randomized_networks() {
+        let mut rng = Lcg(0x9E37_79B9_7F4A_7C15);
+        for case in 0..40 {
+            let caps = 1 + (rng.next_f64() * 4.0) as usize; // 1..=4 capacitive
+            let bounds = 1 + (rng.next_f64() * 2.0) as usize; // 1..=2 boundary
+            let build = |integrator: Integrator| {
+                let mut b = ThermalNetworkBuilder::new();
+                b.integrator(integrator);
+                let mut rng = Lcg(0xC0FF_EE00 + case); // same draws per scheme
+                let mut ids = Vec::new();
+                for i in 0..caps {
+                    ids.push(
+                        b.add_node(
+                            &format!("n{i}"),
+                            ThermalCapacitance(rng.range(0.5, 20.0)),
+                            Celsius(rng.range(20.0, 90.0)),
+                        )
+                        .unwrap(),
+                    );
+                }
+                for i in 0..bounds {
+                    ids.push(
+                        b.add_boundary(&format!("b{i}"), Celsius(rng.range(15.0, 40.0)))
+                            .unwrap(),
+                    );
+                }
+                // Chain keeps it connected; extra random edges vary topology.
+                for w in ids.windows(2) {
+                    b.connect(w[0], w[1], ThermalResistance(rng.range(0.5, 10.0)))
+                        .unwrap();
+                }
+                let extra = (rng.next_f64() * 3.0) as usize;
+                for _ in 0..extra {
+                    let i = (rng.next_f64() * ids.len() as f64) as usize % ids.len();
+                    let j = (rng.next_f64() * ids.len() as f64) as usize % ids.len();
+                    if i != j {
+                        b.connect(ids[i], ids[j], ThermalResistance(rng.range(1.0, 20.0)))
+                            .unwrap();
+                    }
+                }
+                let mut heat: Vec<(NodeId, Watts)> = Vec::new();
+                for &id in &ids[..caps] {
+                    if rng.next_f64() < 0.7 {
+                        heat.push((id, Watts(rng.range(0.0, 6.0))));
+                    }
+                }
+                (b.build().unwrap(), ids, heat)
+            };
+            let (mut rk4, ids, heat) = build(Integrator::Rk4);
+            let (mut expo, _, heat_e) = build(Integrator::Exponential);
+            assert_eq!(heat, heat_e, "builders must draw identically");
+            // Mixed step sizes, including ones that force RK4 substepping.
+            for &dt in &[0.1, 0.5, 0.1, 2.5, 0.1, 0.5, 7.0, 0.1] {
+                for _ in 0..12 {
+                    rk4.step(Seconds(dt), &heat).unwrap();
+                    expo.step(Seconds(dt), &heat).unwrap();
+                }
+            }
+            for &id in &ids {
+                let gap = (rk4.temperature(id).value() - expo.temperature(id).value()).abs();
+                assert!(
+                    gap < 1e-4,
+                    "case {case}: node {} diverged by {gap:.3e} K",
+                    id.index()
+                );
+            }
+        }
     }
 }
 

@@ -46,6 +46,11 @@ pub struct Probe {
     state: Celsius,
     initialized: bool,
     rng: StdRng,
+    /// Memoised lag coefficient for the last `dt` seen: `(dt bits, alpha)`.
+    /// `observe` runs once per simulation step with one of two protocol
+    /// step sizes, so this removes an `exp` from the hot loop while staying
+    /// bit-identical (the cached value IS the previous `exp` result).
+    alpha_cache: (u64, f64),
 }
 
 impl Probe {
@@ -83,6 +88,7 @@ impl Probe {
             state: Celsius(0.0),
             initialized: false,
             rng: StdRng::seed_from_u64(seed),
+            alpha_cache: (f64::NAN.to_bits(), 0.0),
         })
     }
 
@@ -117,7 +123,17 @@ impl Probe {
             return Ok(());
         }
         // Exact first-order update: s += (truth - s)(1 - e^{-dt/tau}).
-        let alpha = 1.0 - (-dt.value() / self.tau.value()).exp();
+        // The coefficient depends only on dt (tau is fixed), so reuse the
+        // previous exp() result when the step size repeats — bit-identical
+        // by construction.
+        let dt_bits = dt.value().to_bits();
+        let alpha = if self.alpha_cache.0 == dt_bits {
+            self.alpha_cache.1
+        } else {
+            let a = 1.0 - (-dt.value() / self.tau.value()).exp();
+            self.alpha_cache = (dt_bits, a);
+            a
+        };
         self.state = self.state + (truth - self.state) * alpha;
         Ok(())
     }
@@ -293,6 +309,22 @@ mod tests {
             fine.observe(Celsius(50.0), Seconds(1.0)).unwrap();
         }
         assert!((coarse.lag_state().value() - fine.lag_state().value()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn alpha_memoisation_is_bit_identical() {
+        // Alternating step sizes (cache hit, miss, hit, …) must leave the
+        // state bit-identical to the closed-form update applied manually.
+        let mut p = Probe::new(Seconds(4.0), TempDelta(0.0), TempDelta(0.0), 0).unwrap();
+        p.reset(Celsius(20.0));
+        let mut reference = 20.0f64;
+        for (i, &dt) in [0.1, 0.1, 0.5, 0.1, 0.5, 0.5, 0.1].iter().enumerate() {
+            let truth = 30.0 + i as f64;
+            p.observe(Celsius(truth), Seconds(dt)).unwrap();
+            let alpha = 1.0 - (-dt / 4.0f64).exp();
+            reference += (truth - reference) * alpha;
+            assert_eq!(p.lag_state().value().to_bits(), reference.to_bits());
+        }
     }
 
     #[test]

@@ -21,6 +21,7 @@ fn main() -> Result<(), BenchError> {
     let cfg = ExperimentConfig {
         scale: 0.3,
         iterations: 1,
+        ..ExperimentConfig::quick()
     };
     let study = cluster::run(&cfg, n, k, 0xC10D)?;
     println!("{}", study.render());

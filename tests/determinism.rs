@@ -127,6 +127,7 @@ fn experiment_suite_is_deterministic() {
     let cfg = ExperimentConfig {
         scale: 0.15,
         iterations: 1,
+        ..ExperimentConfig::quick()
     };
     let a = accubench::experiments::fig10::run(&cfg).unwrap();
     let b = accubench::experiments::fig10::run(&cfg).unwrap();

@@ -78,6 +78,7 @@ fn study_serializes_with_all_rows() {
     let cfg = ExperimentConfig {
         scale: 0.12,
         iterations: 1,
+        ..ExperimentConfig::quick()
     };
     let s = study::plans::nexus5(&cfg).unwrap();
     let value = s.to_json();
