@@ -22,6 +22,16 @@
 //!   --threads <n>               accepted for symmetry with `repro sweep`;
 //!                               a single-device session is one unit of
 //!                               work, so it always runs on one worker
+//!   --max-task-seconds <w>      arm a wall-clock watchdog: a session that
+//!                               runs longer than w seconds is stopped at
+//!                               the next cooperative checkpoint and
+//!                               reported as timed-out (DESIGN.md §12)
+//!   --on-failure <policy>       abort (default): a panicked/timed-out/
+//!                               failed session exits non-zero;
+//!                               quarantine: it is journaled with its
+//!                               typed status and the process exits 0 —
+//!                               the single-device analogue of a degraded
+//!                               fleet completing
 //! ```
 //!
 //! Examples:
@@ -34,10 +44,13 @@
 //! ```
 
 use accubench::crowd::SweepOutcome;
+use accubench::executor;
 use accubench::harness::{Ambient, Harness};
 use accubench::journal::{fnv64, Journal, Record};
 use accubench::protocol::Protocol;
 use accubench::session::Verdict;
+use accubench::supervise::{DeviceStatus, OnFailure, SupervisionError, Watchdog};
+use accubench::BenchError;
 use pv_faults::{FaultHandle, FaultPlan};
 use pv_soc::catalog;
 use pv_soc::faulty::FaultyDevice;
@@ -60,6 +73,8 @@ struct Options {
     journal: Option<String>,
     resume: bool,
     threads: usize,
+    max_task_seconds: Option<f64>,
+    on_failure: OnFailure,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -76,6 +91,10 @@ fn parse_args() -> Result<Options, String> {
         journal: None,
         resume: false,
         threads: 1,
+        max_task_seconds: None,
+        // A lone session has no fleet to degrade into, so failures abort
+        // (non-zero exit) unless the caller opts into quarantine.
+        on_failure: OnFailure::Abort,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -118,6 +137,20 @@ fn parse_args() -> Result<Options, String> {
                     .parse()
                     .map_err(|_| "--threads must be a positive integer".to_owned())?
             }
+            "--max-task-seconds" => {
+                let w: f64 = value("--max-task-seconds")?
+                    .parse()
+                    .map_err(|_| "--max-task-seconds must be a positive number".to_owned())?;
+                if !(w > 0.0 && w.is_finite()) {
+                    return Err("--max-task-seconds must be a positive number".to_owned());
+                }
+                opts.max_task_seconds = Some(w)
+            }
+            "--on-failure" => {
+                let mode = value("--on-failure")?;
+                opts.on_failure = OnFailure::parse(&mode)
+                    .ok_or_else(|| format!("--on-failure: unknown policy {mode:?}"))?
+            }
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown option: {other}")),
         }
@@ -149,17 +182,22 @@ fn parse_args() -> Result<Options, String> {
 }
 
 /// Digest over everything that determines this run's simulated outcome:
-/// device, mode, iterations, ambient, scale, integrator, and the fault
-/// plan *text* (so editing the plan file invalidates a stale journal).
-/// `v2` adds the integrator so a journal written with one scheme refuses
-/// to resume under another.
+/// device, mode, iterations, ambient, scale, integrator, the fault plan
+/// *text* (so editing the plan file invalidates a stale journal), and the
+/// watchdog limit (a journal written under one deadline regime cannot be
+/// silently replayed under another). `v2` added the integrator; `v3` adds
+/// the supervision fields and the typed outcome status.
 fn run_digest(opts: &Options, fault_toml: &str) -> String {
     let ambient = match opts.ambient {
         Some(t) => format!("{:016x}", t.to_bits()),
         None => "chamber".to_owned(),
     };
+    let wall = match opts.max_task_seconds {
+        Some(w) => format!("{:016x}", w.to_bits()),
+        None => "none".to_owned(),
+    };
     let s = format!(
-        "accubench-v2|device={}|mode={}|iters={}|ambient={ambient}|scale={:016x}|integrator={}|faults={:016x}",
+        "accubench-v3|device={}|mode={}|iters={}|ambient={ambient}|scale={:016x}|integrator={}|faults={:016x}|wall={wall}",
         opts.device,
         opts.mode,
         opts.iterations,
@@ -170,13 +208,28 @@ fn run_digest(opts: &Options, fault_toml: &str) -> String {
     format!("{:016x}", fnv64(s.as_bytes()))
 }
 
+/// Exit code for a failed session under the selected escalation policy:
+/// `abort` fails the process, `quarantine` records the typed status and
+/// exits cleanly (the single-device analogue of a degraded fleet).
+fn failure_exit(on_failure: OnFailure) -> ExitCode {
+    match on_failure {
+        OnFailure::Quarantine => ExitCode::SUCCESS,
+        OnFailure::Abort => ExitCode::FAILURE,
+    }
+}
+
 /// Prints a journaled outcome (the `--resume` replay path) and converts
 /// it to an exit code.
-fn replay_outcome(outcome: &SweepOutcome, score: Option<f64>, rsd: Option<f64>) -> ExitCode {
+fn replay_outcome(
+    outcome: &SweepOutcome,
+    score: Option<f64>,
+    rsd: Option<f64>,
+    on_failure: OnFailure,
+) -> ExitCode {
     println!("journaled result for {}:", outcome.device);
     match outcome.verdict {
         Some(v) => println!("verdict: {v}"),
-        None => println!("verdict: error"),
+        None => println!("verdict: {}", outcome.status),
     }
     if let (Some(score), Some(rsd)) = (score, rsd) {
         println!("performance: {score:.1} iterations (RSD {rsd:.2}%)");
@@ -189,7 +242,7 @@ fn replay_outcome(outcome: &SweepOutcome, score: Option<f64>, rsd: Option<f64>) 
     }
     if let Some(e) = &outcome.error {
         eprintln!("error (journaled): {e}");
-        return ExitCode::FAILURE;
+        return failure_exit(on_failure);
     }
     ExitCode::SUCCESS
 }
@@ -205,7 +258,8 @@ fn main() -> ExitCode {
                 "usage: accubench --device <model:selector> [--mode unconstrained|<MHz>] \
                  [--iterations N] [--ambient °C] [--scale F] \
                  [--integrator euler|rk4|exponential] [--trace out.csv] \
-                 [--faults plan.toml] [--json] [--journal file] [--resume] [--threads N]"
+                 [--faults plan.toml] [--json] [--journal file] [--resume] [--threads N] \
+                 [--max-task-seconds W] [--on-failure abort|quarantine]"
             );
             return ExitCode::FAILURE;
         }
@@ -319,7 +373,7 @@ fn main() -> ExitCode {
             }
             if complete {
                 if let Some((outcome, score, rsd)) = done {
-                    return replay_outcome(&outcome, score, rsd);
+                    return replay_outcome(&outcome, score, rsd, opts.on_failure);
                 }
             }
             eprintln!("journal is incomplete; re-measuring");
@@ -365,6 +419,9 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if let Some(wall) = opts.max_task_seconds {
+        harness = harness.with_watchdog(Watchdog::new().with_wall_limit(wall));
+    }
 
     // First Ctrl-C lets the session finish and journal; the second one
     // kills the process (recovery then drops any torn journal tail).
@@ -374,9 +431,10 @@ fn main() -> ExitCode {
         "measuring {device}: {} iteration(s), mode {} ...",
         opts.iterations, opts.mode
     );
-    let journal_end = |journal: &mut Option<Journal>, record: Record| {
+    let journal_end = |journal: &mut Option<Journal>, mut records: Vec<Record>| {
         if let Some(j) = journal.as_mut() {
-            for r in [&record, &Record::Complete { devices: 1 }] {
+            records.push(Record::Complete { devices: 1 });
+            for r in &records {
                 if let Err(e) = j.append(r) {
                     eprintln!("warning: journal append failed: {e}");
                     return;
@@ -384,29 +442,76 @@ fn main() -> ExitCode {
             }
         }
     };
-    let session = match harness.run_session(&mut device, opts.iterations) {
-        Ok(s) => s,
-        Err(e) => {
+    // The session runs under panic isolation: a panic (injected or real)
+    // is caught, summarized, journaled with its typed status, and turned
+    // into an exit code by the escalation policy instead of unwinding
+    // through main.
+    let caught = executor::run_caught(|| harness.run_session(&mut device, opts.iterations));
+    let failed_outcome = |status: DeviceStatus, detail: &str| SweepOutcome {
+        device: device_label.clone(),
+        verdict: None,
+        accepted: false,
+        quarantined: 0,
+        fault_reports: faults.report_count(),
+        error: Some(detail.to_owned()),
+        status,
+        attempts: 1,
+    };
+    let session = match caught {
+        Ok(Ok(s)) => s,
+        Ok(Err(e)) => {
             // A fatal session error is deterministic, so it completes the
             // journal: --resume replays the failure instead of re-running.
+            let status = match &e {
+                BenchError::Supervision(
+                    SupervisionError::SimBudget { .. }
+                    | SupervisionError::WallClock { .. }
+                    | SupervisionError::Killed,
+                ) => DeviceStatus::TimedOut,
+                _ => DeviceStatus::Failed,
+            };
             journal_end(
                 &mut journal,
-                Record::Outcome {
+                vec![Record::Outcome {
                     index: 0,
-                    outcome: SweepOutcome {
-                        device: device_label,
-                        verdict: None,
-                        accepted: false,
-                        quarantined: 0,
-                        fault_reports: faults.report_count(),
-                        error: Some(e.to_string()),
-                    },
+                    outcome: failed_outcome(status, &e.to_string()),
                     score: None,
                     rsd: None,
-                },
+                }],
             );
-            eprintln!("error: {e}");
-            return ExitCode::FAILURE;
+            eprintln!("error ({status}): {e}");
+            return failure_exit(opts.on_failure);
+        }
+        Err(panic) => {
+            let headline = panic.headline();
+            // The deterministic headline goes into the outcome; the
+            // backtrace (when RUST_BACKTRACE enables capture) only into
+            // the free-form note, where nondeterminism is harmless.
+            let mut note = format!("{device_label}: {headline}");
+            if let Some(bt) = &panic.backtrace {
+                note.push_str("\nbacktrace:\n");
+                note.push_str(bt);
+            }
+            journal_end(
+                &mut journal,
+                vec![
+                    Record::Note {
+                        index: 0,
+                        text: note,
+                    },
+                    Record::Outcome {
+                        index: 0,
+                        outcome: failed_outcome(DeviceStatus::Panicked, &headline),
+                        score: None,
+                        rsd: None,
+                    },
+                ],
+            );
+            eprintln!("error (panicked): {headline}");
+            if let Some(bt) = &panic.backtrace {
+                eprintln!("{bt}");
+            }
+            return failure_exit(opts.on_failure);
         }
     };
     let (score, rsd) = if session.verdict == Verdict::Invalid {
@@ -419,7 +524,7 @@ fn main() -> ExitCode {
     };
     journal_end(
         &mut journal,
-        Record::Outcome {
+        vec![Record::Outcome {
             index: 0,
             outcome: SweepOutcome {
                 device: device_label,
@@ -428,10 +533,12 @@ fn main() -> ExitCode {
                 quarantined: session.quarantined.len(),
                 fault_reports: faults.report_count(),
                 error: None,
+                status: DeviceStatus::Completed,
+                attempts: 1,
             },
             score,
             rsd,
-        },
+        }],
     );
 
     if let Some(path) = &opts.trace {

@@ -34,7 +34,9 @@
 //!
 //! ```text
 //! repro sweep [--quick] [--devices N] [--seed S] [--threads T] \
-//!             [--journal run.journal] [--resume] [--json]
+//!             [--journal run.journal] [--resume] [--json] \
+//!             [--max-task-seconds W] [--on-failure abort|quarantine] \
+//!             [--chaos-seed S] [--chaos-panics N] [--chaos-stalls N]
 //! ```
 //!
 //! With `--journal` every finished device is appended to a write-ahead
@@ -46,12 +48,22 @@
 //! path. `--threads` (default: the host's available parallelism) fans
 //! device sessions out across a work-stealing pool; the report, database
 //! and journal stay bit-identical to `--threads 1`.
+//!
+//! The sweep runs under the supervision layer (DESIGN.md §12):
+//! `--max-task-seconds` arms a per-session wall-clock watchdog on top of
+//! the always-armed simulated-time budget, and `--on-failure` picks the
+//! escalation policy — `quarantine` (default) records the device as a
+//! hole and completes the fleet `degraded` with exit 0; `abort` fails the
+//! whole sweep on the first unrecovered device. `--chaos-panics` /
+//! `--chaos-stalls` inject deterministic session panics and stalls into
+//! `--chaos-seed`-chosen victims to exercise that machinery end to end.
 
-use accubench::crowd::{populate_parallel, CrowdDatabase, SweepConfig};
+use accubench::crowd::{populate_parallel, CrowdDatabase, FleetVerdict, SweepConfig};
 use accubench::executor;
 use accubench::experiments::{self, study, ExperimentConfig};
 use accubench::journal::Journal;
 use accubench::protocol::Protocol;
+use accubench::supervise::{OnFailure, SessionChaos, SupervisionPolicy};
 use pv_faults::FaultPlan;
 use pv_soc::catalog;
 use pv_soc::device::Device;
@@ -98,7 +110,9 @@ fn usage() -> ExitCode {
     eprintln!(
         "       repro sweep [--quick] [--json] [--devices N] [--seed S] \
          [--threads T] [--journal run.journal] [--resume] \
-         [--integrator euler|rk4|exponential]"
+         [--integrator euler|rk4|exponential] \
+         [--max-task-seconds W] [--on-failure abort|quarantine] \
+         [--chaos-seed S] [--chaos-panics N] [--chaos-stalls N]"
     );
     eprintln!("experiments: {}", EXPERIMENTS.join(" "));
     ExitCode::FAILURE
@@ -121,6 +135,11 @@ fn main() -> ExitCode {
     let journal_path = value_of("--journal");
     let threads_arg = value_of("--threads");
     let integrator_arg = value_of("--integrator");
+    let max_task_seconds_arg = value_of("--max-task-seconds");
+    let on_failure_arg = value_of("--on-failure");
+    let chaos_seed_arg = value_of("--chaos-seed");
+    let chaos_panics_arg = value_of("--chaos-panics");
+    let chaos_stalls_arg = value_of("--chaos-stalls");
     let resume = args.iter().any(|a| a == "--resume");
     let verbose = args.iter().any(|a| a == "--verbose");
     // Indices consumed as values of flags are not positional targets.
@@ -132,6 +151,11 @@ fn main() -> ExitCode {
         "--journal",
         "--threads",
         "--integrator",
+        "--max-task-seconds",
+        "--on-failure",
+        "--chaos-seed",
+        "--chaos-panics",
+        "--chaos-stalls",
     ]
     .iter()
     .filter_map(|f| args.iter().position(|a| a == *f).map(|i| i + 1))
@@ -164,6 +188,25 @@ fn main() -> ExitCode {
         }
     }
     if target == "sweep" {
+        let supervision =
+            match parse_supervision(max_task_seconds_arg.as_deref(), on_failure_arg.as_deref()) {
+                Ok(p) => p,
+                Err(e) => {
+                    eprintln!("{e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+        let chaos = match parse_chaos(
+            chaos_seed_arg.as_deref(),
+            chaos_panics_arg.as_deref(),
+            chaos_stalls_arg.as_deref(),
+        ) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        };
         return run_sweep(
             &cfg,
             devices_arg.as_deref(),
@@ -172,6 +215,8 @@ fn main() -> ExitCode {
             journal_path.as_deref(),
             resume,
             json,
+            supervision,
+            chaos,
         );
     }
     let fault_plan = match &faults_path {
@@ -444,6 +489,52 @@ fn main() -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Parses `--max-task-seconds` / `--on-failure` into a supervision policy.
+fn parse_supervision(
+    max_task_seconds: Option<&str>,
+    on_failure: Option<&str>,
+) -> Result<SupervisionPolicy, String> {
+    let mut policy = SupervisionPolicy::default();
+    if let Some(w) = max_task_seconds {
+        match w.parse::<f64>() {
+            Ok(secs) if secs > 0.0 && secs.is_finite() => policy.max_wall_seconds = Some(secs),
+            _ => return Err("--max-task-seconds must be a positive number".into()),
+        }
+    }
+    if let Some(mode) = on_failure {
+        policy.on_failure = OnFailure::parse(mode)
+            .ok_or_else(|| format!("--on-failure: unknown policy {mode:?} (abort|quarantine)"))?;
+    }
+    Ok(policy)
+}
+
+/// Parses the `--chaos-*` flags into an optional session-chaos plan.
+fn parse_chaos(
+    seed: Option<&str>,
+    panics: Option<&str>,
+    stalls: Option<&str>,
+) -> Result<Option<SessionChaos>, String> {
+    let count = |arg: Option<&str>, flag: &str| -> Result<usize, String> {
+        arg.map_or(Ok(0), |v| {
+            v.parse()
+                .map_err(|_| format!("{flag} must be a non-negative integer"))
+        })
+    };
+    let panics = count(panics, "--chaos-panics")?;
+    let stalls = count(stalls, "--chaos-stalls")?;
+    if panics == 0 && stalls == 0 {
+        if seed.is_some() {
+            return Err("--chaos-seed needs --chaos-panics or --chaos-stalls".into());
+        }
+        return Ok(None);
+    }
+    let seed: u64 = match seed.map_or(Ok(0), str::parse) {
+        Ok(s) => s,
+        Err(_) => return Err("--chaos-seed must be an unsigned integer".into()),
+    };
+    Ok(Some(SessionChaos::new(seed, panics, stalls)))
+}
+
 /// Builds the `sweep` fleet: `n` Pixels with speed grades spread evenly
 /// across the binning range, labelled `pixel-crowd-NNN`.
 fn fleet(n: usize) -> Result<Vec<Device>, accubench::BenchError> {
@@ -455,8 +546,9 @@ fn fleet(n: usize) -> Result<Vec<Device>, accubench::BenchError> {
         .collect()
 }
 
-/// The `sweep` target: a journaled, interruptible, parallel
+/// The `sweep` target: a journaled, interruptible, parallel, supervised
 /// crowd-population sweep.
+#[allow(clippy::too_many_arguments)]
 fn run_sweep(
     cfg: &ExperimentConfig,
     devices_arg: Option<&str>,
@@ -465,6 +557,8 @@ fn run_sweep(
     journal_path: Option<&str>,
     resume: bool,
     json: bool,
+    supervision: SupervisionPolicy,
+    chaos: Option<SessionChaos>,
 ) -> ExitCode {
     let n: usize = match devices_arg.map_or(Ok(100), str::parse) {
         Ok(n) if n > 0 => n,
@@ -496,7 +590,7 @@ fn run_sweep(
     // config digest covers: a journal written with one scheme cannot be
     // silently resumed with another.
     let protocol = cfg.scaled(Protocol::unconstrained());
-    let mut sweep_cfg = SweepConfig::clean(protocol, cfg.iterations);
+    let mut sweep_cfg = SweepConfig::clean(protocol, cfg.iterations).with_supervision(supervision);
     if let Some(seed) = seed {
         let iteration = protocol.warmup.value() + protocol.workload.value() + 100.0;
         sweep_cfg = sweep_cfg.with_faults(
@@ -504,6 +598,9 @@ fn run_sweep(
             Seconds(iteration * 10.0),
             pv_faults::ALL_KINDS.to_vec(),
         );
+    }
+    if let Some(chaos) = chaos {
+        sweep_cfg = sweep_cfg.with_chaos(chaos);
     }
 
     let mut journal = match journal_path {
@@ -582,6 +679,19 @@ fn run_sweep(
         println!("{}", sweep.report);
         if let Some(spread) = db.model_spread_percent("Pixel") {
             println!("model spread: {spread:.1}%");
+        }
+        if sweep.report.fleet_verdict() == FleetVerdict::Degraded {
+            // Holes bias a plain mean, so a degraded fleet reports a
+            // bootstrap interval computed over the survivors only.
+            if let Some(ci) = sweep.report.survivor_ci(&db, "Pixel") {
+                println!(
+                    "survivor score: {:.1} (95% bootstrap CI {:.1}..{:.1} over {} device(s))",
+                    ci.point,
+                    ci.lo,
+                    ci.hi,
+                    sweep.report.outcomes.len() - sweep.report.quarantined_devices(),
+                );
+            }
         }
     }
     if !sweep.complete {

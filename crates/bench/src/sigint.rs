@@ -4,14 +4,15 @@
 //! not live in `src/bin/` itself, where cargo would auto-discover it as a
 //! binary, and it cannot live in the library, which forbids unsafe code).
 //!
-//! The handler only flips a static [`AtomicBool`] — the single operation
-//! that is async-signal-safe — and the sweep loop polls it between device
-//! sessions through a [`CancelToken`]: the in-flight session finishes, its
-//! outcome is journaled, and the process exits cleanly so a later
-//! `--resume` picks up exactly where it stopped. The handler then restores
-//! the default disposition, so a second Ctrl-C while the current session
-//! drains kills the process immediately (the journal stays valid: recovery
-//! drops any torn tail).
+//! The handler only performs async-signal-safe operations — one atomic
+//! store, one `write(2)` to stderr, two `signal(2)` calls — and the sweep
+//! loop polls the flag between device sessions through a [`CancelToken`]:
+//! the in-flight session finishes, its outcome is journaled, and the
+//! process exits cleanly so a later `--resume` picks up exactly where it
+//! stopped. The handler announces this ("press Ctrl-C again to abort
+//! immediately") and restores the default disposition, so a second Ctrl-C
+//! while the current session drains kills the process immediately (the
+//! journal stays valid: recovery drops any torn tail).
 
 use accubench::journal::CancelToken;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -25,20 +26,28 @@ mod imp {
     const SIGINT: i32 = 2;
     const SIGTERM: i32 = 15;
     const SIG_DFL: usize = 0;
+    const STDERR: i32 = 2;
 
     // `signal`'s handler argument is pointer-sized and also carries the
     // sentinel SIG_DFL (0), so it is declared as usize rather than a fn
     // pointer (Rust fn pointers cannot be null).
     extern "C" {
         fn signal(signum: i32, handler: usize) -> usize;
+        fn write(fd: i32, buf: *const u8, count: usize) -> isize;
     }
 
     extern "C" fn on_signal(_signum: i32) {
-        // Async-signal-safe: one atomic store, no allocation, no locks.
+        // Async-signal-safe: one atomic store, one raw write(2) (eprintln!
+        // would allocate and lock — both forbidden in a handler), no locks.
         INTERRUPTED.store(true, Ordering::SeqCst);
-        // Second signal falls through to the default (terminating)
-        // disposition.
+        const MSG: &[u8] =
+            b"\ninterrupt: finishing current device (press Ctrl-C again to abort immediately)\n";
         unsafe {
+            // Best-effort: a full pipe or closed stderr must not stall the
+            // handler, so the return value is deliberately ignored.
+            let _ = write(STDERR, MSG.as_ptr(), MSG.len());
+            // Second signal falls through to the default (terminating)
+            // disposition.
             signal(SIGINT, SIG_DFL);
             signal(SIGTERM, SIG_DFL);
         }

@@ -11,19 +11,31 @@
 //! iteration RSD are rejected as thermally uncontrolled), and answers the
 //! two §VI questions: *where does my device rank within its model?* and
 //! *how wide is the spread for this model?*
+//!
+//! Fleet sweeps run under the **supervision layer** (DESIGN.md §12): every
+//! device session is isolated with `catch_unwind`, budgeted by a
+//! [`Watchdog`], escalated per [`SupervisionPolicy`], and journaled with a
+//! typed [`DeviceStatus`] — so a sweep always terminates with an explicit,
+//! deterministic account of every device.
 
-use crate::executor;
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
+use crate::executor::{self, TaskOutcome};
 use crate::harness::{Ambient, Harness};
 use crate::journal::{fnv64, CancelToken, Journal, JournalError, Record};
 use crate::protocol::{CooldownTarget, Protocol};
 use crate::report::TextTable;
-use crate::session::Verdict;
+use crate::session::{Session, Verdict};
+use crate::supervise::{
+    DeviceStatus, OnFailure, SessionChaos, SupervisionError, SupervisionPolicy, Watchdog,
+};
 use crate::BenchError;
 use core::fmt;
 use core::fmt::Write as _;
 use pv_faults::{FaultHandle, FaultKind, FaultPlan};
 use pv_soc::device::{Device, FrequencyMode};
 use pv_soc::faulty::FaultyDevice;
+use pv_stats::bootstrap::{bootstrap_mean_ci, ConfidenceInterval};
 use pv_stats::Summary;
 use pv_units::{Celsius, Seconds};
 use std::collections::BTreeMap;
@@ -199,7 +211,9 @@ pv_json::impl_to_json!(SweepOutcome {
     accepted,
     quarantined,
     fault_reports,
-    error
+    error,
+    status,
+    attempts
 });
 pv_json::impl_to_json!(SweepReport { outcomes });
 
@@ -212,6 +226,8 @@ impl pv_json::FromJson for SweepOutcome {
             quarantined: usize::from_json(value.get("quarantined")?)?,
             fault_reports: usize::from_json(value.get("fault_reports")?)?,
             error: <Option<String>>::from_json(value.get("error")?)?,
+            status: DeviceStatus::from_json(value.get("status")?)?,
+            attempts: u32::from_json(value.get("attempts")?)?,
         })
     }
 }
@@ -235,6 +251,13 @@ pub struct SweepConfig {
     pub fault_mean_interval: Seconds,
     /// Which fault kinds the per-device plans draw from.
     pub fault_kinds: Vec<FaultKind>,
+    /// Escalation policy for misbehaving devices (attempts, abort vs
+    /// quarantine, watchdog limits).
+    pub supervision: SupervisionPolicy,
+    /// When `Some`, injects seeded session-level chaos: exactly
+    /// `panic_devices` sessions panic and `stall_devices` wedge. Used by
+    /// the chaos tests and `repro sweep --chaos`.
+    pub chaos: Option<SessionChaos>,
 }
 
 impl SweepConfig {
@@ -247,6 +270,8 @@ impl SweepConfig {
             fault_seed: None,
             fault_mean_interval: Seconds(600.0),
             fault_kinds: pv_faults::ALL_KINDS.to_vec(),
+            supervision: SupervisionPolicy::default(),
+            chaos: None,
         }
     }
 
@@ -259,6 +284,20 @@ impl SweepConfig {
         self
     }
 
+    /// Replaces the supervision policy.
+    #[must_use]
+    pub fn with_supervision(mut self, policy: SupervisionPolicy) -> Self {
+        self.supervision = policy;
+        self
+    }
+
+    /// Arms seeded session chaos.
+    #[must_use]
+    pub fn with_chaos(mut self, chaos: SessionChaos) -> Self {
+        self.chaos = Some(chaos);
+        self
+    }
+
     /// Simulated-time horizon fault plans must cover: every requested
     /// iteration at full length, times the retry budget, with slack.
     fn fault_horizon(&self) -> f64 {
@@ -266,6 +305,18 @@ impl SweepConfig {
             + self.protocol.cooldown_timeout.value()
             + self.protocol.workload.value();
         per_iteration * self.iterations as f64 * 4.0
+    }
+
+    /// The per-attempt simulated-time budget every supervised session runs
+    /// under: the policy's explicit budget, or the fault horizon — a bound
+    /// no healthy session (including its full retry/backoff budget)
+    /// approaches, so arming it by default costs nothing while
+    /// guaranteeing that even an infinitely wedged session terminates
+    /// deterministically.
+    fn sim_budget(&self) -> f64 {
+        self.supervision
+            .max_sim_seconds
+            .unwrap_or_else(|| self.fault_horizon())
     }
 
     /// Hex [`fnv64`] digest over every field that determines the sweep's
@@ -279,10 +330,11 @@ impl SweepConfig {
         let bits = |s: &mut String, v: f64| {
             let _ = write!(s, "{:016x}/", v.to_bits());
         };
-        // v2: integrator joined the digested protocol fields. The version
-        // bump makes every pre-existing journal digest mismatch loudly
-        // instead of resuming under a silently different scheme.
-        let _ = write!(s, "v2|model={model}|");
+        // v3: supervision policy and session chaos joined the digested
+        // fields (v2 added the integrator). Each version bump makes every
+        // pre-existing journal digest mismatch loudly instead of resuming
+        // under a silently different scheme.
+        let _ = write!(s, "v3|model={model}|");
         s.push_str(self.protocol.integrator.as_str());
         s.push('|');
         bits(&mut s, self.protocol.warmup.value());
@@ -325,6 +377,13 @@ impl SweepConfig {
             }
             None => s.push_str("|clean|"),
         }
+        let _ = write!(s, "|supervision:{}", self.supervision.digest_string());
+        match &self.chaos {
+            Some(chaos) => {
+                let _ = write!(s, "|chaos:{}", chaos.digest_string());
+            }
+            None => s.push_str("|no-chaos"),
+        }
         for label in device_labels {
             let _ = write!(s, "|{label}");
         }
@@ -348,6 +407,40 @@ pub struct SweepOutcome {
     pub fault_reports: usize,
     /// Fatal error text, when the session did not finish.
     pub error: Option<String>,
+    /// Supervision status: anything but [`DeviceStatus::Completed`] means
+    /// the device is a quarantined *hole* in the fleet — it contributed no
+    /// verdict and is excluded from survivor statistics.
+    pub status: DeviceStatus,
+    /// Session attempts the supervisor gave this device (≥ 1).
+    pub attempts: u32,
+}
+
+impl SweepOutcome {
+    /// Whether this device is a supervision hole (every attempt panicked,
+    /// timed out, or failed fatally).
+    pub fn is_hole(&self) -> bool {
+        self.status != DeviceStatus::Completed
+    }
+}
+
+/// Fleet-level verdict of a supervised sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FleetVerdict {
+    /// Every device completed its session (verdicts may still vary).
+    Clean,
+    /// At least one device was quarantined by supervision; survivor
+    /// statistics should be quoted with the bootstrap interval from
+    /// [`SweepReport::survivor_ci`].
+    Degraded,
+}
+
+impl fmt::Display for FleetVerdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            FleetVerdict::Clean => "clean",
+            FleetVerdict::Degraded => "degraded",
+        })
+    }
 }
 
 /// Fleet-level result of a [`populate_resilient`] sweep.
@@ -396,7 +489,52 @@ impl SweepReport {
     pub fn failed(&self) -> usize {
         self.outcomes.iter().filter(|o| o.error.is_some()).count()
     }
+
+    /// Devices quarantined by supervision (status ≠ `Completed`) — the
+    /// sweep's explicit holes.
+    pub fn quarantined_devices(&self) -> usize {
+        self.outcomes.iter().filter(|o| o.is_hole()).count()
+    }
+
+    /// Holes whose final status was [`DeviceStatus::Panicked`].
+    pub fn panicked(&self) -> usize {
+        self.count_status(DeviceStatus::Panicked)
+    }
+
+    /// Holes whose final status was [`DeviceStatus::TimedOut`].
+    pub fn timed_out(&self) -> usize {
+        self.count_status(DeviceStatus::TimedOut)
+    }
+
+    fn count_status(&self, status: DeviceStatus) -> usize {
+        self.outcomes.iter().filter(|o| o.status == status).count()
+    }
+
+    /// The fleet verdict: [`FleetVerdict::Degraded`] iff supervision
+    /// quarantined at least one device.
+    pub fn fleet_verdict(&self) -> FleetVerdict {
+        if self.quarantined_devices() > 0 {
+            FleetVerdict::Degraded
+        } else {
+            FleetVerdict::Clean
+        }
+    }
+
+    /// Bootstrap 95 % confidence interval for the mean accepted score of
+    /// `model`'s *survivors* — what a degraded sweep quotes instead of
+    /// pretending the holes never existed (ranked-set subsampling theory
+    /// licenses survivor statistics, but only with honest uncertainty).
+    /// Deterministic: fixed resample count and seed. `None` when the model
+    /// has no accepted scores.
+    pub fn survivor_ci(&self, db: &CrowdDatabase, model: &str) -> Option<ConfidenceInterval> {
+        let scores = db.model_scores(model);
+        bootstrap_mean_ci(&scores, 0.95, 2000, SURVIVOR_CI_SEED).ok()
+    }
 }
+
+/// Fixed seed for [`SweepReport::survivor_ci`], so every rendering of the
+/// same database quotes the same interval.
+const SURVIVOR_CI_SEED: u64 = 0x05EE_D0C1;
 
 impl fmt::Display for SweepReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -408,15 +546,28 @@ impl fmt::Display for SweepReport {
             self.accepted(),
             self.failed()
         )?;
+        if self.fleet_verdict() == FleetVerdict::Degraded {
+            writeln!(
+                f,
+                "  fleet degraded: {} device(s) quarantined ({} panicked, {} timed out, {} failed)",
+                self.quarantined_devices(),
+                self.panicked(),
+                self.timed_out(),
+                self.count_status(DeviceStatus::Failed),
+            )?;
+        }
         for o in &self.outcomes {
             let verdict = o
                 .verdict
-                .map_or_else(|| "error".to_owned(), |v| v.to_string());
+                .map_or_else(|| o.status.to_string(), |v| v.to_string());
             write!(
                 f,
                 "  {}: {verdict}, {} quarantined, {} faults",
                 o.device, o.quarantined, o.fault_reports
             )?;
+            if o.attempts > 1 {
+                write!(f, ", {} attempts", o.attempts)?;
+            }
             if let Some(e) = &o.error {
                 write!(f, " ({e})")?;
             }
@@ -517,98 +668,242 @@ struct DeviceRun {
     /// `false` when the outcome was replayed from the journal instead of
     /// being re-simulated (replays are never re-journaled).
     fresh: bool,
+    /// Per-attempt supervision failures (including failed attempts that a
+    /// later retry recovered from), journaled as `Record::Supervision`.
+    failures: Vec<AttemptFailure>,
 }
 
-/// Simulates one device session — the parallel-safe unit of work. It owns
-/// its device, builds its own per-index fault handle and harness, and
-/// touches no shared state, so its result is a pure function of
-/// `(cfg, index, device)` regardless of which worker thread runs it.
-/// The returned outcome's `accepted` flag is a placeholder; the merge
-/// step sets it when it submits the score in canonical device order.
-fn simulate_device(
-    cfg: &SweepConfig,
-    index: usize,
-    device: Device,
-) -> Result<DeviceRun, BenchError> {
-    let label = device.label().to_owned();
-    let handle = match cfg.fault_seed {
-        Some(seed) => FaultHandle::armed(FaultPlan::generate(
+/// One failed supervised attempt, recorded for the journal and notes.
+struct AttemptFailure {
+    attempt: u32,
+    status: DeviceStatus,
+    /// Deterministic one-line description (panic headline or error text).
+    detail: String,
+    /// Backtrace summary, present only when `RUST_BACKTRACE` enables
+    /// capture. Goes into the free-form note, never into digested state.
+    backtrace: Option<String>,
+}
+
+/// Builds device `index`'s fault handle: the seeded instrument plan (when
+/// armed) spliced with any session-chaos events targeting this device.
+fn fault_handle_for(cfg: &SweepConfig, index: usize, fleet: usize) -> FaultHandle {
+    let mut plan = match cfg.fault_seed {
+        Some(seed) => FaultPlan::generate(
             seed.wrapping_add(index as u64),
             cfg.fault_horizon(),
             cfg.fault_mean_interval.value(),
             &cfg.fault_kinds,
-        )),
-        None => FaultHandle::disarmed(),
+        ),
+        None => FaultPlan::empty(),
     };
-    let mut gated = FaultyDevice::new(device, handle.clone());
-    let mut harness =
-        Harness::new(cfg.protocol, Ambient::Fixed(cfg.ambient))?.with_faults(handle.clone());
-    Ok(match harness.run_session(&mut gated, cfg.iterations) {
-        Ok(session) => {
-            let mut score = None;
-            let mut rsd = None;
-            if session.verdict != Verdict::Invalid {
-                let perf = session.performance_summary()?;
-                score = Some(perf.mean());
-                rsd = Some(perf.rsd_percent());
-            }
-            DeviceRun {
-                outcome: SweepOutcome {
-                    device: label,
-                    verdict: Some(session.verdict),
-                    accepted: false,
-                    quarantined: session.quarantined_count(),
-                    fault_reports: handle.report_count(),
-                    error: None,
-                },
-                score,
-                rsd,
-                fresh: true,
-            }
+    let mut armed = cfg.fault_seed.is_some();
+    if let Some(chaos) = &cfg.chaos {
+        for event in chaos.events_for(index, fleet) {
+            plan = plan.with_event(event);
+            armed = true;
         }
-        Err(e) => DeviceRun {
-            outcome: SweepOutcome {
-                device: label,
-                verdict: None,
-                accepted: false,
-                quarantined: 0,
-                fault_reports: handle.report_count(),
-                error: Some(e.to_string()),
-            },
-            score: None,
-            rsd: None,
-            fresh: true,
-        },
-    })
+    }
+    if armed {
+        FaultHandle::armed(plan)
+    } else {
+        FaultHandle::disarmed()
+    }
 }
 
-/// Journals one freshly simulated outcome: its fault/quarantine note (when
-/// warranted) and the outcome record, committed with a single fsync. Both
-/// the serial and the parallel path go through here, so their journal
-/// bytes cannot diverge.
+/// What one supervised attempt produced: a finished session (whose verdict
+/// may still be anything), or a typed failure.
+enum Attempt {
+    Finished(Session),
+    Failed {
+        status: DeviceStatus,
+        detail: String,
+        backtrace: Option<String>,
+    },
+}
+
+/// Runs one session attempt on a pristine clone of `device` under a fresh
+/// fault handle and watchdog, with `catch_unwind` isolation. Returns the
+/// attempt result plus the fault-report count (which survives panics: the
+/// handle lives outside the unwind boundary).
+fn run_attempt(cfg: &SweepConfig, index: usize, fleet: usize, device: &Device) -> (Attempt, usize) {
+    let handle = fault_handle_for(cfg, index, fleet);
+    let fresh = device.clone();
+    let session_handle = handle.clone();
+    let caught = executor::run_caught(move || -> Result<Session, BenchError> {
+        let mut gated = FaultyDevice::new(fresh, session_handle.clone());
+        let mut watchdog = Watchdog::new().with_sim_budget(cfg.sim_budget());
+        if let Some(wall) = cfg.supervision.max_wall_seconds {
+            watchdog = watchdog.with_wall_limit(wall);
+        }
+        let mut harness = Harness::new(cfg.protocol, Ambient::Fixed(cfg.ambient))?
+            .with_faults(session_handle.clone())
+            .with_watchdog(watchdog);
+        harness.run_session(&mut gated, cfg.iterations)
+    });
+    let attempt = match caught {
+        Ok(Ok(session)) => Attempt::Finished(session),
+        Ok(Err(e)) => Attempt::Failed {
+            status: match &e {
+                BenchError::Supervision(
+                    SupervisionError::SimBudget { .. }
+                    | SupervisionError::WallClock { .. }
+                    | SupervisionError::Killed,
+                ) => DeviceStatus::TimedOut,
+                _ => DeviceStatus::Failed,
+            },
+            detail: e.to_string(),
+            backtrace: None,
+        },
+        Err(panic) => Attempt::Failed {
+            status: DeviceStatus::Panicked,
+            detail: panic.headline(),
+            backtrace: panic.backtrace,
+        },
+    };
+    (attempt, handle.report_count())
+}
+
+/// Supervises one device session — the parallel-safe unit of work. It
+/// clones its device per attempt, builds per-attempt fault handles,
+/// watchdogs and harnesses, and touches no shared state, so its result is
+/// a pure function of `(cfg, index, fleet, device)` regardless of which
+/// worker thread runs it. Infallible by construction: every failure mode
+/// (panic, watchdog trip, fatal session error) folds into the returned
+/// outcome, and escalation beyond quarantine is the *sink's* decision.
+/// The returned outcome's `accepted` flag is a placeholder; the merge
+/// step sets it when it submits the score in canonical device order.
+fn supervise_device(cfg: &SweepConfig, index: usize, fleet: usize, device: &Device) -> DeviceRun {
+    let label = device.label().to_owned();
+    let max_attempts = cfg.supervision.max_attempts.max(1);
+    let mut failures: Vec<AttemptFailure> = Vec::new();
+    let mut reports = 0usize;
+    for attempt in 1..=max_attempts {
+        let (result, fault_reports) = run_attempt(cfg, index, fleet, device);
+        reports = fault_reports;
+        match result {
+            Attempt::Finished(session) => {
+                let mut score = None;
+                let mut rsd = None;
+                let mut verdict = Some(session.verdict);
+                let mut error = None;
+                if session.verdict != Verdict::Invalid {
+                    match session.performance_summary() {
+                        Ok(perf) => {
+                            score = Some(perf.mean());
+                            rsd = Some(perf.rsd_percent());
+                        }
+                        Err(e) => {
+                            verdict = None;
+                            error = Some(e.to_string());
+                        }
+                    }
+                }
+                let completed = verdict.is_some();
+                return DeviceRun {
+                    outcome: SweepOutcome {
+                        device: label,
+                        verdict,
+                        accepted: false,
+                        quarantined: session.quarantined_count(),
+                        fault_reports: reports,
+                        error,
+                        status: if completed {
+                            DeviceStatus::Completed
+                        } else {
+                            DeviceStatus::Failed
+                        },
+                        attempts: attempt,
+                    },
+                    score,
+                    rsd,
+                    fresh: true,
+                    failures,
+                };
+            }
+            Attempt::Failed {
+                status,
+                detail,
+                backtrace,
+            } => failures.push(AttemptFailure {
+                attempt,
+                status,
+                detail,
+                backtrace,
+            }),
+        }
+    }
+    // Every attempt failed: the device is a supervision hole. Injected
+    // faults are deterministic, so retries fail identically — but real
+    // fleets retry against nondeterministic hardware, which is what
+    // `max_attempts > 1` models.
+    let last = failures.last();
+    let status = last.map_or(DeviceStatus::Failed, |f| f.status);
+    let error = last.map(|f| f.detail.clone());
+    DeviceRun {
+        outcome: SweepOutcome {
+            device: label,
+            verdict: None,
+            accepted: false,
+            quarantined: 0,
+            fault_reports: reports,
+            error,
+            status,
+            attempts: max_attempts,
+        },
+        score: None,
+        rsd: None,
+        fresh: true,
+        failures,
+    }
+}
+
+/// Journals one freshly simulated outcome: its per-attempt supervision
+/// records, its fault/quarantine note (when warranted), and the outcome
+/// record, committed with a single fsync. Both the serial and the
+/// parallel path go through here, so their journal bytes cannot diverge.
 fn journal_outcome(
     journal: &mut Journal,
     index: usize,
     outcome: &SweepOutcome,
     score: Option<f64>,
     rsd: Option<f64>,
+    failures: &[AttemptFailure],
 ) -> Result<(), BenchError> {
-    let mut records = Vec::with_capacity(2);
-    if outcome.quarantined > 0 || outcome.fault_reports > 0 || outcome.error.is_some() {
-        records.push(Record::Note {
+    let mut records = Vec::with_capacity(2 + failures.len());
+    for failure in failures {
+        records.push(Record::Supervision {
             index,
-            text: format!(
-                "{}: {} quarantined, {} fault(s){}",
-                outcome.device,
-                outcome.quarantined,
-                outcome.fault_reports,
-                outcome
-                    .error
-                    .as_deref()
-                    .map(|e| format!(", fatal: {e}"))
-                    .unwrap_or_default()
-            ),
+            attempt: failure.attempt,
+            status: failure.status,
+            detail: failure.detail.clone(),
         });
+    }
+    if outcome.quarantined > 0
+        || outcome.fault_reports > 0
+        || outcome.error.is_some()
+        || !failures.is_empty()
+    {
+        let mut text = format!(
+            "{}: {} quarantined, {} fault(s){}",
+            outcome.device,
+            outcome.quarantined,
+            outcome.fault_reports,
+            outcome
+                .error
+                .as_deref()
+                .map(|e| format!(", fatal: {e}"))
+                .unwrap_or_default()
+        );
+        // Backtrace summaries (present only when RUST_BACKTRACE is set)
+        // make a quarantine diagnosable from artifacts alone. They are
+        // thread-dependent, so enabling them trades away byte-identical
+        // journals across thread counts — see PanicSummary::backtrace.
+        for failure in failures {
+            if let Some(bt) = &failure.backtrace {
+                let _ = write!(text, "\nattempt {} backtrace:\n{bt}", failure.attempt);
+            }
+        }
+        records.push(Record::Note { index, text });
     }
     records.push(Record::Outcome {
         index,
@@ -663,6 +958,11 @@ pub fn populate_parallel(
     if cfg.iterations == 0 {
         return Err(BenchError::InvalidProtocol("iterations must be >= 1"));
     }
+    if cfg.supervision.max_attempts == 0 {
+        return Err(BenchError::InvalidProtocol(
+            "supervision.max_attempts must be >= 1",
+        ));
+    }
     let labels: Vec<String> = devices.iter().map(|d| d.label().to_owned()).collect();
     let digest = cfg.digest(model, &labels);
 
@@ -693,6 +993,16 @@ pub fn populate_parallel(
                 }
                 _ => return Err(JournalError::MissingHeader.into()),
             }
+            // A device commits at its Outcome record. A crash inside a
+            // device's batch can leave valid Supervision/Note lines with no
+            // sealing outcome; drop them so the re-run (which re-emits
+            // them) heals the journal to the uninterrupted bytes.
+            let committed = j
+                .recovered()
+                .iter()
+                .rposition(|r| !matches!(r, Record::Supervision { .. } | Record::Note { .. }))
+                .map_or(0, |i| i + 1);
+            j.truncate_recovered(committed)?;
             for r in &j.recovered()[1..] {
                 match r {
                     Record::Outcome {
@@ -737,29 +1047,61 @@ pub fn populate_parallel(
 
     // Fan the unsimulated tail out across the executor. The worker is a
     // pure function of the device index; the sink below runs on this
-    // thread only, in canonical device order.
+    // thread only, in canonical device order. `supervise_device` is
+    // infallible — panics inside a session are already caught per-attempt
+    // and folded into the outcome — so a `TaskOutcome::Panicked` here is
+    // defense-in-depth against bugs in the supervision machinery itself;
+    // it synthesizes a quarantined outcome instead of tearing the sweep
+    // down.
     let tail: Vec<(usize, Device)> = devices.into_iter().enumerate().skip(prefix).collect();
     let restored = &restored;
-    let done = executor::map_ordered(
+    let done = executor::map_supervised(
         tail,
         threads,
         cancel,
-        |_, (index, device)| -> Result<DeviceRun, BenchError> {
+        |_, (index, device)| -> DeviceRun {
             // A restored outcome beyond the contiguous prefix (possible
             // only in a hand-assembled journal) is replayed, not re-run.
             if let Some((outcome, score, rsd)) = restored.get(&index) {
-                return Ok(DeviceRun {
+                return DeviceRun {
                     outcome: outcome.clone(),
                     score: *score,
                     rsd: *rsd,
                     fresh: false,
-                });
+                    failures: Vec::new(),
+                };
             }
-            simulate_device(cfg, index, device)
+            supervise_device(cfg, index, total, &device)
         },
-        |tail_index, run: Result<DeviceRun, BenchError>| -> Result<(), BenchError> {
-            let run = run?;
+        |tail_index, caught: TaskOutcome<DeviceRun>| -> Result<(), BenchError> {
             let index = prefix + tail_index;
+            let run = match caught {
+                TaskOutcome::Completed(run) => run,
+                TaskOutcome::Panicked(panic) => {
+                    let detail = panic.headline();
+                    DeviceRun {
+                        outcome: SweepOutcome {
+                            device: labels[index].clone(),
+                            verdict: None,
+                            accepted: false,
+                            quarantined: 0,
+                            fault_reports: 0,
+                            error: Some(detail.clone()),
+                            status: DeviceStatus::Panicked,
+                            attempts: 1,
+                        },
+                        score: None,
+                        rsd: None,
+                        fresh: true,
+                        failures: vec![AttemptFailure {
+                            attempt: 1,
+                            status: DeviceStatus::Panicked,
+                            detail,
+                            backtrace: panic.backtrace,
+                        }],
+                    }
+                }
+            };
             let mut outcome = run.outcome;
             if let (Some(score), Some(rsd)) = (run.score, run.rsd) {
                 outcome.accepted = db.submit(CrowdScore {
@@ -771,12 +1113,28 @@ pub fn populate_parallel(
             }
             if run.fresh {
                 if let Some(j) = journal.as_deref_mut() {
-                    journal_outcome(j, index, &outcome, run.score, run.rsd)?;
+                    journal_outcome(j, index, &outcome, run.score, run.rsd, &run.failures)?;
                 }
             } else {
                 resumed += 1;
             }
+            // Escalation: under `abort`, a supervision hole fails the
+            // whole sweep — but only *after* its outcome is journaled, so
+            // a later `--resume` under `quarantine` can pick up from the
+            // exact device that tripped the policy.
+            let hole = outcome.is_hole();
+            let attempts = outcome.attempts;
+            let detail = outcome.error.clone().unwrap_or_else(|| "unknown".into());
+            let device = outcome.device.clone();
             outcomes.push(outcome);
+            if hole && cfg.supervision.on_failure == OnFailure::Abort {
+                return Err(SupervisionError::FleetAborted {
+                    device,
+                    attempts,
+                    detail,
+                }
+                .into());
+            }
             Ok(())
         },
     )?;
@@ -795,6 +1153,7 @@ pub fn populate_parallel(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 
@@ -947,6 +1306,8 @@ mod tests {
             quarantined: 0,
             fault_reports: 0,
             error: None,
+            status: DeviceStatus::Completed,
+            attempts: 1,
         };
         let records = vec![
             Record::Header {
@@ -999,6 +1360,8 @@ mod tests {
                 quarantined: 1,
                 fault_reports: 4,
                 error: None,
+                status: DeviceStatus::Completed,
+                attempts: 1,
             },
             SweepOutcome {
                 device: "dead".into(),
@@ -1007,6 +1370,28 @@ mod tests {
                 quarantined: 0,
                 fault_reports: 2,
                 error: Some("device: hotplug flap".into()),
+                status: DeviceStatus::Failed,
+                attempts: 1,
+            },
+            SweepOutcome {
+                device: "crashed".into(),
+                verdict: None,
+                accepted: false,
+                quarantined: 0,
+                fault_reports: 1,
+                error: Some("panic: injected session panic".into()),
+                status: DeviceStatus::Panicked,
+                attempts: 2,
+            },
+            SweepOutcome {
+                device: "stuck".into(),
+                verdict: None,
+                accepted: false,
+                quarantined: 0,
+                fault_reports: 1,
+                error: Some("session exceeded simulated-time budget of 100 s".into()),
+                status: DeviceStatus::TimedOut,
+                attempts: 1,
             },
         ] {
             let back = SweepOutcome::from_json(&o.to_json()).unwrap();

@@ -30,11 +30,24 @@
 //! it comes from tasks being pure functions of their index plus the
 //! ordered merge. The pool only decides *when* work happens, never *what*
 //! the sink observes. See DESIGN.md §10.
+//!
+//! [`map_supervised`] layers **panic isolation** on top: every task runs
+//! under `catch_unwind`, a panic becomes a typed
+//! [`TaskOutcome::Panicked`] carrying a [`PanicSummary`], and the summary
+//! flows through the same canonical-order merge — so a crashing task is
+//! just another result, bit-identical at every thread count. See
+//! DESIGN.md §12.
+
+#![deny(clippy::unwrap_used, clippy::expect_used)]
 
 use crate::journal::CancelToken;
+use std::any::Any;
+use std::backtrace::{Backtrace, BacktraceStatus};
+use std::cell::RefCell;
 use std::collections::{BTreeMap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{mpsc, Mutex, MutexGuard, PoisonError};
+use std::sync::{mpsc, Mutex, MutexGuard, Once, PoisonError};
 
 /// Worker count that `--threads` defaults to: the host's available
 /// parallelism, or 1 when it cannot be determined.
@@ -219,7 +232,177 @@ where
     })
 }
 
+/// Prefix that marks a panic as *deliberately injected* (a
+/// [`pv_faults::FaultKind::SessionPanic`] event firing). The panic hook
+/// suppresses the default stderr report for these — a chaos sweep that
+/// panics five devices on purpose should not spray five panic dumps over
+/// the progress output — while real panics keep their full report.
+pub const INJECTED_PANIC_MARKER: &str = "injected session panic";
+
+thread_local! {
+    /// `(location, backtrace)` of the most recent panic on this thread,
+    /// captured by the hook and consumed by [`PanicSummary::from_payload`].
+    static LAST_PANIC_CONTEXT: RefCell<Option<(Option<String>, Option<String>)>> =
+        const { RefCell::new(None) };
+}
+
+static PANIC_HOOK: Once = Once::new();
+
+/// Best-effort view of a panic payload as text. `panic!` with a literal
+/// yields `&'static str`; with a format string, `String`; anything else
+/// (a `panic_any` value) has no portable rendering.
+fn payload_str(payload: &dyn Any) -> Option<&str> {
+    payload
+        .downcast_ref::<&'static str>()
+        .copied()
+        .or_else(|| payload.downcast_ref::<String>().map(String::as_str))
+}
+
+/// Installs (once, process-wide) a panic hook that records the panic's
+/// source location — and, when `RUST_BACKTRACE` requests it, a backtrace —
+/// into a thread-local for [`PanicSummary`] to pick up. The previous hook
+/// is chained for every panic except marker-prefixed injected ones.
+fn install_panic_hook() {
+    PANIC_HOOK.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let location = info
+                .location()
+                .map(|l| format!("{}:{}", l.file(), l.line()));
+            // `Backtrace::capture` honours RUST_BACKTRACE / RUST_LIB_BACKTRACE;
+            // unset means `Disabled` and we store nothing.
+            let bt = Backtrace::capture();
+            let backtrace = if bt.status() == BacktraceStatus::Captured {
+                Some(bt.to_string())
+            } else {
+                None
+            };
+            LAST_PANIC_CONTEXT.with(|slot| *slot.borrow_mut() = Some((location, backtrace)));
+            let injected =
+                payload_str(info.payload()).is_some_and(|s| s.starts_with(INJECTED_PANIC_MARKER));
+            if !injected {
+                prev(info);
+            }
+        }));
+    });
+}
+
+/// A summarized panic: what a supervised sweep journals instead of dying.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PanicSummary {
+    /// The panic message (or a placeholder for non-string payloads).
+    pub payload: String,
+    /// `file:line` of the panic site. Deterministic — the same injected
+    /// panic reports the same location at every thread count.
+    pub location: Option<String>,
+    /// Rendered backtrace, present only when `RUST_BACKTRACE` (or
+    /// `RUST_LIB_BACKTRACE`) enables capture. **Not** deterministic across
+    /// thread counts (worker stacks differ from the caller's), which is
+    /// why it goes into free-form journal notes, never into digested
+    /// state; the bit-identical-journal guarantee assumes backtraces off.
+    pub backtrace: Option<String>,
+}
+
+impl PanicSummary {
+    /// Converts the payload `catch_unwind` returned, consuming the
+    /// context the hook stashed for this thread.
+    fn from_payload(payload: Box<dyn Any + Send>) -> Self {
+        let text = payload_str(payload.as_ref())
+            .unwrap_or("non-string panic payload")
+            .to_string();
+        let (location, backtrace) = LAST_PANIC_CONTEXT
+            .with(|slot| slot.borrow_mut().take())
+            .unwrap_or((None, None));
+        Self {
+            payload: text,
+            location,
+            backtrace,
+        }
+    }
+
+    /// Whether this panic was deliberately injected by a
+    /// [`pv_faults::FaultKind::SessionPanic`] fault.
+    pub fn injected(&self) -> bool {
+        self.payload.starts_with(INJECTED_PANIC_MARKER)
+    }
+
+    /// One-line deterministic rendering (payload + location, no
+    /// backtrace) — safe to embed in journaled outcomes.
+    pub fn headline(&self) -> String {
+        match &self.location {
+            Some(loc) => format!("panic: {} (at {loc})", self.payload),
+            None => format!("panic: {}", self.payload),
+        }
+    }
+}
+
+impl std::fmt::Display for PanicSummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.headline())
+    }
+}
+
+/// What one supervised task produced.
+#[derive(Debug)]
+pub enum TaskOutcome<R> {
+    /// The task returned normally.
+    Completed(R),
+    /// The task panicked; the unwind was caught and summarized.
+    Panicked(PanicSummary),
+}
+
+/// Runs `task` under `catch_unwind` with the summary hook installed,
+/// turning a panic into an `Err(PanicSummary)`.
+///
+/// The `AssertUnwindSafe` is a real promise the *caller* makes: state the
+/// closure mutated before panicking may be torn, so callers must discard
+/// it (the sweep supervisor retries on a pristine clone of the device,
+/// never the one that panicked).
+pub fn run_caught<R>(task: impl FnOnce() -> R) -> Result<R, PanicSummary> {
+    install_panic_hook();
+    catch_unwind(AssertUnwindSafe(task)).map_err(PanicSummary::from_payload)
+}
+
+/// [`map_ordered`] with panic isolation: the sink receives a
+/// [`TaskOutcome`] per item, in canonical index order, with panics
+/// converted to [`TaskOutcome::Panicked`] instead of unwinding the pool.
+///
+/// The catch wraps the task *closure*, inside the worker loop, so a panic
+/// never unwinds a worker thread: the worker simply sends the summarized
+/// outcome and claims the next task. No thread respawn is needed — the
+/// only poisoning a panic could cause is of the pool's own mutexes, and
+/// every lock site already recovers from poison (see `lock`). The serial
+/// `threads == 1` path runs the *same* wrapped closure inline, so a
+/// panicking task yields byte-identical sink input at every thread count
+/// (backtrace capture off; see [`PanicSummary::backtrace`]).
+pub fn map_supervised<T, R, E, W, S>(
+    items: Vec<T>,
+    threads: usize,
+    cancel: &CancelToken,
+    worker: W,
+    sink: S,
+) -> Result<usize, E>
+where
+    T: Send,
+    R: Send,
+    W: Fn(usize, T) -> R + Sync,
+    S: FnMut(usize, TaskOutcome<R>) -> Result<(), E>,
+{
+    install_panic_hook();
+    map_ordered(
+        items,
+        threads,
+        cancel,
+        |index, item| match run_caught(|| worker(index, item)) {
+            Ok(result) => TaskOutcome::Completed(result),
+            Err(summary) => TaskOutcome::Panicked(summary),
+        },
+        sink,
+    )
+}
+
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use std::time::Duration;
@@ -348,6 +531,93 @@ mod tests {
         assert!(done >= 1, "the in-flight prefix still lands");
         assert!(done < 64, "cancellation stopped the run early");
         assert_eq!(seen, (0..done).collect::<Vec<_>>());
+    }
+
+    /// Renders a supervised run as comparable, deterministic strings
+    /// (payload + location only; no backtrace).
+    fn supervised_trace(total: u64, threads: usize) -> Vec<String> {
+        let mut trace = Vec::new();
+        let done: Result<usize, ()> = map_supervised(
+            (0..total).collect(),
+            threads,
+            &CancelToken::new(),
+            |i, x| {
+                if i % 5 == 3 {
+                    panic!("{INJECTED_PANIC_MARKER}: task {i} crashed");
+                }
+                x * 2
+            },
+            |i, outcome| {
+                trace.push(match outcome {
+                    TaskOutcome::Completed(r) => format!("{i}:ok:{r}"),
+                    TaskOutcome::Panicked(p) => format!("{i}:panic:{}", p.headline()),
+                });
+                Ok(())
+            },
+        );
+        assert_eq!(done, Ok(total as usize));
+        trace
+    }
+
+    #[test]
+    fn panics_become_typed_outcomes_in_canonical_order() {
+        let trace = supervised_trace(40, 4);
+        assert_eq!(trace.len(), 40);
+        for (i, line) in trace.iter().enumerate() {
+            if i % 5 == 3 {
+                assert!(line.contains("panic:"), "{line}");
+                assert!(line.contains(&format!("task {i} crashed")), "{line}");
+                assert!(line.contains("executor.rs"), "location captured: {line}");
+            } else {
+                assert_eq!(line, &format!("{i}:ok:{}", i * 2));
+            }
+        }
+    }
+
+    #[test]
+    fn supervised_serial_and_parallel_traces_are_identical() {
+        let reference = supervised_trace(30, 1);
+        for threads in [2, 4, 8] {
+            assert_eq!(
+                supervised_trace(30, threads),
+                reference,
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn panicking_tasks_do_not_poison_their_siblings() {
+        // Every task panics; the pool must still deliver every outcome.
+        let mut panicked = 0;
+        let done: Result<usize, ()> = map_supervised(
+            (0..64u64).collect(),
+            4,
+            &CancelToken::new(),
+            |i, _| -> u64 { panic!("{INJECTED_PANIC_MARKER}: {i}") },
+            |_, outcome| {
+                if let TaskOutcome::Panicked(p) = outcome {
+                    assert!(p.injected());
+                    panicked += 1;
+                }
+                Ok(())
+            },
+        );
+        assert_eq!(done, Ok(64));
+        assert_eq!(panicked, 64);
+    }
+
+    #[test]
+    fn real_panics_are_not_marked_injected() {
+        let err = run_caught(|| -> u32 { panic!("plain bug") }).unwrap_err();
+        assert!(!err.injected());
+        assert_eq!(err.payload, "plain bug");
+        assert!(err
+            .location
+            .as_deref()
+            .unwrap_or("")
+            .contains("executor.rs"));
+        assert_eq!(run_caught(|| 41 + 1), Ok(42));
     }
 
     #[test]

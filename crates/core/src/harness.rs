@@ -28,11 +28,26 @@
 //!   [`Verdict`]: too few surviving iterations ⇒
 //!   [`Verdict::Invalid`]; quarantines, cooldown timeouts, chamber-band
 //!   excursions or excessive spread ⇒ [`Verdict::Degraded`].
+//!
+//! # Supervision
+//!
+//! Above the per-iteration retry layer sits the *session* supervision
+//! layer (DESIGN.md §12). Every successful coupled step passes through a
+//! cooperative checkpoint that (a) charges an optional
+//! [`Watchdog`] with the step's simulated
+//! time and (b) fires any armed session-level fault:
+//! [`FaultKind::SessionPanic`] panics the task (caught and summarized by
+//! the sweep executor), and [`FaultKind::SessionStall`] wedges the session
+//! — simulated time keeps passing with no protocol progress — until the
+//! fault window ends or a watchdog budget trips. Watchdog errors are
+//! **not** transient, so they bypass the retry loop and surface to the
+//! sweep's escalation policy.
 
 use crate::protocol::Protocol;
 use crate::session::{Event, Iteration, QuarantinedIteration, Session, Verdict};
+use crate::supervise::Watchdog;
 use crate::BenchError;
-use pv_faults::FaultHandle;
+use pv_faults::{FaultHandle, FaultKind};
 use pv_power::FaultyMeter;
 use pv_soc::device::{CpuDemand, Dut, FrequencyMode, StepReport};
 use pv_soc::trace::Trace;
@@ -213,6 +228,7 @@ pub struct Harness {
     faults: FaultHandle,
     retry: RetryPolicy,
     gates: QualityGates,
+    watchdog: Option<Watchdog>,
 }
 
 impl Harness {
@@ -231,6 +247,7 @@ impl Harness {
             faults: FaultHandle::disarmed(),
             retry: RetryPolicy::default(),
             gates: QualityGates::default(),
+            watchdog: None,
         })
     }
 
@@ -257,6 +274,15 @@ impl Harness {
     #[must_use]
     pub fn with_quality_gates(mut self, gates: QualityGates) -> Self {
         self.gates = gates;
+        self
+    }
+
+    /// Arms a session watchdog. Budgets are charged at every coupled-step
+    /// checkpoint (including stall and backoff waits); build a fresh
+    /// watchdog per session attempt, since budgets do not reset.
+    #[must_use]
+    pub fn with_watchdog(mut self, watchdog: Watchdog) -> Self {
+        self.watchdog = Some(watchdog);
         self
     }
 
@@ -303,6 +329,54 @@ impl Harness {
         device.step_into(dt, demand, mode, report)?;
         self.ambient.step(dt, report.supply_power)?;
         self.faults.advance(dt.value());
+        self.checkpoint(dt)
+    }
+
+    /// The cooperative supervision checkpoint, reached after every
+    /// successful coupled step: charge the watchdog, then fire any armed
+    /// session-level fault. Everything here runs on *simulated* time, so
+    /// injected panics, stalls, and sim-budget trips are deterministic —
+    /// the same session hits them at the same step on every run.
+    fn checkpoint(&mut self, dt: Seconds) -> Result<(), BenchError> {
+        if let Some(watchdog) = &mut self.watchdog {
+            watchdog.charge(dt.value())?;
+        }
+        if self.faults.is_armed() {
+            if let Some(event) = self.faults.active(FaultKind::SessionPanic) {
+                self.faults
+                    .report_once(&event, "session task panicked (injected)");
+                // Caught by the sweep executor's `catch_unwind` and
+                // summarized into a `TaskOutcome::Panicked`; the message is
+                // deterministic (simulated fault-clock time, not wall time).
+                panic!(
+                    "{}: device wedged and crashed at fault-clock t={:.1}s",
+                    crate::executor::INJECTED_PANIC_MARKER,
+                    self.faults.now(),
+                );
+            }
+            if let Some(event) = self.faults.active(FaultKind::SessionStall) {
+                self.stall_through(event)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Wedges the session for the duration of a [`FaultKind::SessionStall`]
+    /// window: simulated time elapses in idle-step quanta with **no**
+    /// protocol or device progress, exactly like a hung benchmark process.
+    /// The only exits are the end of the window or a watchdog budget trip —
+    /// which is why sweeps always arm a simulated-time budget by default
+    /// (chaos stall windows are effectively infinite).
+    fn stall_through(&mut self, event: pv_faults::FaultEvent) -> Result<(), BenchError> {
+        self.faults
+            .report_once(&event, "session wedged (injected stall)");
+        let quantum = self.protocol.idle_dt.value();
+        while self.faults.active(FaultKind::SessionStall).is_some() {
+            self.faults.advance(quantum);
+            if let Some(watchdog) = &mut self.watchdog {
+                watchdog.charge(quantum)?;
+            }
+        }
         Ok(())
     }
 

@@ -28,6 +28,7 @@
 #![deny(clippy::unwrap_used, clippy::expect_used)]
 
 use crate::crowd::SweepOutcome;
+use crate::supervise::DeviceStatus;
 use core::fmt;
 use pv_json::{FromJson, Json, ToJson};
 use std::io::{Read as _, Seek as _, SeekFrom, Write as _};
@@ -144,6 +145,20 @@ pub enum Record {
         /// Human-readable description.
         text: String,
     },
+    /// One supervised attempt failed (panic, watchdog trip, or fatal
+    /// session error). A device that later succeeds on retry keeps its
+    /// failed attempts on the record; a quarantined device's last
+    /// supervision record explains the hole in the fleet.
+    Supervision {
+        /// Zero-based device index the attempt belonged to.
+        index: usize,
+        /// One-based attempt number within the device's retry budget.
+        attempt: u32,
+        /// How the attempt ended (never [`DeviceStatus::Completed`]).
+        status: DeviceStatus,
+        /// Deterministic one-line failure description.
+        detail: String,
+    },
     /// The sweep ran every device; the journal is final.
     Complete {
         /// Number of devices that were journaled.
@@ -182,6 +197,18 @@ impl ToJson for Record {
                 obj.insert("index", index.to_json());
                 obj.insert("text", text.to_json());
             }
+            Record::Supervision {
+                index,
+                attempt,
+                status,
+                detail,
+            } => {
+                obj.insert("t", "supervision".to_json());
+                obj.insert("index", index.to_json());
+                obj.insert("attempt", attempt.to_json());
+                obj.insert("status", status.to_json());
+                obj.insert("detail", detail.to_json());
+            }
             Record::Complete { devices } => {
                 obj.insert("t", "complete".to_json());
                 obj.insert("devices", devices.to_json());
@@ -208,6 +235,12 @@ impl FromJson for Record {
             "note" => Some(Record::Note {
                 index: usize::from_json(value.get("index")?)?,
                 text: String::from_json(value.get("text")?)?,
+            }),
+            "supervision" => Some(Record::Supervision {
+                index: usize::from_json(value.get("index")?)?,
+                attempt: u32::from_json(value.get("attempt")?)?,
+                status: DeviceStatus::from_json(value.get("status")?)?,
+                detail: String::from_json(value.get("detail")?)?,
             }),
             "complete" => Some(Record::Complete {
                 devices: usize::from_json(value.get("devices")?)?,
@@ -248,6 +281,10 @@ pub struct Journal {
     file: std::fs::File,
     path: PathBuf,
     recovered: Vec<Record>,
+    /// Byte offset of the end of each recovered record's line — lets
+    /// [`truncate_recovered`](Self::truncate_recovered) cut the file at an
+    /// exact record boundary.
+    record_ends: Vec<u64>,
     dropped_bytes: u64,
 }
 
@@ -273,7 +310,8 @@ impl Journal {
             .open(&path)?;
         let mut bytes = Vec::new();
         file.read_to_end(&mut bytes)?;
-        let (recovered, valid_len) = recover(&bytes);
+        let (recovered, record_ends) = recover(&bytes);
+        let valid_len = record_ends.last().copied().unwrap_or(0);
         let dropped = bytes.len() as u64 - valid_len;
         if dropped > 0 {
             file.set_len(valid_len)?;
@@ -284,6 +322,7 @@ impl Journal {
             file,
             path,
             recovered,
+            record_ends,
             dropped_bytes: dropped,
         })
     }
@@ -297,6 +336,39 @@ impl Journal {
     /// Bytes of torn tail dropped during recovery at open.
     pub fn dropped_bytes(&self) -> u64 {
         self.dropped_bytes
+    }
+
+    /// Physically truncates the journal back to its first `keep` recovered
+    /// records (a no-op when `keep` covers them all), re-syncing so the cut
+    /// survives a crash.
+    ///
+    /// A device's records are appended as one batch ending in its
+    /// [`Record::Outcome`] — the *commit point* resume keys on. A tear can
+    /// still land inside the batch, leaving valid `Supervision`/`Note`
+    /// lines with no sealing outcome; the sweep's resume path uses this to
+    /// drop those dangling lines before re-running the device, which
+    /// re-emits them and keeps the healed journal byte-identical to an
+    /// uninterrupted run.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JournalError::Io`] when the file cannot be truncated or
+    /// synced.
+    pub fn truncate_recovered(&mut self, keep: usize) -> Result<(), JournalError> {
+        if keep >= self.recovered.len() {
+            return Ok(());
+        }
+        let end = if keep == 0 {
+            0
+        } else {
+            self.record_ends[keep - 1]
+        };
+        self.file.set_len(end)?;
+        self.file.sync_data()?;
+        self.file.seek(SeekFrom::Start(end))?;
+        self.recovered.truncate(keep);
+        self.record_ends.truncate(keep);
+        Ok(())
     }
 
     /// The journal's path.
@@ -350,12 +422,12 @@ impl Journal {
     }
 }
 
-/// Scans raw journal bytes, returning the valid record prefix and the byte
-/// length it spans. Stops at the first incomplete line (no trailing
-/// newline), checksum failure, or unparseable payload.
-fn recover(bytes: &[u8]) -> (Vec<Record>, u64) {
+/// Scans raw journal bytes, returning the valid record prefix and each
+/// record's end-of-line byte offset. Stops at the first incomplete line
+/// (no trailing newline), checksum failure, or unparseable payload.
+fn recover(bytes: &[u8]) -> (Vec<Record>, Vec<u64>) {
     let mut records = Vec::new();
-    let mut valid_end = 0usize;
+    let mut ends = Vec::new();
     let mut start = 0usize;
     while start < bytes.len() {
         let Some(nl) = bytes[start..].iter().position(|&b| b == b'\n') else {
@@ -369,10 +441,10 @@ fn recover(bytes: &[u8]) -> (Vec<Record>, u64) {
             break;
         };
         records.push(record);
-        valid_end = end + 1;
+        ends.push((end + 1) as u64);
         start = end + 1;
     }
-    (records, valid_end as u64)
+    (records, ends)
 }
 
 /// Cooperative cancellation: clone it into whatever should stop, flip it
@@ -437,6 +509,8 @@ mod tests {
             quarantined: 0,
             fault_reports: 2,
             error: None,
+            status: DeviceStatus::Completed,
+            attempts: 1,
         }
     }
 
@@ -457,6 +531,12 @@ mod tests {
                 index: 0,
                 text: "2 fault(s)".into(),
             },
+            Record::Supervision {
+                index: 1,
+                attempt: 1,
+                status: DeviceStatus::Panicked,
+                detail: "panic: injected session panic".into(),
+            },
             Record::Outcome {
                 index: 1,
                 outcome: SweepOutcome {
@@ -466,6 +546,8 @@ mod tests {
                     quarantined: 3,
                     fault_reports: 1,
                     error: Some("device: hotplug flap".into()),
+                    status: DeviceStatus::Failed,
+                    attempts: 2,
                 },
                 score: None,
                 rsd: None,
@@ -566,6 +648,39 @@ mod tests {
         j.append(&Record::Complete { devices: 2 }).unwrap();
         drop(j);
         assert_eq!(std::fs::read(&path).unwrap(), bytes);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn truncate_recovered_drops_unsealed_trailing_records() {
+        let path = tmp("unseal");
+        let _ = std::fs::remove_file(&path);
+        let records = sample_records();
+        {
+            let mut j = Journal::open(&path).unwrap();
+            // Header, Outcome(0), Note(0), Supervision(1) — the batch for
+            // device 1 was torn after its Supervision line, before the
+            // sealing Outcome landed.
+            j.append_all(&records[..4]).unwrap();
+        }
+        let mut j = Journal::open(&path).unwrap();
+        assert_eq!(j.recovered().len(), 4);
+        // Keeping everything is a no-op (as is keeping more than exists).
+        j.truncate_recovered(9).unwrap();
+        assert_eq!(j.recovered().len(), 4);
+        // Drop the dangling Supervision record; the file shrinks to the
+        // exact byte boundary so a re-run re-appends identically.
+        j.truncate_recovered(3).unwrap();
+        assert_eq!(j.recovered(), &records[..3]);
+        j.append_all(&records[3..]).unwrap();
+        drop(j);
+        let j = Journal::open(&path).unwrap();
+        assert_eq!(j.recovered(), records.as_slice());
+        // Truncating to zero empties the file.
+        let mut j = j;
+        j.truncate_recovered(0).unwrap();
+        assert!(j.recovered().is_empty());
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), 0);
         std::fs::remove_file(&path).unwrap();
     }
 

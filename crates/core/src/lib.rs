@@ -54,6 +54,7 @@ pub mod journal;
 pub mod protocol;
 pub mod report;
 pub mod session;
+pub mod supervise;
 
 use core::fmt;
 
@@ -75,6 +76,10 @@ pub enum BenchError {
     /// Run-journal failure: corrupt record, resume digest mismatch, or
     /// journal I/O.
     Journal(journal::JournalError),
+    /// Supervision failure: a watchdog budget expired or the sweep's
+    /// escalation policy aborted the fleet. Never transient — these bypass
+    /// the iteration retry loop and surface at the device/sweep level.
+    Supervision(supervise::SupervisionError),
 }
 
 impl BenchError {
@@ -117,6 +122,7 @@ impl fmt::Display for BenchError {
             BenchError::Stats(e) => write!(f, "statistics: {e}"),
             BenchError::Io(e) => write!(f, "i/o: {e}"),
             BenchError::Journal(e) => write!(f, "{e}"),
+            BenchError::Supervision(e) => write!(f, "{e}"),
         }
     }
 }
@@ -130,6 +136,7 @@ impl std::error::Error for BenchError {
             BenchError::Stats(e) => Some(e),
             BenchError::Io(e) => Some(e),
             BenchError::Journal(e) => Some(e),
+            BenchError::Supervision(e) => Some(e),
             BenchError::InvalidProtocol(_) => None,
         }
     }
@@ -138,6 +145,12 @@ impl std::error::Error for BenchError {
 impl From<journal::JournalError> for BenchError {
     fn from(e: journal::JournalError) -> Self {
         BenchError::Journal(e)
+    }
+}
+
+impl From<supervise::SupervisionError> for BenchError {
+    fn from(e: supervise::SupervisionError) -> Self {
+        BenchError::Supervision(e)
     }
 }
 

@@ -58,9 +58,21 @@ pub enum FaultKind {
     ThrottleGlitch,
     /// A core cluster hot-unplugs and replugs; reads during the window fail.
     HotplugFlap,
+    /// The benchmark session itself panics at the next cooperative
+    /// checkpoint inside the window — a crashed runner process, injected
+    /// to exercise the sweep supervisor's `catch_unwind` isolation.
+    SessionPanic,
+    /// The benchmark session wedges: simulated time keeps passing but the
+    /// protocol makes no progress until the window ends (or a watchdog
+    /// budget expires). Injected to exercise `TimedOut` supervision.
+    SessionStall,
 }
 
-/// All kinds, in a stable order (used by plan generation and tests).
+/// The *instrument* fault kinds, in a stable order (used by plan
+/// generation and tests). The session-level chaos kinds
+/// ([`FaultKind::SessionPanic`], [`FaultKind::SessionStall`]) are
+/// deliberately excluded: random instrument faults model a flaky lab,
+/// while session chaos is injected explicitly by supervision tests.
 pub const ALL_KINDS: [FaultKind; 10] = [
     FaultKind::ProbeStuck,
     FaultKind::ProbeDropout,
@@ -73,6 +85,12 @@ pub const ALL_KINDS: [FaultKind; 10] = [
     FaultKind::ThrottleGlitch,
     FaultKind::HotplugFlap,
 ];
+
+/// The session-level chaos kinds, in a stable order. These terminate (or
+/// wedge) the *session task* rather than perturbing an instrument, so they
+/// are injected deliberately — never drawn by [`FaultPlan::generate`] unless
+/// a caller asks for them by name.
+pub const SESSION_KINDS: [FaultKind; 2] = [FaultKind::SessionPanic, FaultKind::SessionStall];
 
 impl FaultKind {
     /// Stable kebab-case name used in TOML plans and JSON exports.
@@ -88,12 +106,18 @@ impl FaultKind {
             FaultKind::ChamberControllerStall => "chamber-controller-stall",
             FaultKind::ThrottleGlitch => "throttle-glitch",
             FaultKind::HotplugFlap => "hotplug-flap",
+            FaultKind::SessionPanic => "session-panic",
+            FaultKind::SessionStall => "session-stall",
         }
     }
 
     /// Inverse of [`FaultKind::as_str`].
     pub fn parse(s: &str) -> Option<FaultKind> {
-        ALL_KINDS.iter().copied().find(|k| k.as_str() == s)
+        ALL_KINDS
+            .iter()
+            .chain(SESSION_KINDS.iter())
+            .copied()
+            .find(|k| k.as_str() == s)
     }
 }
 
@@ -510,10 +534,17 @@ mod tests {
 
     #[test]
     fn kind_names_round_trip() {
-        for kind in ALL_KINDS {
+        for kind in ALL_KINDS.iter().chain(SESSION_KINDS.iter()).copied() {
             assert_eq!(FaultKind::parse(kind.as_str()), Some(kind));
         }
         assert_eq!(FaultKind::parse("nope"), None);
+    }
+
+    #[test]
+    fn session_kinds_stay_out_of_the_instrument_list() {
+        for kind in SESSION_KINDS {
+            assert!(!ALL_KINDS.contains(&kind));
+        }
     }
 
     #[test]

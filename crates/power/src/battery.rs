@@ -156,6 +156,10 @@ impl Battery {
 }
 
 impl PowerSupply for Battery {
+    fn clone_box(&self) -> Box<dyn PowerSupply> {
+        Box::new(self.clone())
+    }
+
     fn terminal_voltage(&self, load: Watts) -> Volts {
         let key = (self.soc.to_bits(), load.value().to_bits());
         let (s, l, cached) = self.vt_cache.get();

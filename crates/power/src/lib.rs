@@ -105,6 +105,19 @@ pub trait PowerSupply: fmt::Debug + Send {
 
     /// Total energy delivered since construction (or last reset).
     fn energy_delivered(&self) -> Joules;
+
+    /// Clones the supply behind the trait object, preserving its full state
+    /// (programmed voltage, charge, energy counters).
+    ///
+    /// Supervised sweeps retry a failed session on a *pristine* copy of the
+    /// device, which requires cloning a `Box<dyn PowerSupply>`.
+    fn clone_box(&self) -> Box<dyn PowerSupply>;
+}
+
+impl Clone for Box<dyn PowerSupply> {
+    fn clone(&self) -> Self {
+        self.clone_box()
+    }
 }
 
 /// The Monsoon Power Monitor: an ideal programmable bench supply with
@@ -181,6 +194,10 @@ impl Monsoon {
 impl PowerSupply for Monsoon {
     fn terminal_voltage(&self, _load: Watts) -> Volts {
         self.voltage
+    }
+
+    fn clone_box(&self) -> Box<dyn PowerSupply> {
+        Box::new(self.clone())
     }
 
     fn draw(&mut self, power: Watts, dt: Seconds) -> Result<(), PowerError> {

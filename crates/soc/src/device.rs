@@ -161,12 +161,14 @@ impl StepReport {
 /// assert!(report.soc_power.value() > 0.0);
 /// # Ok::<(), pv_soc::SocError>(())
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Device {
     // Fleet sweeps move whole devices onto executor worker threads; every
     // field (including the boxed supply, whose trait requires Send) must
     // stay Send. The assertion below turns a regression into a compile
     // error at the definition site instead of deep inside the executor.
+    // Clone (via PowerSupply::clone_box for the boxed supply) is what lets
+    // supervised sweeps retry a failed session on a pristine device copy.
     spec: DeviceSpec,
     die: DieSample,
     label: String,
