@@ -13,7 +13,11 @@
 //!                               (default: euler; exponential is the fast
 //!                               path, see DESIGN.md §11)
 //!   --trace <file.csv>          dump the last iteration's full trace as CSV
-//!   --faults <plan.toml>        arm a fault-injection plan for the session
+//!   --faults <plan.toml>        arm a fault-injection plan: instrument
+//!                               kinds hit the session; storage-* kinds
+//!                               hit the --journal filesystem instead
+//!                               (their at/duration count storage
+//!                               operations, not seconds)
 //!   --json                      emit the session as JSON
 //!   --journal <file>            journal the run (self-checksummed, fsynced)
 //!   --resume                    replay a completed journal instead of
@@ -49,6 +53,7 @@ use accubench::harness::{Ambient, Harness};
 use accubench::journal::{fnv64, Journal, Record};
 use accubench::protocol::Protocol;
 use accubench::session::Verdict;
+use accubench::storage::{FaultyStorage, Storage};
 use accubench::supervise::{DeviceStatus, OnFailure, SupervisionError, Watchdog};
 use accubench::BenchError;
 use pv_faults::{FaultHandle, FaultPlan};
@@ -56,6 +61,7 @@ use pv_soc::catalog;
 use pv_soc::faulty::FaultyDevice;
 use pv_units::{Celsius, MegaHertz, Seconds};
 use std::process::ExitCode;
+use std::sync::Arc;
 
 #[path = "../sigint.rs"]
 mod sigint;
@@ -275,7 +281,11 @@ fn main() -> ExitCode {
 
     // The device is always driven through the fault gate; without --faults
     // the gate is disarmed and behaves bit-identically to the bare device.
+    // Storage kinds in the plan never fire on the session's simulated-time
+    // clock — they are split out and armed on the journal's filesystem,
+    // where `at`/`duration` count storage operations.
     let mut fault_toml = String::new();
+    let mut storage_plan: Option<FaultPlan> = None;
     let faults = match &opts.faults {
         Some(path) => {
             let text = match std::fs::read_to_string(path) {
@@ -287,9 +297,27 @@ fn main() -> ExitCode {
             };
             match FaultPlan::from_toml_str(&text) {
                 Ok(plan) => {
-                    eprintln!("armed fault plan {path}: {} event(s)", plan.events.len());
                     fault_toml = text;
-                    FaultHandle::armed(plan)
+                    let (storage_events, instrument_events): (Vec<_>, Vec<_>) = plan
+                        .events
+                        .iter()
+                        .cloned()
+                        .partition(|e| e.kind.is_storage());
+                    eprintln!(
+                        "armed fault plan {path}: {} instrument event(s), {} storage event(s)",
+                        instrument_events.len(),
+                        storage_events.len(),
+                    );
+                    if !storage_events.is_empty() {
+                        storage_plan = Some(FaultPlan {
+                            seed: plan.seed,
+                            events: storage_events,
+                        });
+                    }
+                    FaultHandle::armed(FaultPlan {
+                        seed: plan.seed,
+                        events: instrument_events,
+                    })
                 }
                 Err(e) => {
                     eprintln!("error: {path}: {e}");
@@ -303,8 +331,12 @@ fn main() -> ExitCode {
     // Journal handling: open (recovering any torn tail), then either seal a
     // fresh header or verify the existing one before anything runs.
     let digest = run_digest(&opts, &fault_toml);
+    let storage = match &storage_plan {
+        Some(plan) => Storage::new(Arc::new(FaultyStorage::new(Storage::os(), plan))),
+        None => Storage::os(),
+    };
     let mut journal = match &opts.journal {
-        Some(path) => match Journal::open(path) {
+        Some(path) => match Journal::open_with(storage, path) {
             Ok(j) => {
                 if j.dropped_bytes() > 0 {
                     eprintln!(

@@ -36,7 +36,11 @@
 //! repro sweep [--quick] [--devices N] [--seed S] [--threads T] \
 //!             [--journal run.journal] [--resume] [--json] \
 //!             [--max-task-seconds W] [--on-failure abort|quarantine] \
-//!             [--chaos-seed S] [--chaos-panics N] [--chaos-stalls N]
+//!             [--chaos-seed S] [--chaos-panics N] [--chaos-stalls N] \
+//!             [--storage-faults plan.toml] \
+//!             [--storage-escalation degrade|abort]
+//! repro fsck <journal> [--repair]
+//! repro verify <dir>
 //! ```
 //!
 //! With `--journal` every finished device is appended to a write-ahead
@@ -57,18 +61,38 @@
 //! whole sweep on the first unrecovered device. `--chaos-panics` /
 //! `--chaos-stalls` inject deterministic session panics and stalls into
 //! `--chaos-seed`-chosen victims to exercise that machinery end to end.
+//!
+//! Storage durability (DESIGN.md §13): `--storage-faults <plan.toml>`
+//! wraps the journal's filesystem in a deterministic fault injector
+//! (`storage-enospc`, `storage-eio-transient`, `storage-eio-persistent`,
+//! `storage-short-write`, `storage-fsync-lie`; `at`/`duration` count
+//! storage operations, not seconds). The journal retries transients with
+//! simulated-time backoff and rotates to a fresh segment on persistent
+//! failures; when even that is exhausted, `--storage-escalation` decides:
+//! `degrade` (default) stops journaling, finishes the sweep with exit 0
+//! and reports the fleet `storage-degraded` — the sealed journal prefix
+//! stays resumable — while `abort` fails the sweep with the I/O error.
+//!
+//! `repro fsck <journal>` verifies a run journal (all segments):
+//! checksums, torn tails, header, duplicate outcomes. Exit 0 iff clean;
+//! `--repair` truncates torn tails (the same healing `--resume` applies)
+//! and re-checks. `repro verify <dir>` re-hashes an `--export` directory
+//! against its manifest, naming each mismatched file with both checksums;
+//! exit is non-zero on any mismatch.
 
 use accubench::crowd::{populate_parallel, CrowdDatabase, FleetVerdict, SweepConfig};
 use accubench::executor;
 use accubench::experiments::{self, study, ExperimentConfig};
 use accubench::journal::Journal;
 use accubench::protocol::Protocol;
+use accubench::storage::{FaultyStorage, Storage, StorageEscalation};
 use accubench::supervise::{OnFailure, SessionChaos, SupervisionPolicy};
 use pv_faults::FaultPlan;
 use pv_soc::catalog;
 use pv_soc::device::Device;
 use pv_units::Seconds;
 use std::process::ExitCode;
+use std::sync::Arc;
 
 #[path = "../sigint.rs"]
 mod sigint;
@@ -112,8 +136,11 @@ fn usage() -> ExitCode {
          [--threads T] [--journal run.journal] [--resume] \
          [--integrator euler|rk4|exponential] \
          [--max-task-seconds W] [--on-failure abort|quarantine] \
-         [--chaos-seed S] [--chaos-panics N] [--chaos-stalls N]"
+         [--chaos-seed S] [--chaos-panics N] [--chaos-stalls N] \
+         [--storage-faults plan.toml] [--storage-escalation degrade|abort]"
     );
+    eprintln!("       repro fsck <journal> [--repair]");
+    eprintln!("       repro verify <dir>");
     eprintln!("experiments: {}", EXPERIMENTS.join(" "));
     ExitCode::FAILURE
 }
@@ -140,8 +167,11 @@ fn main() -> ExitCode {
     let chaos_seed_arg = value_of("--chaos-seed");
     let chaos_panics_arg = value_of("--chaos-panics");
     let chaos_stalls_arg = value_of("--chaos-stalls");
+    let storage_faults_path = value_of("--storage-faults");
+    let storage_escalation_arg = value_of("--storage-escalation");
     let resume = args.iter().any(|a| a == "--resume");
     let verbose = args.iter().any(|a| a == "--verbose");
+    let repair = args.iter().any(|a| a == "--repair");
     // Indices consumed as values of flags are not positional targets.
     let consumed: Vec<usize> = [
         "--export",
@@ -156,6 +186,8 @@ fn main() -> ExitCode {
         "--chaos-seed",
         "--chaos-panics",
         "--chaos-stalls",
+        "--storage-faults",
+        "--storage-escalation",
     ]
     .iter()
     .filter_map(|f| args.iter().position(|a| a == *f).map(|i| i + 1))
@@ -172,6 +204,29 @@ fn main() -> ExitCode {
     if target == "list" {
         println!("{}", EXPERIMENTS.join("\n"));
         return ExitCode::SUCCESS;
+    }
+    if target == "fsck" {
+        let Some(path) = positional.next() else {
+            eprintln!("fsck: missing journal path");
+            return usage();
+        };
+        return run_fsck(path, repair);
+    }
+    if target == "verify" {
+        let Some(dir) = positional.next() else {
+            eprintln!("verify: missing export directory");
+            return usage();
+        };
+        return match accubench::export::FigureExporter::verify(dir) {
+            Ok(n) => {
+                println!("verified {n} file(s) in {dir}");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("verify: {e}");
+                ExitCode::FAILURE
+            }
+        };
     }
     let mut cfg = if quick {
         ExperimentConfig::quick()
@@ -207,6 +262,32 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         };
+        let storage_escalation = match storage_escalation_arg.as_deref() {
+            None => StorageEscalation::Degrade,
+            Some(s) => match StorageEscalation::parse(s) {
+                Some(e) => e,
+                None => {
+                    eprintln!("--storage-escalation: unknown policy {s:?} (degrade|abort)");
+                    return ExitCode::FAILURE;
+                }
+            },
+        };
+        let storage_faults = match &storage_faults_path {
+            Some(path) => match std::fs::read_to_string(path) {
+                Ok(text) => match FaultPlan::from_toml_str(&text) {
+                    Ok(plan) => Some(plan),
+                    Err(e) => {
+                        eprintln!("--storage-faults: {path}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                },
+                Err(e) => {
+                    eprintln!("--storage-faults: could not read {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            None => None,
+        };
         return run_sweep(
             &cfg,
             devices_arg.as_deref(),
@@ -217,6 +298,8 @@ fn main() -> ExitCode {
             json,
             supervision,
             chaos,
+            storage_faults.as_ref(),
+            storage_escalation,
         );
     }
     let fault_plan = match &faults_path {
@@ -559,6 +642,8 @@ fn run_sweep(
     json: bool,
     supervision: SupervisionPolicy,
     chaos: Option<SessionChaos>,
+    storage_faults: Option<&FaultPlan>,
+    storage_escalation: StorageEscalation,
 ) -> ExitCode {
     let n: usize = match devices_arg.map_or(Ok(100), str::parse) {
         Ok(n) if n > 0 => n,
@@ -590,7 +675,9 @@ fn run_sweep(
     // config digest covers: a journal written with one scheme cannot be
     // silently resumed with another.
     let protocol = cfg.scaled(Protocol::unconstrained());
-    let mut sweep_cfg = SweepConfig::clean(protocol, cfg.iterations).with_supervision(supervision);
+    let mut sweep_cfg = SweepConfig::clean(protocol, cfg.iterations)
+        .with_supervision(supervision)
+        .with_storage_escalation(storage_escalation);
     if let Some(seed) = seed {
         let iteration = protocol.warmup.value() + protocol.workload.value() + 100.0;
         sweep_cfg = sweep_cfg.with_faults(
@@ -603,8 +690,18 @@ fn run_sweep(
         sweep_cfg = sweep_cfg.with_chaos(chaos);
     }
 
+    // The journal's filesystem, optionally wrapped in the deterministic
+    // storage fault injector.
+    let storage = match storage_faults {
+        Some(plan) => {
+            let armed = plan.events.iter().filter(|e| e.kind.is_storage()).count();
+            eprintln!("armed storage fault plan: {armed} storage event(s)");
+            Storage::new(Arc::new(FaultyStorage::new(Storage::os(), plan)))
+        }
+        None => Storage::os(),
+    };
     let mut journal = match journal_path {
-        Some(path) => match Journal::open(path) {
+        Some(path) => match Journal::open_with(storage, path) {
             Ok(j) => {
                 if j.dropped_bytes() > 0 {
                     eprintln!(
@@ -670,6 +767,25 @@ fn run_sweep(
     if sweep.resumed > 0 {
         eprintln!("resumed {} journaled device(s)", sweep.resumed);
     }
+    if let Some(j) = &journal {
+        let h = j.health();
+        if !h.is_clean() {
+            eprintln!(
+                "journal storage health: {} retried write(s), {} segment rotation(s), \
+                 {:.2}s simulated backoff",
+                h.retries, h.rotations, h.backoff_sim_s,
+            );
+            for event in &h.events {
+                eprintln!("  {event}");
+            }
+        }
+    }
+    if let Some(detail) = &sweep.storage_degraded {
+        // Degrade policy: the sweep itself is whole (exit 0 below), but
+        // only the sealed journal prefix survives a crash from here on.
+        eprintln!("storage degraded: {detail}");
+        eprintln!("fleet verdict: {}", sweep.fleet_verdict());
+    }
     if json {
         println!(
             "{}",
@@ -703,6 +819,57 @@ fn run_sweep(
         return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS
+}
+
+/// The `fsck` target: verify a run journal across all its segments, and
+/// with `--repair` truncate torn tails (the same healing `--resume`
+/// applies) and re-check. Exit 0 iff the journal ends up clean.
+fn run_fsck(path: &str, repair: bool) -> ExitCode {
+    let report = match accubench::journal::fsck(path) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("fsck: {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("{report}");
+    if report.is_clean() {
+        println!("{path}: clean");
+        return ExitCode::SUCCESS;
+    }
+    if !repair {
+        eprintln!("{path}: dirty; `repro fsck {path} --repair` truncates torn tails");
+        return ExitCode::FAILURE;
+    }
+    // Opening the journal performs exactly the repair `--resume` would:
+    // every segment's torn tail is truncated away.
+    match Journal::open(path) {
+        Ok(j) => eprintln!(
+            "repaired: {} record(s) kept across {} segment(s)",
+            j.recovered().len(),
+            j.segments().len(),
+        ),
+        Err(e) => {
+            eprintln!("fsck --repair: {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    match accubench::journal::fsck(path) {
+        Ok(r) => {
+            println!("{r}");
+            if r.is_clean() {
+                println!("{path}: clean");
+                ExitCode::SUCCESS
+            } else {
+                eprintln!("{path}: still dirty after repair (not a torn-tail problem)");
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("fsck: {path}: {e}");
+            ExitCode::FAILURE
+        }
+    }
 }
 
 fn print_study(

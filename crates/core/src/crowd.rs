@@ -26,6 +26,7 @@ use crate::journal::{fnv64, CancelToken, Journal, JournalError, Record};
 use crate::protocol::{CooldownTarget, Protocol};
 use crate::report::TextTable;
 use crate::session::{Session, Verdict};
+use crate::storage::StorageEscalation;
 use crate::supervise::{
     DeviceStatus, OnFailure, SessionChaos, SupervisionError, SupervisionPolicy, Watchdog,
 };
@@ -258,6 +259,14 @@ pub struct SweepConfig {
     /// `panic_devices` sessions panic and `stall_devices` wedge. Used by
     /// the chaos tests and `repro sweep --chaos`.
     pub chaos: Option<SessionChaos>,
+    /// What to do when the journal's own retry/rotation budgets are
+    /// exhausted mid-sweep (persistent ENOSPC/EIO): keep sweeping without
+    /// durability ([`StorageEscalation::Degrade`], the default) or fail
+    /// the sweep ([`StorageEscalation::Abort`]). Deliberately **not** part
+    /// of [`SweepConfig::digest`]: it changes failure handling, never the
+    /// simulated outcomes, so resuming under a different escalation is
+    /// safe.
+    pub storage_escalation: StorageEscalation,
 }
 
 impl SweepConfig {
@@ -272,6 +281,7 @@ impl SweepConfig {
             fault_kinds: pv_faults::ALL_KINDS.to_vec(),
             supervision: SupervisionPolicy::default(),
             chaos: None,
+            storage_escalation: StorageEscalation::Degrade,
         }
     }
 
@@ -295,6 +305,13 @@ impl SweepConfig {
     #[must_use]
     pub fn with_chaos(mut self, chaos: SessionChaos) -> Self {
         self.chaos = Some(chaos);
+        self
+    }
+
+    /// Replaces the storage escalation policy.
+    #[must_use]
+    pub fn with_storage_escalation(mut self, escalation: StorageEscalation) -> Self {
+        self.storage_escalation = escalation;
         self
     }
 
@@ -432,6 +449,13 @@ pub enum FleetVerdict {
     /// statistics should be quoted with the bootstrap interval from
     /// [`SweepReport::survivor_ci`].
     Degraded,
+    /// The journal's storage failed persistently mid-sweep and the
+    /// escalation policy was [`StorageEscalation::Degrade`]: the sweep ran
+    /// to completion and the in-memory report is whole, but only the
+    /// journaled prefix survives a crash. Only
+    /// [`JournaledSweep::fleet_verdict`] produces this — a report alone
+    /// cannot know its journal died.
+    StorageDegraded,
 }
 
 impl fmt::Display for FleetVerdict {
@@ -439,6 +463,7 @@ impl fmt::Display for FleetVerdict {
         f.write_str(match self {
             FleetVerdict::Clean => "clean",
             FleetVerdict::Degraded => "degraded",
+            FleetVerdict::StorageDegraded => "storage-degraded",
         })
     }
 }
@@ -615,6 +640,25 @@ pub struct JournaledSweep {
     /// Devices whose outcome was restored from the journal instead of
     /// being re-simulated.
     pub resumed: usize,
+    /// `Some(detail)` when the journal's storage failed persistently
+    /// mid-sweep under [`StorageEscalation::Degrade`]: journaling stopped
+    /// at the named device, the sweep kept running, and the journal holds
+    /// only the sealed prefix written before the failure. `None` for a
+    /// fully journaled (or unjournaled) sweep.
+    pub storage_degraded: Option<String>,
+}
+
+impl JournaledSweep {
+    /// The fleet verdict, accounting for journal-storage loss:
+    /// [`FleetVerdict::StorageDegraded`] when journaling died mid-sweep,
+    /// otherwise the report's own verdict.
+    pub fn fleet_verdict(&self) -> FleetVerdict {
+        if self.storage_degraded.is_some() {
+            FleetVerdict::StorageDegraded
+        } else {
+            self.report.fleet_verdict()
+        }
+    }
 }
 
 /// [`populate_resilient`] with crash durability and cooperative
@@ -636,7 +680,13 @@ pub struct JournaledSweep {
 ///   [`Record::Note`] when it hit faults or quarantines) before the sweep
 ///   moves on — a kill can lose at most the in-flight device;
 /// * when the last device lands, a [`Record::Complete`] marker seals the
-///   journal.
+///   journal;
+/// * journal storage that fails persistently mid-sweep (past the
+///   journal's own retry and segment-rotation budgets) is handled per
+///   [`SweepConfig::storage_escalation`]: `degrade` (the default) stops
+///   journaling, keeps sweeping, and reports the loss via
+///   [`JournaledSweep::storage_degraded`]; `abort` fails the sweep with
+///   the underlying I/O error.
 ///
 /// The [`CancelToken`] is polled between devices: once cancelled, the
 /// current device finishes, is journaled, and the function returns with
@@ -1055,6 +1105,12 @@ pub fn populate_parallel(
     // down.
     let tail: Vec<(usize, Device)> = devices.into_iter().enumerate().skip(prefix).collect();
     let restored = &restored;
+    // Armed the first time a journal append fails past the journal's own
+    // retry/rotation budgets under `StorageEscalation::Degrade`: journaling
+    // stops (the sealed prefix stays valid), the sweep keeps running, and
+    // the verdict downgrades to storage-degraded. The sink runs on the
+    // caller thread only, so plain mutable capture is safe.
+    let mut storage_degraded: Option<String> = None;
     let done = executor::map_supervised(
         tail,
         threads,
@@ -1112,8 +1168,18 @@ pub fn populate_parallel(
                 });
             }
             if run.fresh {
-                if let Some(j) = journal.as_deref_mut() {
-                    journal_outcome(j, index, &outcome, run.score, run.rsd, &run.failures)?;
+                if storage_degraded.is_none() {
+                    if let Some(j) = journal.as_deref_mut() {
+                        if let Err(e) =
+                            journal_outcome(j, index, &outcome, run.score, run.rsd, &run.failures)
+                        {
+                            if cfg.storage_escalation == StorageEscalation::Abort {
+                                return Err(e);
+                            }
+                            storage_degraded =
+                                Some(format!("journaling stopped at device {index}: {e}"));
+                        }
+                    }
                 }
             } else {
                 resumed += 1;
@@ -1140,15 +1206,21 @@ pub fn populate_parallel(
     )?;
 
     let complete = prefix + done == total;
-    if complete && !already_complete {
+    if complete && !already_complete && storage_degraded.is_none() {
         if let Some(j) = journal {
-            j.append(&Record::Complete { devices: total })?;
+            if let Err(e) = j.append(&Record::Complete { devices: total }) {
+                if cfg.storage_escalation == StorageEscalation::Abort {
+                    return Err(e.into());
+                }
+                storage_degraded = Some(format!("journal seal failed: {e}"));
+            }
         }
     }
     Ok(JournaledSweep {
         report: SweepReport { outcomes },
         complete,
         resumed,
+        storage_degraded,
     })
 }
 

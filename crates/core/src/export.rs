@@ -16,29 +16,41 @@
 //! refreshes `MANIFEST.json` (itself written atomically): a map from file
 //! name to FNV-64 content checksum that [`FigureExporter::verify`] checks,
 //! so plotting pipelines can prove an export directory is whole before
-//! trusting it.
+//! trusting it (`repro verify <dir>` on the command line).
+//!
+//! All I/O goes through the [`crate::storage`] seam, so the same fault
+//! plans that torture the journal can bite the exporter: transient write
+//! errors are retried (bounded, in place — the atomic temp+rename
+//! protocol makes a retry always safe), persistent ones surface as
+//! [`BenchError::Io`].
 
 use crate::experiments::fig1112::Fig1112;
 use crate::experiments::fig2::Fig2;
 use crate::experiments::fig45::{Fig45, PhaseTimeline};
 use crate::experiments::study::SocStudy;
 use crate::journal::fnv64;
+use crate::storage::{classify, FaultClass, Storage};
 use crate::BenchError;
 use pv_json::{Json, ToJson};
 use pv_stats::histogram::Histogram;
 use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
-use std::io::Write as _;
 use std::path::{Path, PathBuf};
 
 /// File name of the checksum manifest kept beside the exported data.
 pub const MANIFEST_NAME: &str = "MANIFEST.json";
 
+/// Transient-failure attempts per atomic write. The temp+rename protocol
+/// leaves nothing partial behind a failed attempt (the temp file is
+/// removed), so retrying is always safe.
+const WRITE_ATTEMPTS: u32 = 3;
+
 /// Writes figure data files into one directory.
 #[derive(Debug, Clone)]
 pub struct FigureExporter {
     dir: PathBuf,
+    storage: Storage,
     manifest: RefCell<BTreeMap<String, String>>,
 }
 
@@ -53,8 +65,18 @@ impl FigureExporter {
     /// confusingly later), if it cannot be created, or if an existing
     /// manifest is unreadable.
     pub fn new(dir: impl AsRef<Path>) -> Result<Self, BenchError> {
+        Self::new_with(Storage::os(), dir)
+    }
+
+    /// [`FigureExporter::new`] over an arbitrary storage backend (the
+    /// chaos tests inject storage faults through it).
+    ///
+    /// # Errors
+    ///
+    /// As [`FigureExporter::new`].
+    pub fn new_with(storage: Storage, dir: impl AsRef<Path>) -> Result<Self, BenchError> {
         let dir = dir.as_ref();
-        if dir.exists() && !dir.is_dir() {
+        if storage.exists(dir) && !storage.is_dir(dir) {
             return Err(BenchError::Io(std::io::Error::new(
                 std::io::ErrorKind::NotADirectory,
                 format!(
@@ -63,8 +85,8 @@ impl FigureExporter {
                 ),
             )));
         }
-        std::fs::create_dir_all(dir).map_err(BenchError::Io)?;
-        let manifest = match std::fs::read_to_string(dir.join(MANIFEST_NAME)) {
+        storage.create_dir_all(dir).map_err(BenchError::Io)?;
+        let manifest = match storage.read_to_string(&dir.join(MANIFEST_NAME)) {
             Ok(text) => parse_manifest(&text).ok_or_else(|| {
                 BenchError::Io(std::io::Error::new(
                     std::io::ErrorKind::InvalidData,
@@ -76,6 +98,7 @@ impl FigureExporter {
         };
         Ok(Self {
             dir: dir.to_path_buf(),
+            storage,
             manifest: RefCell::new(manifest),
         })
     }
@@ -91,10 +114,28 @@ impl FigureExporter {
     /// # Errors
     ///
     /// Returns [`BenchError::Io`] when the manifest is missing or corrupt,
-    /// a listed file cannot be read, or a checksum does not match.
+    /// a listed file cannot be read, or a checksum does not match — each
+    /// naming the offending file's full path, and mismatches quoting both
+    /// the expected (manifest) and actual (computed) checksum.
     pub fn verify(dir: impl AsRef<Path>) -> Result<usize, BenchError> {
+        Self::verify_with(&Storage::os(), dir)
+    }
+
+    /// [`FigureExporter::verify`] over an arbitrary storage backend.
+    ///
+    /// # Errors
+    ///
+    /// As [`FigureExporter::verify`].
+    pub fn verify_with(storage: &Storage, dir: impl AsRef<Path>) -> Result<usize, BenchError> {
         let dir = dir.as_ref();
-        let text = std::fs::read_to_string(dir.join(MANIFEST_NAME)).map_err(BenchError::Io)?;
+        let text = storage
+            .read_to_string(&dir.join(MANIFEST_NAME))
+            .map_err(|e| {
+                BenchError::Io(std::io::Error::new(
+                    e.kind(),
+                    format!("{}: {e}", dir.join(MANIFEST_NAME).display()),
+                ))
+            })?;
         let manifest = parse_manifest(&text).ok_or_else(|| {
             BenchError::Io(std::io::Error::new(
                 std::io::ErrorKind::InvalidData,
@@ -102,12 +143,21 @@ impl FigureExporter {
             ))
         })?;
         for (name, recorded) in &manifest {
-            let bytes = std::fs::read(dir.join(name)).map_err(BenchError::Io)?;
+            let path = dir.join(name);
+            let bytes = storage.read(&path).map_err(|e| {
+                BenchError::Io(std::io::Error::new(
+                    e.kind(),
+                    format!("{}: {e}", path.display()),
+                ))
+            })?;
             let actual = format!("{:016x}", fnv64(&bytes));
             if actual != *recorded {
                 return Err(BenchError::Io(std::io::Error::new(
                     std::io::ErrorKind::InvalidData,
-                    format!("{name}: checksum {actual}, manifest says {recorded}"),
+                    format!(
+                        "{}: checksum mismatch: expected {recorded} (manifest), actual {actual}",
+                        path.display()
+                    ),
                 )));
             }
         }
@@ -116,21 +166,35 @@ impl FigureExporter {
 
     /// Writes `bytes` to `dir/name` atomically: temp file in the same
     /// directory, fsync, rename. A crash at any point leaves either no
-    /// file or the previous complete file — never a torn one.
+    /// file or the previous complete file — never a torn one. Transient
+    /// storage errors get a bounded number of fresh attempts; each failed
+    /// attempt removes its temp file first, so no half-written temp can
+    /// ever be renamed into place.
     fn write_atomic(&self, name: &str, bytes: &[u8]) -> Result<PathBuf, BenchError> {
         let path = self.dir.join(name);
         let tmp = self.dir.join(format!(".{name}.tmp"));
-        let result = (|| {
-            let mut f = std::fs::File::create(&tmp)?;
-            f.write_all(bytes)?;
-            f.sync_data()?;
-            std::fs::rename(&tmp, &path)
-        })();
-        if result.is_err() {
-            let _ = std::fs::remove_file(&tmp);
+        let mut last_err = None;
+        for _ in 0..WRITE_ATTEMPTS {
+            let result = (|| {
+                let mut f = self.storage.create(&tmp)?;
+                f.write_all(bytes)?;
+                f.sync_data()?;
+                self.storage.rename(&tmp, &path)
+            })();
+            match result {
+                Ok(()) => return Ok(path),
+                Err(e) => {
+                    let _ = self.storage.remove_file(&tmp);
+                    if classify(&e) != FaultClass::Transient {
+                        return Err(BenchError::Io(e));
+                    }
+                    last_err = Some(e);
+                }
+            }
         }
-        result.map_err(BenchError::Io)?;
-        Ok(path)
+        Err(BenchError::Io(last_err.unwrap_or_else(|| {
+            std::io::Error::other("atomic write failed with no recorded error")
+        })))
     }
 
     fn write(&self, name: &str, contents: &str) -> Result<PathBuf, BenchError> {
@@ -295,11 +359,15 @@ fn parse_manifest(text: &str) -> Option<BTreeMap<String, String>> {
 mod tests {
     use super::*;
     use crate::experiments::{fig1112, fig2, fig45, study, ExperimentConfig};
+    use crate::storage::{FaultyStorage, MemStorage, TempDir};
+    use pv_faults::{FaultEvent, FaultKind, FaultPlan};
 
-    fn tmp_dir(tag: &str) -> PathBuf {
-        let dir = std::env::temp_dir().join(format!("pv-export-{tag}-{}", std::process::id()));
-        let _ = std::fs::remove_dir_all(&dir);
-        dir
+    /// Unique per-test export directory inside a [`TempDir`] (cleaned up
+    /// on drop, so a failing test cannot poison a later run).
+    fn tmp_dir(tag: &str) -> (TempDir, PathBuf) {
+        let tmp = TempDir::new("export");
+        let dir = tmp.file(tag);
+        (tmp, dir)
     }
 
     fn quick() -> ExperimentConfig {
@@ -312,7 +380,7 @@ mod tests {
 
     #[test]
     fn exports_timelines_with_phase_header() {
-        let dir = tmp_dir("fig45");
+        let (_tmp, dir) = tmp_dir("fig45");
         let exporter = FigureExporter::new(&dir).unwrap();
         let fig = fig45::run(&quick()).unwrap();
         let paths = exporter.export_fig45(&fig).unwrap();
@@ -323,12 +391,11 @@ mod tests {
         // One data row per trace sample.
         let data_rows = fig4.lines().filter(|l| !l.starts_with('#')).count();
         assert_eq!(data_rows, fig.unconstrained.trace.len());
-        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]
     fn exports_fig2_per_device() {
-        let dir = tmp_dir("fig2");
+        let (_tmp, dir) = tmp_dir("fig2");
         let exporter = FigureExporter::new(&dir).unwrap();
         let fig = fig2::run(&quick()).unwrap();
         let paths = exporter.export_fig2(&fig).unwrap();
@@ -340,12 +407,11 @@ mod tests {
             let first = text.lines().nth(1).unwrap();
             assert!(first.contains("1.0000"));
         }
-        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]
     fn exports_distributions_and_study() {
-        let dir = tmp_dir("dist");
+        let (_tmp, dir) = tmp_dir("dist");
         let exporter = FigureExporter::new(&dir).unwrap();
 
         let fig = fig1112::run(&quick()).unwrap();
@@ -359,25 +425,22 @@ mod tests {
         let text = std::fs::read_to_string(&path).unwrap();
         assert_eq!(text.lines().filter(|l| !l.starts_with('#')).count(), 4);
         assert!(text.contains("bin-0"));
-        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]
     fn rejects_export_path_that_is_a_file() {
-        let dir = tmp_dir("notadir");
-        std::fs::create_dir_all(&dir).unwrap();
-        let file = dir.join("occupied");
+        let (tmp, _) = tmp_dir("notadir");
+        let file = tmp.file("occupied");
         std::fs::write(&file, "data").unwrap();
         let err = FigureExporter::new(&file).unwrap_err();
         assert!(format!("{err}").contains("not a directory"), "{err}");
         // The file must be left untouched.
         assert_eq!(std::fs::read_to_string(&file).unwrap(), "data");
-        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]
     fn manifest_tracks_checksums_and_verify_passes() {
-        let dir = tmp_dir("manifest");
+        let (_tmp, dir) = tmp_dir("manifest");
         let exporter = FigureExporter::new(&dir).unwrap();
         let s = study::plans::nexus5(&quick()).unwrap();
         exporter.export_study("fig6", &s).unwrap();
@@ -394,31 +457,83 @@ mod tests {
         let reopened = FigureExporter::new(&dir).unwrap();
         reopened.export_study("fig8", &s).unwrap();
         assert_eq!(FigureExporter::verify(&dir).unwrap(), 3);
-        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]
-    fn verify_flags_tampered_file() {
-        let dir = tmp_dir("tamper");
+    fn verify_flags_tampered_file_with_path_and_both_checksums() {
+        let (_tmp, dir) = tmp_dir("tamper");
         let exporter = FigureExporter::new(&dir).unwrap();
         let s = study::plans::nexus5(&quick()).unwrap();
         let path = exporter.export_study("fig6", &s).unwrap();
         std::fs::write(&path, "truncated garbage").unwrap();
         let err = FigureExporter::verify(&dir).unwrap_err();
-        assert!(format!("{err}").contains("checksum"), "{err}");
-        std::fs::remove_dir_all(&dir).unwrap();
+        let text = format!("{err}");
+        assert!(text.contains("checksum"), "{err}");
+        // The error names the offending file's full path and quotes both
+        // the manifest's expectation and the computed reality.
+        assert!(text.contains(&path.display().to_string()), "{err}");
+        let actual = format!("{:016x}", fnv64(b"truncated garbage"));
+        assert!(text.contains(&actual), "{err}");
+        assert!(text.contains("expected"), "{err}");
     }
 
     #[test]
     fn verify_reports_missing_or_corrupt_manifest() {
-        let dir = tmp_dir("nomanifest");
-        std::fs::create_dir_all(&dir).unwrap();
-        assert!(FigureExporter::verify(&dir).is_err());
+        let (tmp, _) = tmp_dir("nomanifest");
+        let dir = tmp.path();
+        assert!(FigureExporter::verify(dir).is_err());
         std::fs::write(dir.join(MANIFEST_NAME), "not json at all").unwrap();
-        let err = FigureExporter::verify(&dir).unwrap_err();
+        let err = FigureExporter::verify(dir).unwrap_err();
         assert!(format!("{err}").contains("corrupt"), "{err}");
         // A corrupt manifest also blocks opening an exporter over it.
-        assert!(FigureExporter::new(&dir).is_err());
-        std::fs::remove_dir_all(&dir).unwrap();
+        assert!(FigureExporter::new(dir).is_err());
+    }
+
+    #[test]
+    fn transient_storage_faults_are_retried_through_atomic_writes() {
+        let mem = MemStorage::new();
+        // Two transient-EIO windows biting separate write attempts; each
+        // failed attempt cleans its temp file and tries again.
+        let plan = FaultPlan::empty()
+            .with_event(FaultEvent {
+                at: 2.0,
+                duration: 1.0,
+                kind: FaultKind::StorageEioTransient,
+                magnitude: 0.0,
+            })
+            .with_event(FaultEvent {
+                at: 5.0,
+                duration: 1.0,
+                kind: FaultKind::StorageShortWrite,
+                magnitude: 0.0,
+            });
+        let faulty = FaultyStorage::new(Storage::new(std::sync::Arc::new(mem.clone())), &plan);
+        let storage = Storage::new(std::sync::Arc::new(faulty));
+        let dir = PathBuf::from("figs");
+        let exporter = FigureExporter::new_with(storage.clone(), &dir).unwrap();
+        let path = exporter.write("a.dat", "# data\n1 2 3\n").unwrap();
+        assert_eq!(storage.read(&path).unwrap(), b"# data\n1 2 3\n");
+        // Manifest landed and verifies despite the injected faults, and no
+        // temp file survived the retries.
+        assert_eq!(FigureExporter::verify_with(&storage, &dir).unwrap(), 1);
+        assert!(!storage.exists(&dir.join(".a.dat.tmp")));
+    }
+
+    #[test]
+    fn persistent_storage_faults_surface_and_leave_no_temp() {
+        let plan = FaultPlan::empty().with_event(FaultEvent {
+            at: 1.0,
+            duration: 1.0,
+            kind: FaultKind::StorageEioPersistent,
+            magnitude: 0.0,
+        });
+        let faulty =
+            FaultyStorage::new(Storage::new(std::sync::Arc::new(MemStorage::new())), &plan);
+        let storage = Storage::new(std::sync::Arc::new(faulty));
+        let dir = PathBuf::from("figs");
+        let exporter = FigureExporter::new_with(storage.clone(), &dir).unwrap();
+        let err = exporter.write("a.dat", "data").unwrap_err();
+        assert!(format!("{err}").contains("persistent"), "{err}");
+        assert!(!storage.exists(&dir.join("a.dat")));
     }
 }

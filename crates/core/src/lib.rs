@@ -54,6 +54,7 @@ pub mod journal;
 pub mod protocol;
 pub mod report;
 pub mod session;
+pub mod storage;
 pub mod supervise;
 
 use core::fmt;

@@ -66,6 +66,30 @@ pub enum FaultKind {
     /// protocol makes no progress until the window ends (or a watchdog
     /// budget expires). Injected to exercise `TimedOut` supervision.
     SessionStall,
+    /// Storage: writes fail with `ENOSPC` (disk full) inside the window.
+    /// Shrinking truncates and fsyncs still succeed, so a journal can seal
+    /// its prefix and degrade gracefully.
+    StorageEnospc,
+    /// Storage: operations fail with a *transient* `EIO` inside the
+    /// window — a retry after the window clears succeeds.
+    StorageEioTransient,
+    /// Storage: operations fail with a *persistent* `EIO` from the window
+    /// start onward, forever — the medium is gone. Retries never help;
+    /// only rotation to a fresh segment (a different "disk region") or
+    /// degradation can.
+    StorageEioPersistent,
+    /// Storage: a write persists only a prefix of its buffer, then errors.
+    /// Transient — but retrying blindly would duplicate the prefix, so the
+    /// writer must repair its tail first.
+    StorageShortWrite,
+    /// Storage: `fsync` reports success without making anything durable.
+    /// Invisible until a crash; the torture harness pairs it with a
+    /// simulated power cycle.
+    StorageFsyncLie,
+    /// Storage: the unsynced tail written before a crash lands torn and
+    /// bit-corrupted. Injected at *crash* time (see the crash-simulating
+    /// in-memory backend), not on the live I/O path.
+    StorageTornWrite,
 }
 
 /// The *instrument* fault kinds, in a stable order (used by plan
@@ -92,6 +116,21 @@ pub const ALL_KINDS: [FaultKind; 10] = [
 /// a caller asks for them by name.
 pub const SESSION_KINDS: [FaultKind; 2] = [FaultKind::SessionPanic, FaultKind::SessionStall];
 
+/// The storage fault kinds, in a stable order. These bite the durability
+/// layer (journal, exporter) rather than an instrument or the session
+/// task, and their events run on an *operation-index* clock: `at` is the
+/// ordinal of the first affected storage operation and `duration` a count
+/// of operations, not seconds. Like [`SESSION_KINDS`] they are excluded
+/// from [`FaultPlan::generate`] unless asked for by name.
+pub const STORAGE_KINDS: [FaultKind; 6] = [
+    FaultKind::StorageEnospc,
+    FaultKind::StorageEioTransient,
+    FaultKind::StorageEioPersistent,
+    FaultKind::StorageShortWrite,
+    FaultKind::StorageFsyncLie,
+    FaultKind::StorageTornWrite,
+];
+
 impl FaultKind {
     /// Stable kebab-case name used in TOML plans and JSON exports.
     pub fn as_str(self) -> &'static str {
@@ -108,6 +147,12 @@ impl FaultKind {
             FaultKind::HotplugFlap => "hotplug-flap",
             FaultKind::SessionPanic => "session-panic",
             FaultKind::SessionStall => "session-stall",
+            FaultKind::StorageEnospc => "storage-enospc",
+            FaultKind::StorageEioTransient => "storage-eio-transient",
+            FaultKind::StorageEioPersistent => "storage-eio-persistent",
+            FaultKind::StorageShortWrite => "storage-short-write",
+            FaultKind::StorageFsyncLie => "storage-fsync-lie",
+            FaultKind::StorageTornWrite => "storage-torn-write",
         }
     }
 
@@ -116,8 +161,14 @@ impl FaultKind {
         ALL_KINDS
             .iter()
             .chain(SESSION_KINDS.iter())
+            .chain(STORAGE_KINDS.iter())
             .copied()
             .find(|k| k.as_str() == s)
+    }
+
+    /// Whether this kind targets the storage layer (see [`STORAGE_KINDS`]).
+    pub fn is_storage(self) -> bool {
+        STORAGE_KINDS.contains(&self)
     }
 }
 
@@ -534,7 +585,12 @@ mod tests {
 
     #[test]
     fn kind_names_round_trip() {
-        for kind in ALL_KINDS.iter().chain(SESSION_KINDS.iter()).copied() {
+        for kind in ALL_KINDS
+            .iter()
+            .chain(SESSION_KINDS.iter())
+            .chain(STORAGE_KINDS.iter())
+            .copied()
+        {
             assert_eq!(FaultKind::parse(kind.as_str()), Some(kind));
         }
         assert_eq!(FaultKind::parse("nope"), None);
@@ -544,6 +600,17 @@ mod tests {
     fn session_kinds_stay_out_of_the_instrument_list() {
         for kind in SESSION_KINDS {
             assert!(!ALL_KINDS.contains(&kind));
+        }
+    }
+
+    #[test]
+    fn storage_kinds_stay_out_of_the_instrument_list() {
+        for kind in STORAGE_KINDS {
+            assert!(!ALL_KINDS.contains(&kind));
+            assert!(kind.is_storage());
+        }
+        for kind in ALL_KINDS.iter().chain(SESSION_KINDS.iter()) {
+            assert!(!kind.is_storage());
         }
     }
 
