@@ -1,37 +1,57 @@
 //! Per-device step throughput: Euler / RK4 reference vs the exponential
 //! fast path.
 //!
-//! Three measurements per integrator, written to `BENCH_step.json` for
-//! CI's perf gate:
+//! Three measurements per integrator, written to `BENCH_step.json` in
+//! the `pv-bench-report/v1` schema for `benchdiff`'s regression gate:
 //!
 //! * **thermal step-rate** — `ThermalNetwork::step` throughput on the
-//!   catalog Pixel RC topology at the protocol's busy cadence. This is
-//!   the number the ≥ 5× gate reads: the exponential propagator replaces
-//!   RK4's four derivative sweeps with one dense mat-vec pair;
-//! * a **raw device-step loop** on one Pixel (`ns/step`, `steps/s`),
-//!   with a counting global allocator snapshotted around the measured
-//!   region — steady-state stepping must make **zero** heap allocations
-//!   once caches are warm, and the bench aborts if the fast path does;
-//! * **aggregated full sessions** at *default protocol settings*
-//!   (3 min warmup, cooldown, 5 min workload) through the real harness.
-//!   A single session is ~2 ms of wall-clock, so many repeats are summed
-//!   to get a measurable number. The session ratio is reported honestly:
-//!   probe sampling, battery accounting and throttle bookkeeping are
-//!   integrator-independent, so the end-to-end ratio is smaller than the
-//!   thermal step-rate ratio (Amdahl; see DESIGN.md §11).
+//!   catalog Pixel RC topology at the protocol's busy cadence. The
+//!   derived `thermal_speedup_exp_vs_rk4` metric is the one the ≥ 5×
+//!   floor reads: the exponential propagator replaces RK4's four
+//!   derivative sweeps with one dense mat-vec pair;
+//! * a **raw device-step loop** on one Pixel (`ns/step`), with a
+//!   counting global allocator snapshotted around the measured region —
+//!   steady-state stepping must make **zero** heap allocations once
+//!   caches are warm, recorded as the `steady_state_allocs_zero` check;
+//! * **full sessions** at *default protocol settings* (3 min warmup,
+//!   cooldown, 5 min workload) through the real harness, one timed
+//!   sample per session. The session ratio is reported honestly: probe
+//!   sampling, battery accounting and throttle bookkeeping are
+//!   integrator-independent, so the end-to-end ratio is smaller than
+//!   the thermal step-rate ratio (Amdahl; see DESIGN.md §11).
+//!
+//! Sampling discipline (DESIGN.md §14): iteration counts are **pinned**
+//! (`--steps` per sample; one session per sample), each loop takes
+//! `--samples` timed samples on clean state (fresh device per sample
+//! for the raw loop), and every metric carries robust p50/p90/MAD
+//! statistics with a `noisy` relative-spread guardrail — min-of-N
+//! best-case numbers are gone.
+//!
+//! Samples are collected in **interleaved rounds** (round *i* times
+//! euler, then rk4, then exponential) rather than one contiguous block
+//! per integrator. A multi-second host slowdown therefore lands on all
+//! integrators instead of silently biasing whichever one owned that
+//! window, and each integrator's samples span the whole run so the
+//! reported spread honestly includes host drift. Speedup ratios are
+//! computed **per round** (rk4ᵢ/expᵢ) and summarised with the same
+//! robust statistics: common-mode drift cancels in the per-round
+//! quotient, giving ratios a real spread estimate instead of a
+//! propagated guess.
 //!
 //! ```text
 //! cargo bench -p pv-bench --bench step -- --steps 200000
 //! ```
 //!
-//! Flags: `--steps N` (raw/thermal loop length, default 200000),
-//! `--sessions N` (session repeats, default 60), `--out PATH` (default
+//! Flags: `--steps N` (pinned iterations per raw/thermal sample,
+//! default 200000), `--samples N` (timed samples per loop, default 10),
+//! `--sessions N` (session samples, default 60), `--out PATH` (default
 //! `BENCH_step.json`), `--test` (libtest smoke mode: short loops so
 //! `cargo bench -- --test` stays fast).
 
 use accubench::harness::{Ambient, Harness};
 use accubench::protocol::Protocol;
-use pv_json::Json;
+use pv_bench::report::{BenchReport, Check, Metric};
+use pv_bench::stats::{robust, RobustStats, DEFAULT_NOISE_THRESHOLD};
 use pv_soc::catalog;
 use pv_soc::device::{CpuDemand, Device, FrequencyMode, StepReport};
 use pv_thermal::network::{Integrator, NodeId, ThermalNetwork, ThermalNetworkBuilder};
@@ -68,17 +88,15 @@ unsafe impl GlobalAlloc for CountingAlloc {
 #[global_allocator]
 static GLOBAL: CountingAlloc = CountingAlloc;
 
-fn alloc_snapshot() -> (u64, u64) {
-    (
-        ALLOCS.load(Ordering::Relaxed),
-        ALLOC_BYTES.load(Ordering::Relaxed),
-    )
+fn alloc_count() -> u64 {
+    ALLOCS.load(Ordering::Relaxed)
 }
 
 const INTEGRATORS: [Integrator; 3] = [Integrator::Euler, Integrator::Rk4, Integrator::Exponential];
 
 struct Options {
     steps: usize,
+    samples: usize,
     sessions: usize,
     out: String,
     smoke: bool,
@@ -87,7 +105,7 @@ struct Options {
 fn usage() -> ! {
     eprintln!(
         "usage: cargo bench -p pv-bench --bench step -- \
-         [--steps N] [--sessions N] [--out PATH] [--test]"
+         [--steps N] [--samples N] [--sessions N] [--out PATH] [--test]"
     );
     std::process::exit(2);
 }
@@ -95,6 +113,7 @@ fn usage() -> ! {
 fn parse_args() -> Options {
     let mut opts = Options {
         steps: 200_000,
+        samples: 10,
         sessions: 60,
         out: "BENCH_step.json".to_owned(),
         smoke: false,
@@ -106,6 +125,14 @@ fn parse_args() -> Options {
             "--steps" => {
                 i += 1;
                 opts.steps = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| usage());
+            }
+            "--samples" => {
+                i += 1;
+                opts.samples = args
                     .get(i)
                     .and_then(|v| v.parse().ok())
                     .filter(|&n| n > 0)
@@ -137,7 +164,8 @@ fn parse_args() -> Options {
     }
     if opts.smoke {
         opts.steps = opts.steps.min(2_000);
-        opts.sessions = opts.sessions.min(2);
+        opts.samples = opts.samples.min(3);
+        opts.sessions = opts.sessions.min(4);
     }
     opts
 }
@@ -169,220 +197,229 @@ fn pixel_network(integrator: Integrator) -> (ThermalNetwork, NodeId) {
     (network, die)
 }
 
-struct LoopRun {
-    integrator: Integrator,
-    ns_per_step: f64,
-    steps_per_sec: f64,
+/// One interleaved measurement: per-integrator sample vectors (in
+/// [`INTEGRATORS`] order, round-major — `samples[k][i]` is integrator
+/// `k`'s round-`i` sample) plus the allocations seen inside the timed
+/// regions.
+struct InterleavedRun {
+    samples: [Vec<f64>; 3],
     allocs: u64,
-    alloc_bytes: u64,
 }
-
-fn loop_json(r: &LoopRun) -> Json {
-    let mut o = Json::object();
-    o.insert("integrator", Json::String(r.integrator.as_str().to_owned()));
-    o.insert("ns_per_step", Json::Number(r.ns_per_step));
-    o.insert("steps_per_sec", Json::Number(r.steps_per_sec));
-    o.insert("allocs", Json::Number(r.allocs as f64));
-    o.insert("alloc_bytes", Json::Number(r.alloc_bytes as f64));
-    o
-}
-
-/// How many times each timed loop repeats. The fastest trial is kept:
-/// minimum-of-N is the standard noise-robust throughput estimator on a
-/// shared host, where a single trial can be slowed 2× by neighbours.
-const TRIALS: usize = 5;
 
 /// Thermal step-rate: `ThermalNetwork::step` alone on the Pixel topology
-/// at the busy cadence, heat held constant. This is the metric the ≥ 5×
-/// CI gate reads.
-fn thermal_loop(integrator: Integrator, steps: usize) -> LoopRun {
-    let (mut network, die) = pixel_network(integrator);
+/// at the busy cadence, heat held constant. One persistent network per
+/// integrator, each warmed 500 steps to settle the propagator cache;
+/// every round then times `steps` pinned iterations on each network in
+/// turn.
+fn thermal_interleaved(steps: usize, samples: usize) -> InterleavedRun {
     let dt = Seconds(0.1);
-    let heat = [(die, Watts(2.5))];
-    for _ in 0..500 {
-        network.step(dt, &heat).unwrap();
-    }
-    let before = alloc_snapshot();
-    let mut best = f64::INFINITY;
-    for _ in 0..TRIALS {
-        let start = Instant::now();
-        for _ in 0..steps {
+    let mut networks: Vec<(ThermalNetwork, NodeId)> =
+        INTEGRATORS.iter().map(|&i| pixel_network(i)).collect();
+    for (network, die) in &mut networks {
+        let heat = [(*die, Watts(2.5))];
+        for _ in 0..500 {
             network.step(dt, &heat).unwrap();
         }
-        best = best.min(start.elapsed().as_secs_f64());
     }
-    let after = alloc_snapshot();
-    std::hint::black_box(network.temperature(die));
-    LoopRun {
-        integrator,
-        ns_per_step: best * 1e9 / steps as f64,
-        steps_per_sec: steps as f64 / best,
-        allocs: after.0 - before.0,
-        alloc_bytes: after.1 - before.1,
+    // Reserve sample storage BEFORE the allocator snapshot — the vectors
+    // themselves must not count against the zero-alloc budget.
+    let mut out: [Vec<f64>; 3] = std::array::from_fn(|_| Vec::with_capacity(samples));
+    let before = alloc_count();
+    for _ in 0..samples {
+        for (k, (network, die)) in networks.iter_mut().enumerate() {
+            let heat = [(*die, Watts(2.5))];
+            let start = Instant::now();
+            for _ in 0..steps {
+                network.step(dt, &heat).unwrap();
+            }
+            out[k].push(start.elapsed().as_secs_f64() * 1e9 / steps as f64);
+        }
+    }
+    let allocs = alloc_count() - before;
+    for (network, die) in &networks {
+        std::hint::black_box(network.temperature(*die));
+    }
+    InterleavedRun {
+        samples: out,
+        allocs,
     }
 }
 
-/// Busy-steps one device `steps` times at the protocol's busy cadence,
-/// after a warmup that settles the propagator/OPP/power caches. The
-/// allocator is snapshotted only around the measured region.
-fn raw_loop(integrator: Integrator, steps: usize) -> LoopRun {
+/// Busy-steps one device `steps` times per sample at the protocol's busy
+/// cadence. Clean state per sample: a fresh device (so the battery never
+/// drains across samples) warmed 500 steps to settle the
+/// propagator/OPP/power caches; the allocator is read only around the
+/// timed loop. Each round times all three integrators back to back.
+fn raw_interleaved(steps: usize, samples: usize) -> InterleavedRun {
     let dt = Seconds(0.1);
     let demand = CpuDemand::busy();
     let mode = FrequencyMode::Unconstrained;
-    let mut best = f64::INFINITY;
+    let mut out: [Vec<f64>; 3] = std::array::from_fn(|_| Vec::with_capacity(samples));
     let mut allocs = 0;
-    let mut alloc_bytes = 0;
-    // A fresh device per trial keeps the battery from draining across
-    // trials; the allocator is snapshotted only around the timed loops.
-    for _ in 0..TRIALS {
-        let mut d = device();
-        d.set_integrator(integrator);
-        let mut report = StepReport::empty();
-        for _ in 0..500 {
-            d.step_into(dt, demand, mode, &mut report).unwrap();
+    for _ in 0..samples {
+        for (k, &integrator) in INTEGRATORS.iter().enumerate() {
+            let mut d = device();
+            d.set_integrator(integrator);
+            let mut report = StepReport::empty();
+            for _ in 0..500 {
+                d.step_into(dt, demand, mode, &mut report).unwrap();
+            }
+            let before = alloc_count();
+            let start = Instant::now();
+            for _ in 0..steps {
+                d.step_into(dt, demand, mode, &mut report).unwrap();
+            }
+            out[k].push(start.elapsed().as_secs_f64() * 1e9 / steps as f64);
+            allocs += alloc_count() - before;
         }
-        let before = alloc_snapshot();
-        let start = Instant::now();
-        for _ in 0..steps {
-            d.step_into(dt, demand, mode, &mut report).unwrap();
-        }
-        best = best.min(start.elapsed().as_secs_f64());
-        let after = alloc_snapshot();
-        allocs += after.0 - before.0;
-        alloc_bytes += after.1 - before.1;
     }
-    LoopRun {
-        integrator,
-        ns_per_step: best * 1e9 / steps as f64,
-        steps_per_sec: steps as f64 / best,
+    InterleavedRun {
+        samples: out,
         allocs,
-        alloc_bytes,
     }
 }
 
-/// Sums `repeats` full sessions at **default protocol settings** through
-/// the real harness: the honest end-to-end number. One session is only a
-/// couple of milliseconds of wall-clock, so repeats are aggregated.
-fn session_runs(integrator: Integrator, repeats: usize) -> f64 {
-    let protocol = Protocol::unconstrained().with_integrator(integrator);
-    let mut total = 0.0;
-    for _ in 0..repeats {
-        let mut harness = Harness::new(protocol, Ambient::Fixed(Celsius(26.0))).unwrap();
-        let mut d = device();
-        let start = Instant::now();
-        let session = harness.run_session(&mut d, 1).expect("session");
-        total += start.elapsed().as_secs_f64();
-        assert!(
-            session.performance_summary().is_ok(),
-            "session produced no surviving iterations"
-        );
+/// Runs `samples` full sessions at **default protocol settings** through
+/// the real harness, one timed sample per session: the honest
+/// end-to-end number. Rounds interleave the three integrators.
+fn sessions_interleaved(samples: usize) -> [Vec<f64>; 3] {
+    let mut out: [Vec<f64>; 3] = std::array::from_fn(|_| Vec::with_capacity(samples));
+    for _ in 0..samples {
+        for (k, &integrator) in INTEGRATORS.iter().enumerate() {
+            let protocol = Protocol::unconstrained().with_integrator(integrator);
+            let mut harness = Harness::new(protocol, Ambient::Fixed(Celsius(26.0))).unwrap();
+            let mut d = device();
+            let start = Instant::now();
+            let session = harness.run_session(&mut d, 1).expect("session");
+            out[k].push(start.elapsed().as_secs_f64() * 1e3);
+            assert!(
+                session.performance_summary().is_ok(),
+                "session produced no surviving iterations"
+            );
+        }
     }
-    total
+    out
+}
+
+fn stats_of(samples: &[f64]) -> RobustStats {
+    robust(samples, DEFAULT_NOISE_THRESHOLD).expect("sample count is always >= 1")
+}
+
+/// Index of `which` in [`INTEGRATORS`].
+fn slot(which: Integrator) -> usize {
+    INTEGRATORS.iter().position(|&i| i == which).unwrap()
 }
 
 fn main() {
     let opts = parse_args();
+    let mut report = BenchReport::new("step", opts.samples);
+    let mut steady_allocs = 0u64;
 
-    let mut thermals: Vec<LoopRun> = Vec::new();
-    for integrator in INTEGRATORS {
-        let run = thermal_loop(integrator, opts.steps);
+    let thermal = thermal_interleaved(opts.steps, opts.samples);
+    for (k, integrator) in INTEGRATORS.iter().enumerate() {
+        let stats = stats_of(&thermal.samples[k]);
         eprintln!(
-            "thermal/{:<12} {:9.1} ns/step  {:11.0} steps/s  {} alloc(s), {} B",
+            "thermal/{:<12} {:9.1} ns/step p50  spread {:4.1}%{}",
             integrator.as_str(),
-            run.ns_per_step,
-            run.steps_per_sec,
-            run.allocs,
-            run.alloc_bytes
+            stats.p50,
+            stats.rel_spread * 100.0,
+            if stats.noisy { " NOISY" } else { "" },
         );
-        thermals.push(run);
+        report.metrics.push(Metric::from_stats(
+            format!("thermal_ns_per_step/{}", integrator.as_str()),
+            "ns/step",
+            false,
+            &stats,
+            opts.steps as u64,
+        ));
+    }
+    steady_allocs += thermal.allocs;
+    eprintln!(
+        "thermal loops: {} alloc(s) in timed regions",
+        thermal.allocs
+    );
+
+    let raw = raw_interleaved(opts.steps, opts.samples);
+    for (k, integrator) in INTEGRATORS.iter().enumerate() {
+        let stats = stats_of(&raw.samples[k]);
+        eprintln!(
+            "device/{:<12}  {:9.1} ns/step p50  spread {:4.1}%{}",
+            integrator.as_str(),
+            stats.p50,
+            stats.rel_spread * 100.0,
+            if stats.noisy { " NOISY" } else { "" },
+        );
+        report.metrics.push(Metric::from_stats(
+            format!("device_ns_per_step/{}", integrator.as_str()),
+            "ns/step",
+            false,
+            &stats,
+            opts.steps as u64,
+        ));
+    }
+    steady_allocs += raw.allocs;
+    eprintln!("device loops:  {} alloc(s) in timed regions", raw.allocs);
+
+    let sessions = sessions_interleaved(opts.sessions);
+    for (k, integrator) in INTEGRATORS.iter().enumerate() {
+        let stats = stats_of(&sessions[k]);
+        eprintln!(
+            "session/{:<12} {:8.3} ms p50 over {} session(s)  spread {:4.1}%{}",
+            integrator.as_str(),
+            stats.p50,
+            opts.sessions,
+            stats.rel_spread * 100.0,
+            if stats.noisy { " NOISY" } else { "" },
+        );
+        report.metrics.push(Metric::from_stats(
+            format!("session_ms/{}", integrator.as_str()),
+            "ms",
+            false,
+            &stats,
+            1,
+        ));
     }
 
-    let mut raws: Vec<LoopRun> = Vec::new();
-    for integrator in INTEGRATORS {
-        let run = raw_loop(integrator, opts.steps);
-        eprintln!(
-            "device/{:<12}  {:9.1} ns/step  {:11.0} steps/s  {} alloc(s), {} B",
-            integrator.as_str(),
-            run.ns_per_step,
-            run.steps_per_sec,
-            run.allocs,
-            run.alloc_bytes
-        );
-        raws.push(run);
-    }
-
-    let mut sessions: Vec<(Integrator, f64)> = Vec::new();
-    for integrator in INTEGRATORS {
-        let secs = session_runs(integrator, opts.sessions);
-        eprintln!(
-            "session/{:<12} {secs:8.3} s total over {} run(s)",
-            integrator.as_str(),
-            opts.sessions
-        );
-        sessions.push((integrator, secs));
-    }
-
-    let thermal_of = |which: Integrator| {
-        thermals
-            .iter()
-            .find(|r| r.integrator == which)
-            .unwrap()
-            .steps_per_sec
+    // Per-round speedup ratios (lower-is-better components, so exp-vs-rk4
+    // speedup in round i is rk4ᵢ/expᵢ): common-mode host drift cancels in
+    // each quotient, and the robust summary over the per-round ratios
+    // gives the ratio a real spread/noisy verdict of its own.
+    let mut ratio = |name: &str, num: &[f64], den: &[f64]| {
+        let per_round: Vec<f64> = num.iter().zip(den).map(|(n, d)| n / d).collect();
+        let stats = stats_of(&per_round);
+        report
+            .metrics
+            .push(Metric::from_stats(name, "x", true, &stats, 1));
+        stats.p50
     };
-    let secs_of = |which: Integrator| {
-        sessions
-            .iter()
-            .find(|(i, _)| *i == which)
-            .map(|(_, s)| *s)
-            .unwrap()
-    };
-    let thermal_speedup_vs_rk4 = thermal_of(Integrator::Exponential) / thermal_of(Integrator::Rk4);
-    let thermal_speedup_vs_euler =
-        thermal_of(Integrator::Exponential) / thermal_of(Integrator::Euler);
-    let session_speedup_vs_rk4 = secs_of(Integrator::Rk4) / secs_of(Integrator::Exponential);
-    let session_speedup_vs_euler = secs_of(Integrator::Euler) / secs_of(Integrator::Exponential);
-
-    let mut out = Json::object();
-    out.insert("steps", Json::Number(opts.steps as f64));
-    out.insert("session_repeats", Json::Number(opts.sessions as f64));
-    out.insert(
-        "thermal",
-        Json::Array(thermals.iter().map(loop_json).collect()),
+    let exp_t = &thermal.samples[slot(Integrator::Exponential)];
+    let thermal_speedup_vs_rk4 = ratio(
+        "thermal_speedup_exp_vs_rk4",
+        &thermal.samples[slot(Integrator::Rk4)],
+        exp_t,
     );
-    out.insert("device", Json::Array(raws.iter().map(loop_json).collect()));
-    out.insert(
-        "session",
-        Json::Array(
-            sessions
-                .iter()
-                .map(|(integrator, secs)| {
-                    let mut o = Json::object();
-                    o.insert("integrator", Json::String(integrator.as_str().to_owned()));
-                    o.insert("total_secs", Json::Number(*secs));
-                    o
-                })
-                .collect(),
-        ),
+    let thermal_speedup_vs_euler = ratio(
+        "thermal_speedup_exp_vs_euler",
+        &thermal.samples[slot(Integrator::Euler)],
+        exp_t,
     );
-    out.insert(
-        "thermal_step_rate_speedup_exp_vs_rk4",
-        Json::Number(thermal_speedup_vs_rk4),
-    );
-    out.insert(
-        "thermal_step_rate_speedup_exp_vs_euler",
-        Json::Number(thermal_speedup_vs_euler),
-    );
-    out.insert(
+    let exp_s = &sessions[slot(Integrator::Exponential)];
+    let session_speedup_vs_rk4 = ratio(
         "session_speedup_exp_vs_rk4",
-        Json::Number(session_speedup_vs_rk4),
+        &sessions[slot(Integrator::Rk4)],
+        exp_s,
     );
-    out.insert(
+    let session_speedup_vs_euler = ratio(
         "session_speedup_exp_vs_euler",
-        Json::Number(session_speedup_vs_euler),
+        &sessions[slot(Integrator::Euler)],
+        exp_s,
     );
-    let steady_allocs: u64 = thermals.iter().chain(raws.iter()).map(|r| r.allocs).sum();
-    out.insert("steady_state_allocs", Json::Number(steady_allocs as f64));
-    std::fs::write(&opts.out, out.to_string_pretty() + "\n").expect("write BENCH_step.json");
+
+    report.checks.push(Check {
+        name: "steady_state_allocs_zero".to_owned(),
+        ok: steady_allocs == 0,
+    });
+    report.write(&opts.out).expect("write BENCH_step.json");
 
     println!(
         "step/thermal step-rate: exponential {thermal_speedup_vs_rk4:.2}x vs rk4, \

@@ -1,16 +1,29 @@
 //! Fleet-sweep throughput: serial vs work-stealing parallel executor.
 //!
-//! Runs the same journald-free crowd sweep at several thread counts,
+//! Runs the same journal-free crowd sweep at several thread counts,
 //! checks the merged reports are identical (the executor's determinism
-//! contract), and writes machine-readable scaling numbers to
-//! `BENCH_sweep.json` for CI's perf gate:
+//! contract), and writes a `pv-bench-report/v1` report to
+//! `BENCH_sweep.json` for `benchdiff`'s regression gate:
 //!
 //! ```text
 //! cargo bench -p pv-bench --bench sweep -- --devices 192 --threads-list 1,2,4
 //! ```
 //!
-//! Flags: `--devices N` (fleet size, default 768), `--threads-list a,b,c`
-//! (default 1,2,4 plus the host's available parallelism), `--out PATH`
+//! Sampling discipline (DESIGN.md §14): each thread count is measured
+//! `--samples` times, each sample a complete fleet sweep over a
+//! freshly built fleet and database (the clean-state rule — nothing
+//! warm carries over between configurations), with robust p50/p90/MAD
+//! statistics and a `noisy` relative-spread guardrail instead of a
+//! single unrepeatable number. Samples are taken in **interleaved
+//! rounds** (round *i* sweeps every thread count once) so host drift
+//! lands on every configuration instead of biasing one, and each
+//! `speedup/tN` is computed **per round** (`secs_t1ᵢ / secs_tNᵢ`) —
+//! common-mode drift cancels in the quotient, giving the ratio its own
+//! robust spread and noisy verdict.
+//!
+//! Flags: `--devices N` (fleet size, default 768), `--threads-list
+//! a,b,c` (default 1,2,4 plus the host's available parallelism),
+//! `--samples N` (sweeps per thread count, default 5), `--out PATH`
 //! (default `BENCH_sweep.json`), `--test` (libtest smoke mode: a tiny
 //! fleet, so `cargo bench -- --test` stays fast).
 
@@ -18,8 +31,10 @@ use accubench::crowd::{populate_parallel, CrowdDatabase, SweepConfig};
 use accubench::executor;
 use accubench::journal::CancelToken;
 use accubench::protocol::Protocol;
+use pv_bench::report::{BenchReport, Check, Metric};
+use pv_bench::stats::{robust, DEFAULT_NOISE_THRESHOLD};
 use pv_faults::ALL_KINDS;
-use pv_json::{Json, ToJson};
+use pv_json::ToJson;
 use pv_soc::catalog;
 use pv_soc::device::Device;
 use pv_units::Seconds;
@@ -28,6 +43,7 @@ use std::time::Instant;
 struct Options {
     devices: usize,
     threads_list: Vec<usize>,
+    samples: usize,
     out: String,
     iterations: usize,
 }
@@ -35,7 +51,7 @@ struct Options {
 fn usage() -> ! {
     eprintln!(
         "usage: cargo bench -p pv-bench --bench sweep -- \
-         [--devices N] [--threads-list a,b,c] [--out PATH] [--test]"
+         [--devices N] [--threads-list a,b,c] [--samples N] [--out PATH] [--test]"
     );
     std::process::exit(2);
 }
@@ -44,6 +60,7 @@ fn parse_args() -> Options {
     let mut opts = Options {
         devices: 768,
         threads_list: Vec::new(),
+        samples: 5,
         out: "BENCH_sweep.json".to_owned(),
         iterations: 2,
     };
@@ -73,6 +90,14 @@ fn parse_args() -> Options {
                     .filter(|l| !l.is_empty() && l.iter().all(|&t| t > 0))
                     .unwrap_or_else(|| usage());
             }
+            "--samples" => {
+                i += 1;
+                opts.samples = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| usage());
+            }
             "--out" => {
                 i += 1;
                 opts.out = args.get(i).cloned().unwrap_or_else(|| usage());
@@ -91,6 +116,7 @@ fn parse_args() -> Options {
     }
     if smoke {
         opts.devices = opts.devices.min(16);
+        opts.samples = opts.samples.min(2);
     }
     if opts.threads_list.is_empty() {
         opts.threads_list = vec![1, 2, 4, executor::default_threads()];
@@ -125,73 +151,125 @@ fn main() {
         ALL_KINDS.to_vec(),
     );
 
-    let mut runs: Vec<(usize, f64, String)> = Vec::new(); // (threads, secs, fingerprint)
-    for &threads in &opts.threads_list {
-        let devices = fleet(opts.devices);
-        let mut db = CrowdDatabase::new(5.0).unwrap();
-        let start = Instant::now();
-        let sweep = populate_parallel(
-            &mut db,
-            "Pixel",
-            devices,
-            &cfg,
-            None,
-            &CancelToken::new(),
-            threads,
-        )
-        .expect("sweep failed");
-        let secs = start.elapsed().as_secs_f64();
-        assert!(sweep.complete);
-        runs.push((threads, secs, sweep.report.to_json().to_string_compact()));
+    // Interleaved rounds: round i sweeps every thread count once, so a
+    // slow host window hits all configurations instead of biasing one.
+    let mut runs: Vec<(usize, Vec<f64>)> = opts
+        .threads_list
+        .iter()
+        .map(|&t| (t, Vec::with_capacity(opts.samples)))
+        .collect();
+    let mut reports_identical = true;
+    let mut reference_fingerprint: Option<String> = None;
+    for _ in 0..opts.samples {
+        for (threads, secs_samples) in &mut runs {
+            // Clean state per sample: fresh fleet, fresh database —
+            // iteration count is pinned at exactly one full sweep.
+            let devices = fleet(opts.devices);
+            let mut db = CrowdDatabase::new(5.0).unwrap();
+            let start = Instant::now();
+            let sweep = populate_parallel(
+                &mut db,
+                "Pixel",
+                devices,
+                &cfg,
+                None,
+                &CancelToken::new(),
+                *threads,
+            )
+            .expect("sweep failed");
+            secs_samples.push(start.elapsed().as_secs_f64());
+            assert!(sweep.complete);
+            let fingerprint = sweep.report.to_json().to_string_compact();
+            match &reference_fingerprint {
+                None => reference_fingerprint = Some(fingerprint),
+                Some(reference) => {
+                    if *reference != fingerprint {
+                        reports_identical = false;
+                    }
+                }
+            }
+        }
+    }
+    for (threads, secs_samples) in &runs {
+        let best = secs_samples.iter().cloned().fold(f64::INFINITY, f64::min);
         eprintln!(
-            "threads={threads:>3}  {secs:7.3} s  {:8.1} devices/s",
-            opts.devices as f64 / secs
+            "threads={threads:>3}  best {best:7.3} s over {} sample(s)  {:8.1} devices/s",
+            secs_samples.len(),
+            opts.devices as f64 / best
         );
     }
 
+    let mut report = BenchReport::new("sweep", opts.samples);
+    // Rate stats per thread count: one sample = one full fleet sweep.
+    let rate_stats: Vec<(usize, pv_bench::stats::RobustStats)> = runs
+        .iter()
+        .map(|(threads, secs)| {
+            let rates: Vec<f64> = secs.iter().map(|s| opts.devices as f64 / s).collect();
+            let stats = robust(&rates, DEFAULT_NOISE_THRESHOLD)
+                .expect("at least one sample per thread count");
+            (*threads, stats)
+        })
+        .collect();
+    for (threads, stats) in &rate_stats {
+        report.metrics.push(Metric::from_stats(
+            format!("devices_per_sec/t{threads}"),
+            "devices/s",
+            true,
+            stats,
+            1,
+        ));
+    }
     let serial_secs = runs
         .iter()
-        .find(|(t, _, _)| *t == 1)
-        .map(|(_, s, _)| *s)
+        .find(|(t, _)| *t == 1)
+        .map(|(_, secs)| secs.clone())
         .expect("threads=1 baseline always present");
-    let reports_identical = runs.iter().all(|(_, _, f)| *f == runs[0].2);
+    let serial = rate_stats
+        .iter()
+        .find(|(t, _)| *t == 1)
+        .map(|(_, s)| s.clone())
+        .expect("threads=1 baseline always present");
+    // Per-round speedups: round i's quotient secs_t1ᵢ/secs_tNᵢ cancels
+    // whatever the host was doing during round i.
+    for (threads, secs) in &runs {
+        if *threads == 1 {
+            continue;
+        }
+        let per_round: Vec<f64> = serial_secs
+            .iter()
+            .zip(secs)
+            .map(|(t1, tn)| t1 / tn)
+            .collect();
+        let stats = robust(&per_round, DEFAULT_NOISE_THRESHOLD)
+            .expect("at least one sample per thread count");
+        report.metrics.push(Metric::from_stats(
+            format!("speedup/t{threads}"),
+            "x",
+            true,
+            &stats,
+            1,
+        ));
+    }
+    report.checks.push(Check {
+        name: "reports_identical".to_owned(),
+        ok: reports_identical,
+    });
+    report.write(&opts.out).expect("write BENCH_sweep.json");
 
-    let mut out = Json::object();
-    out.insert("devices", Json::Number(opts.devices as f64));
-    out.insert("iterations", Json::Number(opts.iterations as f64));
-    out.insert(
-        "host_parallelism",
-        Json::Number(executor::default_threads() as f64),
-    );
-    out.insert("reports_identical", Json::Bool(reports_identical));
-    out.insert(
-        "runs",
-        Json::Array(
-            runs.iter()
-                .map(|(threads, secs, _)| {
-                    let mut r = Json::object();
-                    r.insert("threads", Json::Number(*threads as f64));
-                    r.insert("secs", Json::Number(*secs));
-                    r.insert("devices_per_sec", Json::Number(opts.devices as f64 / secs));
-                    r.insert("speedup", Json::Number(serial_secs / secs));
-                    r
-                })
-                .collect(),
-        ),
-    );
-    std::fs::write(&opts.out, out.to_string_pretty() + "\n").expect("write BENCH_sweep.json");
-
-    for (threads, secs, _) in &runs {
+    for (threads, stats) in &rate_stats {
         println!(
-            "sweep/{} devices/threads={threads}: {:.3} s ({:.2}x vs serial)",
+            "sweep/{} devices/threads={threads}: {:.1} devices/s p50 \
+             ({:.2}x vs serial, spread {:.1}%{})",
             opts.devices,
-            secs,
-            serial_secs / secs
+            stats.p50,
+            stats.p50 / serial.p50,
+            stats.rel_spread * 100.0,
+            if stats.noisy { " NOISY" } else { "" }
         );
     }
     println!("wrote {}", opts.out);
     if !reports_identical {
-        eprintln!("FATAL: reports diverged across thread counts");
+        eprintln!("FATAL: reports diverged across thread counts/samples");
         std::process::exit(1);
     }
 }

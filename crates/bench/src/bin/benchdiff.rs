@@ -1,0 +1,158 @@
+//! `benchdiff` — the perf regression gate.
+//!
+//! Compares a fresh `BENCH_*.json` (written by the `sweep`/`step`
+//! benches in the shared `pv-bench-report/v1` schema) against the
+//! committed baseline under `benches/baselines/`, prints a
+//! baseline-vs-current table plus a one-line `trend:` summary, and
+//! exits nonzero on any regression, absolute-floor violation, or failed
+//! invariant check. The comparison rules (tolerance bands, noise-aware
+//! widening, environment-mismatch widening, built-in 2×/5× floors) live
+//! in `pv_bench::diff`; DESIGN.md §14 documents the methodology and
+//! EXPERIMENTS.md the baseline refresh procedure.
+//!
+//! ```text
+//! # gate a fresh run against its committed baseline
+//! benchdiff --baseline benches/baselines/BENCH_sweep.json --current BENCH_sweep.json
+//!
+//! # cheap PR-time schema lint (no comparison)
+//! benchdiff --check-schema benches/baselines/BENCH_sweep.json benches/baselines/BENCH_step.json
+//! ```
+//!
+//! Exit codes: 0 = pass, 1 = regression/floor/check failure,
+//! 2 = usage, unreadable file, or schema violation.
+
+use pv_bench::diff::{diff, DiffConfig};
+use pv_bench::report::BenchReport;
+
+struct Options {
+    baseline: Option<String>,
+    current: Option<String>,
+    check_schema: Vec<String>,
+    cfg: DiffConfig,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  benchdiff --baseline PATH --current PATH \
+         [--tolerance F] [--noise-factor F] [--noisy-band F]\n  \
+         benchdiff --check-schema FILE [FILE...]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_f64(args: &[String], i: usize) -> f64 {
+    args.get(i)
+        .and_then(|v| v.parse::<f64>().ok())
+        .filter(|f| f.is_finite() && *f >= 0.0)
+        .unwrap_or_else(|| usage())
+}
+
+fn parse_args() -> Options {
+    let mut opts = Options {
+        baseline: None,
+        current: None,
+        check_schema: Vec::new(),
+        cfg: DiffConfig::default(),
+    };
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--baseline" => {
+                i += 1;
+                opts.baseline = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
+            }
+            "--current" => {
+                i += 1;
+                opts.current = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
+            }
+            "--tolerance" => {
+                i += 1;
+                opts.cfg.tolerance = parse_f64(&args, i);
+            }
+            "--noise-factor" => {
+                i += 1;
+                opts.cfg.noise_factor = parse_f64(&args, i);
+            }
+            "--noisy-band" => {
+                i += 1;
+                opts.cfg.noisy_band = parse_f64(&args, i);
+            }
+            "--check-schema" => {
+                // Every remaining argument is a file to lint.
+                opts.check_schema.extend(args[i + 1..].iter().cloned());
+                if opts.check_schema.is_empty() {
+                    usage();
+                }
+                i = args.len();
+            }
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+        i += 1;
+    }
+    opts
+}
+
+fn main() {
+    let opts = parse_args();
+
+    if !opts.check_schema.is_empty() {
+        if opts.baseline.is_some() || opts.current.is_some() {
+            usage();
+        }
+        let mut bad = 0;
+        for path in &opts.check_schema {
+            match BenchReport::load(path) {
+                Ok(report) => println!(
+                    "ok: {path} ({} metrics, {} checks, bench `{}`)",
+                    report.metrics.len(),
+                    report.checks.len(),
+                    report.bench
+                ),
+                Err(e) => {
+                    eprintln!("SCHEMA ERROR: {e}");
+                    bad += 1;
+                }
+            }
+        }
+        std::process::exit(if bad == 0 { 0 } else { 2 });
+    }
+
+    let (Some(baseline_path), Some(current_path)) = (&opts.baseline, &opts.current) else {
+        usage();
+    };
+
+    let baseline = match BenchReport::load(baseline_path) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!(
+                "ERROR: cannot load baseline: {e}\n\
+                 hint: commit one with `cp {current_path} {baseline_path}` after a \
+                 trusted run (see EXPERIMENTS.md \"Refreshing baselines\")"
+            );
+            std::process::exit(2);
+        }
+    };
+    let current = match BenchReport::load(current_path) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("ERROR: cannot load current report: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    let result = diff(&baseline, &current, &opts.cfg);
+    print!("{}", result.render_table());
+    println!();
+    println!("{}", result.trend_line());
+    if result.passed() {
+        println!("OK: no regression vs baseline");
+    } else {
+        eprintln!(
+            "FAIL: {} problem(s) — see table above",
+            result.failures.len()
+        );
+        std::process::exit(1);
+    }
+}

@@ -1,9 +1,22 @@
 //! Benchmark harness crate. See benches/ and src/bin/repro.rs.
 //!
 //! The [`timing`] module is a dependency-free stand-in for the subset of
-//! the Criterion API the benches use, so `cargo bench` works offline.
+//! the Criterion API the benches use, so `cargo bench` works offline —
+//! upgraded to a statistics engine: fixed (pinned or once-calibrated)
+//! iteration counts, high sample counts with clean-state hooks, and
+//! robust p50/p90/MAD reporting with a `noisy` relative-spread
+//! guardrail ([`stats`]).
+//!
+//! The perf benches (`sweep`, `step`) write their results in the shared
+//! `pv-bench-report/v1` JSON schema ([`report`]), and the `benchdiff`
+//! binary ([`diff`]) gates fresh reports against the committed baselines
+//! under `benches/baselines/` in CI. DESIGN.md §14 documents the
+//! methodology.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod diff;
+pub mod report;
+pub mod stats;
 pub mod timing;

@@ -1,0 +1,433 @@
+//! Machine-readable benchmark reports: the `pv-bench-report/v1` schema.
+//!
+//! Both perf benches (`sweep` and `step`) emit the same JSON shape so a
+//! single tool — `benchdiff` — can gate any of them against a committed
+//! baseline. A report carries:
+//!
+//! * an **environment fingerprint** (host parallelism, rustc version,
+//!   commit SHA, sample count) so a diff can tell "code got slower"
+//!   apart from "different machine";
+//! * a list of **metrics**, each with a robust point estimate (`value`,
+//!   the p50), spread statistics, the pinned iteration count, and the
+//!   `noisy` guardrail flag from [`crate::stats`];
+//! * a list of boolean **checks** (e.g. the sweep's determinism
+//!   contract) that `benchdiff` fails the build on unconditionally.
+//!
+//! Parsing is strict: [`BenchReport::from_json`] rejects missing or
+//! mistyped fields with a field-path error message, which is what
+//! `benchdiff --check-schema` surfaces as a PR-time lint.
+
+use crate::stats::RobustStats;
+use pv_json::Json;
+use std::path::Path;
+
+/// Schema identifier written into every report.
+pub const SCHEMA: &str = "pv-bench-report/v1";
+
+/// Where the benchmark ran: enough context to judge comparability.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnvFingerprint {
+    /// `std::thread::available_parallelism` on the measuring host.
+    pub host_parallelism: usize,
+    /// `rustc -V` output, or `"unknown"` outside a toolchain.
+    pub rustc_version: String,
+    /// Commit SHA (`GITHUB_SHA` or `git rev-parse HEAD`), or `"unknown"`.
+    pub commit_sha: String,
+    /// Timed samples taken per metric.
+    pub sample_count: usize,
+}
+
+impl EnvFingerprint {
+    /// Captures the current host's fingerprint.
+    pub fn capture(sample_count: usize) -> Self {
+        let rustc_version = std::process::Command::new("rustc")
+            .arg("-V")
+            .output()
+            .ok()
+            .and_then(|o| String::from_utf8(o.stdout).ok())
+            .map(|s| s.trim().to_owned())
+            .filter(|s| !s.is_empty())
+            .unwrap_or_else(|| "unknown".to_owned());
+        let commit_sha = std::env::var("GITHUB_SHA")
+            .ok()
+            .filter(|s| !s.is_empty())
+            .or_else(|| {
+                std::process::Command::new("git")
+                    .args(["rev-parse", "HEAD"])
+                    .output()
+                    .ok()
+                    .filter(|o| o.status.success())
+                    .and_then(|o| String::from_utf8(o.stdout).ok())
+                    .map(|s| s.trim().to_owned())
+                    .filter(|s| !s.is_empty())
+            })
+            .unwrap_or_else(|| "unknown".to_owned());
+        Self {
+            host_parallelism: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            rustc_version,
+            commit_sha,
+            sample_count,
+        }
+    }
+}
+
+/// One gated measurement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Metric {
+    /// Stable name `benchdiff` matches baselines by (e.g. `speedup/t4`).
+    pub name: String,
+    /// Display unit (`devices/s`, `ns/step`, `ms`, `x`, …).
+    pub unit: String,
+    /// Direction: `true` when bigger numbers are better.
+    pub higher_is_better: bool,
+    /// Robust point estimate (p50 of retained samples, or the derived
+    /// scalar for ratio metrics).
+    pub value: f64,
+    /// 90th percentile of retained samples (== `value` for scalars).
+    pub p90: f64,
+    /// Smallest retained sample (== `value` for scalars).
+    pub min: f64,
+    /// Scaled MAD / p50; see [`crate::stats`].
+    pub rel_spread: f64,
+    /// True when `rel_spread` exceeded the bench's guardrail — the
+    /// signal for `benchdiff` to widen its tolerance band.
+    pub noisy: bool,
+    /// Timed samples behind the estimate (0 for derived scalars).
+    pub samples: usize,
+    /// Pinned iterations per sample (1 when a sample is one full run).
+    pub iterations: u64,
+    /// Samples discarded by the IQR fence.
+    pub outliers_rejected: usize,
+}
+
+impl Metric {
+    /// Builds a metric from a robust sample summary.
+    pub fn from_stats(
+        name: impl Into<String>,
+        unit: impl Into<String>,
+        higher_is_better: bool,
+        stats: &RobustStats,
+        iterations: u64,
+    ) -> Self {
+        Self {
+            name: name.into(),
+            unit: unit.into(),
+            higher_is_better,
+            value: stats.p50,
+            p90: stats.p90,
+            min: stats.min,
+            rel_spread: stats.rel_spread,
+            noisy: stats.noisy,
+            samples: stats.retained + stats.outliers_rejected,
+            iterations,
+            outliers_rejected: stats.outliers_rejected,
+        }
+    }
+
+    /// Builds a derived scalar metric (e.g. a speedup ratio). Spread is
+    /// propagated by the caller — pass the worst component's spread so
+    /// the noise-aware widening rule still applies to ratios.
+    pub fn scalar(
+        name: impl Into<String>,
+        unit: impl Into<String>,
+        higher_is_better: bool,
+        value: f64,
+        rel_spread: f64,
+        noisy: bool,
+    ) -> Self {
+        Self {
+            name: name.into(),
+            unit: unit.into(),
+            higher_is_better,
+            value,
+            p90: value,
+            min: value,
+            rel_spread,
+            noisy,
+            samples: 0,
+            iterations: 0,
+            outliers_rejected: 0,
+        }
+    }
+}
+
+/// A pass/fail invariant carried alongside the metrics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Check {
+    /// Stable name (e.g. `reports_identical`).
+    pub name: String,
+    /// Whether the invariant held on this run.
+    pub ok: bool,
+}
+
+/// A full bench run: fingerprint + metrics + checks.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchReport {
+    /// Which bench produced this (`sweep`, `step`).
+    pub bench: String,
+    /// Where and how it ran.
+    pub env: EnvFingerprint,
+    /// Gated measurements.
+    pub metrics: Vec<Metric>,
+    /// Hard invariants.
+    pub checks: Vec<Check>,
+}
+
+impl BenchReport {
+    /// Creates an empty report for `bench` with a captured fingerprint.
+    pub fn new(bench: impl Into<String>, sample_count: usize) -> Self {
+        Self {
+            bench: bench.into(),
+            env: EnvFingerprint::capture(sample_count),
+            metrics: Vec::new(),
+            checks: Vec::new(),
+        }
+    }
+
+    /// Looks up a metric by name.
+    pub fn metric(&self, name: &str) -> Option<&Metric> {
+        self.metrics.iter().find(|m| m.name == name)
+    }
+
+    /// Serializes to the `pv-bench-report/v1` JSON shape.
+    pub fn to_json(&self) -> Json {
+        let mut env = Json::object();
+        env.insert(
+            "host_parallelism",
+            Json::Number(self.env.host_parallelism as f64),
+        );
+        env.insert(
+            "rustc_version",
+            Json::String(self.env.rustc_version.clone()),
+        );
+        env.insert("commit_sha", Json::String(self.env.commit_sha.clone()));
+        env.insert("sample_count", Json::Number(self.env.sample_count as f64));
+
+        let metrics = self
+            .metrics
+            .iter()
+            .map(|m| {
+                let mut o = Json::object();
+                o.insert("name", Json::String(m.name.clone()));
+                o.insert("unit", Json::String(m.unit.clone()));
+                o.insert("higher_is_better", Json::Bool(m.higher_is_better));
+                o.insert("value", Json::Number(m.value));
+                o.insert("p90", Json::Number(m.p90));
+                o.insert("min", Json::Number(m.min));
+                o.insert("rel_spread", Json::Number(m.rel_spread));
+                o.insert("noisy", Json::Bool(m.noisy));
+                o.insert("samples", Json::Number(m.samples as f64));
+                o.insert("iterations", Json::Number(m.iterations as f64));
+                o.insert(
+                    "outliers_rejected",
+                    Json::Number(m.outliers_rejected as f64),
+                );
+                o
+            })
+            .collect();
+
+        let checks = self
+            .checks
+            .iter()
+            .map(|c| {
+                let mut o = Json::object();
+                o.insert("name", Json::String(c.name.clone()));
+                o.insert("ok", Json::Bool(c.ok));
+                o
+            })
+            .collect();
+
+        let mut out = Json::object();
+        out.insert("schema", Json::String(SCHEMA.to_owned()));
+        out.insert("bench", Json::String(self.bench.clone()));
+        out.insert("env", env);
+        out.insert("metrics", Json::Array(metrics));
+        out.insert("checks", Json::Array(checks));
+        out
+    }
+
+    /// Strict parse of the `pv-bench-report/v1` shape. Errors name the
+    /// offending field path.
+    pub fn from_json(json: &Json) -> Result<Self, String> {
+        let schema = json
+            .get("schema")
+            .and_then(Json::as_str)
+            .ok_or("missing string field `schema`")?;
+        if schema != SCHEMA {
+            return Err(format!("unsupported schema `{schema}` (want `{SCHEMA}`)"));
+        }
+        let bench = json
+            .get("bench")
+            .and_then(Json::as_str)
+            .ok_or("missing string field `bench`")?
+            .to_owned();
+        let env = json.get("env").ok_or("missing object field `env`")?;
+        let env = EnvFingerprint {
+            host_parallelism: field_usize(env, "env", "host_parallelism")?,
+            rustc_version: field_str(env, "env", "rustc_version")?,
+            commit_sha: field_str(env, "env", "commit_sha")?,
+            sample_count: field_usize(env, "env", "sample_count")?,
+        };
+        let metrics_json = json
+            .get("metrics")
+            .and_then(Json::as_array)
+            .ok_or("missing array field `metrics`")?;
+        let mut metrics = Vec::with_capacity(metrics_json.len());
+        for (i, m) in metrics_json.iter().enumerate() {
+            let at = format!("metrics[{i}]");
+            metrics.push(Metric {
+                name: field_str(m, &at, "name")?,
+                unit: field_str(m, &at, "unit")?,
+                higher_is_better: field_bool(m, &at, "higher_is_better")?,
+                value: field_f64(m, &at, "value")?,
+                p90: field_f64(m, &at, "p90")?,
+                min: field_f64(m, &at, "min")?,
+                rel_spread: field_f64(m, &at, "rel_spread")?,
+                noisy: field_bool(m, &at, "noisy")?,
+                samples: field_usize(m, &at, "samples")?,
+                iterations: field_f64(m, &at, "iterations")? as u64,
+                outliers_rejected: field_usize(m, &at, "outliers_rejected")?,
+            });
+        }
+        let checks_json = json
+            .get("checks")
+            .and_then(Json::as_array)
+            .ok_or("missing array field `checks`")?;
+        let mut checks = Vec::with_capacity(checks_json.len());
+        for (i, c) in checks_json.iter().enumerate() {
+            let at = format!("checks[{i}]");
+            checks.push(Check {
+                name: field_str(c, &at, "name")?,
+                ok: field_bool(c, &at, "ok")?,
+            });
+        }
+        let mut seen = std::collections::HashSet::new();
+        for m in &metrics {
+            if !seen.insert(m.name.as_str()) {
+                return Err(format!("duplicate metric name `{}`", m.name));
+            }
+        }
+        Ok(Self {
+            bench,
+            env,
+            metrics,
+            checks,
+        })
+    }
+
+    /// Writes the report as pretty JSON (with trailing newline).
+    pub fn write(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json().to_string_pretty() + "\n")
+    }
+
+    /// Loads and strictly parses a report file.
+    pub fn load(path: impl AsRef<Path>) -> Result<Self, String> {
+        let path = path.as_ref();
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+        let json = Json::from_str(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+        Self::from_json(&json).map_err(|e| format!("{}: {e}", path.display()))
+    }
+}
+
+fn field_f64(obj: &Json, at: &str, key: &str) -> Result<f64, String> {
+    obj.get(key)
+        .and_then(Json::as_f64)
+        .ok_or_else(|| format!("missing number field `{at}.{key}`"))
+}
+
+fn field_usize(obj: &Json, at: &str, key: &str) -> Result<usize, String> {
+    let v = field_f64(obj, at, key)?;
+    if v < 0.0 || v.fract() != 0.0 {
+        return Err(format!("field `{at}.{key}` must be a non-negative integer"));
+    }
+    Ok(v as usize)
+}
+
+fn field_str(obj: &Json, at: &str, key: &str) -> Result<String, String> {
+    obj.get(key)
+        .and_then(Json::as_str)
+        .map(str::to_owned)
+        .ok_or_else(|| format!("missing string field `{at}.{key}`"))
+}
+
+fn field_bool(obj: &Json, at: &str, key: &str) -> Result<bool, String> {
+    obj.get(key)
+        .and_then(Json::as_bool)
+        .ok_or_else(|| format!("missing bool field `{at}.{key}`"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::{robust, DEFAULT_NOISE_THRESHOLD};
+
+    fn sample_report() -> BenchReport {
+        let stats = robust(&[1.0, 1.1, 0.9, 1.0, 1.05], DEFAULT_NOISE_THRESHOLD).unwrap();
+        let mut r = BenchReport::new("sweep", 5);
+        r.metrics.push(Metric::from_stats(
+            "devices_per_sec/t1",
+            "devices/s",
+            true,
+            &stats,
+            1,
+        ));
+        r.metrics
+            .push(Metric::scalar("speedup/t4", "x", true, 2.4, 0.01, false));
+        r.checks.push(Check {
+            name: "reports_identical".to_owned(),
+            ok: true,
+        });
+        r
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let r = sample_report();
+        let back = BenchReport::from_json(&r.to_json()).unwrap();
+        assert_eq!(r, back);
+    }
+
+    #[test]
+    fn parse_rejects_wrong_schema() {
+        let mut json = sample_report().to_json();
+        if let Json::Object(entries) = &mut json {
+            entries[0].1 = Json::String("something-else/v9".to_owned());
+        }
+        let err = BenchReport::from_json(&json).unwrap_err();
+        assert!(err.contains("unsupported schema"), "{err}");
+    }
+
+    #[test]
+    fn parse_rejects_missing_metric_field() {
+        let text = r#"{
+          "schema": "pv-bench-report/v1",
+          "bench": "sweep",
+          "env": {"host_parallelism": 1, "rustc_version": "x", "commit_sha": "y", "sample_count": 3},
+          "metrics": [{"name": "m", "unit": "x", "higher_is_better": true}],
+          "checks": []
+        }"#;
+        let json = Json::from_str(text).unwrap();
+        let err = BenchReport::from_json(&json).unwrap_err();
+        assert!(err.contains("metrics[0].value"), "{err}");
+    }
+
+    #[test]
+    fn parse_rejects_duplicate_metric_names() {
+        let mut r = sample_report();
+        let dup = r.metrics[0].clone();
+        r.metrics.push(dup);
+        let err = BenchReport::from_json(&r.to_json()).unwrap_err();
+        assert!(err.contains("duplicate metric name"), "{err}");
+    }
+
+    #[test]
+    fn fingerprint_capture_is_populated() {
+        let env = EnvFingerprint::capture(7);
+        assert!(env.host_parallelism >= 1);
+        assert_eq!(env.sample_count, 7);
+        assert!(!env.rustc_version.is_empty());
+        assert!(!env.commit_sha.is_empty());
+    }
+}

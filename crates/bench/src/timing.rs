@@ -1,21 +1,54 @@
-//! A tiny, dependency-free micro-benchmark harness.
+//! A tiny, dependency-free micro-benchmark harness with
+//! statistics-grade sampling discipline.
 //!
 //! Mirrors the slice of the Criterion API the `benches/` files use —
 //! [`Criterion::benchmark_group`], `sample_size`, `bench_function`,
 //! [`Bencher::iter`], and the `criterion_group!`/`criterion_main!`
 //! macros — so the bench sources read identically while building with no
-//! external crates. Each benchmark runs a short warmup, then `sample_size`
-//! timed samples, and prints min/median/mean per-iteration times.
+//! external crates.
 //!
-//! This is a measurement convenience, not a statistics engine: no outlier
-//! rejection, no regression against saved baselines.
+//! Sampling follows the SimpleBench variance findings (SNIPPETS.md;
+//! DESIGN.md §14): **fixed iteration counts × high sample counts**.
+//! Auto-scaled iteration counts were shown to produce 30–105 %
+//! run-to-run variance because the scaler itself is non-deterministic;
+//! here the per-sample iteration count is either pinned explicitly via
+//! [`BenchmarkGroup::iterations`] or calibrated **once** before the
+//! first sample, then held fixed for every sample and recorded in the
+//! result. Each benchmark reports robust statistics (p50/p90/MAD after
+//! IQR outlier rejection, via [`crate::stats`]) and is flagged `noisy`
+//! when its relative spread exceeds the guardrail — never silently
+//! averaged into a stable-looking number.
+//!
+//! A benchmark whose closure never calls [`Bencher::iter`] produces no
+//! samples; it is recorded as *skipped* and reported as such instead of
+//! panicking on an empty sample vector.
 
+use crate::stats::{self, RobustStats, DEFAULT_NOISE_THRESHOLD};
 use std::hint::black_box;
 use std::time::Instant;
 
+/// Outcome of one registered benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Group the benchmark ran in.
+    pub group: String,
+    /// Benchmark name.
+    pub name: String,
+    /// Pinned (or once-calibrated) iterations per sample.
+    pub iterations: u64,
+    /// Timed samples taken (before outlier rejection).
+    pub sample_count: usize,
+    /// Robust summary, or `None` when the closure never called
+    /// [`Bencher::iter`] (the benchmark is *skipped*, not zero).
+    pub stats: Option<RobustStats>,
+}
+
 /// Entry point handed to each registered benchmark function.
 #[derive(Debug, Default)]
-pub struct Criterion {}
+pub struct Criterion {
+    results: Vec<BenchResult>,
+    noise_threshold: Option<f64>,
+}
 
 impl Criterion {
     /// Creates a fresh harness.
@@ -23,27 +56,82 @@ impl Criterion {
         Self::default()
     }
 
+    /// Overrides the relative-spread guardrail (default
+    /// [`DEFAULT_NOISE_THRESHOLD`]).
+    pub fn noise_threshold(&mut self, threshold: f64) -> &mut Self {
+        self.noise_threshold = Some(threshold.max(0.0));
+        self
+    }
+
     /// Starts a named group of related benchmarks.
-    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
         println!("group: {name}");
-        BenchmarkGroup { sample_size: 20 }
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_owned(),
+            sample_size: 20,
+            iterations: None,
+            clean_state: None,
+        }
+    }
+
+    /// All results recorded so far (in registration order).
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+
+    fn threshold(&self) -> f64 {
+        self.noise_threshold.unwrap_or(DEFAULT_NOISE_THRESHOLD)
     }
 }
 
-/// A named collection of benchmarks sharing a sample count.
-#[derive(Debug)]
-pub struct BenchmarkGroup {
+/// A named collection of benchmarks sharing a sampling configuration.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
     sample_size: usize,
+    iterations: Option<u64>,
+    clean_state: Option<Box<dyn FnMut()>>,
 }
 
-impl BenchmarkGroup {
+impl std::fmt::Debug for BenchmarkGroup<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BenchmarkGroup")
+            .field("name", &self.name)
+            .field("sample_size", &self.sample_size)
+            .field("iterations", &self.iterations)
+            .field("clean_state", &self.clean_state.is_some())
+            .finish()
+    }
+}
+
+impl BenchmarkGroup<'_> {
     /// Sets how many timed samples each benchmark takes (default 20).
     pub fn sample_size(&mut self, n: usize) -> &mut Self {
         self.sample_size = n.max(1);
         self
     }
 
-    /// Runs one benchmark: warmup, then `sample_size` timed samples.
+    /// Pins the per-sample iteration count for every benchmark in this
+    /// group. Without this, the count is calibrated once per benchmark
+    /// (before the first timed sample) and then held fixed — it never
+    /// re-scales between samples or runs of the same binary.
+    pub fn iterations(&mut self, n: u64) -> &mut Self {
+        self.iterations = Some(n.max(1));
+        self
+    }
+
+    /// Registers a clean-state hook run before each benchmark in the
+    /// group starts sampling (after calibration). Use it to reset
+    /// caches, drop scratch state, or let the host settle between
+    /// configurations — the other half of the SimpleBench recipe.
+    pub fn clean_state(&mut self, hook: impl FnMut() + 'static) -> &mut Self {
+        self.clean_state = Some(Box::new(hook));
+        self
+    }
+
+    /// Runs one benchmark: optional calibration, clean-state hook, then
+    /// `sample_size` timed samples at a fixed iteration count.
     pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
     where
         F: FnMut(&mut Bencher),
@@ -52,26 +140,61 @@ impl BenchmarkGroup {
             iters_per_sample: 1,
             samples: Vec::new(),
         };
-        // Calibration pass: find an iteration count that makes one sample
-        // take at least ~1 ms, so Instant resolution doesn't dominate.
-        f(&mut bencher);
-        let per_iter = bencher.samples.last().copied().unwrap_or(1e-3);
-        bencher.iters_per_sample = ((1e-3 / per_iter.max(1e-12)).ceil() as u64).clamp(1, 10_000);
+        let iterations = match self.iterations {
+            Some(n) => n,
+            None => {
+                // Calibration pass: find an iteration count that makes
+                // one sample take ≥ ~1 ms so Instant resolution doesn't
+                // dominate. Runs ONCE; the count is then pinned for all
+                // samples and recorded in the result.
+                f(&mut bencher);
+                let per_iter = bencher.samples.last().copied().unwrap_or(1e-3);
+                ((1e-3 / per_iter.max(1e-12)).ceil() as u64).clamp(1, 10_000)
+            }
+        };
+        bencher.iters_per_sample = iterations;
         bencher.samples.clear();
+        if let Some(hook) = self.clean_state.as_mut() {
+            hook();
+        }
         for _ in 0..self.sample_size {
             f(&mut bencher);
         }
-        let mut sorted = bencher.samples.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
-        let min = sorted.first().copied().unwrap_or(0.0);
-        let median = sorted[sorted.len() / 2];
-        let mean = sorted.iter().sum::<f64>() / sorted.len() as f64;
-        println!(
-            "  {name:<32} min {:>12} median {:>12} mean {:>12}",
-            format_time(min),
-            format_time(median),
-            format_time(mean)
-        );
+
+        let threshold = self.criterion.threshold();
+        let stats = stats::robust(&bencher.samples, threshold);
+        match &stats {
+            None => {
+                // The closure never called `b.iter`: no samples exist.
+                // Report a skip instead of indexing an empty vector.
+                println!("  {name:<32} SKIPPED (benchmark closure never called b.iter)");
+            }
+            Some(s) => {
+                println!(
+                    "  {name:<32} p50 {:>11} p90 {:>11} mad {:>11} spread {:>5.1}%{} \
+                     ({} samples x {} iters{})",
+                    format_time(s.p50),
+                    format_time(s.p90),
+                    format_time(s.mad),
+                    s.rel_spread * 100.0,
+                    if s.noisy { " NOISY" } else { "" },
+                    s.retained,
+                    iterations,
+                    if s.outliers_rejected > 0 {
+                        format!(", {} outlier(s) rejected", s.outliers_rejected)
+                    } else {
+                        String::new()
+                    },
+                );
+            }
+        }
+        self.criterion.results.push(BenchResult {
+            group: self.name.clone(),
+            name: name.to_owned(),
+            iterations,
+            sample_count: bencher.samples.len(),
+            stats,
+        });
         self
     }
 
@@ -87,8 +210,8 @@ pub struct Bencher {
 }
 
 impl Bencher {
-    /// Times `iters_per_sample` calls of `f` and records the mean seconds
-    /// per iteration as one sample.
+    /// Times `iters_per_sample` calls of `f` and records the mean
+    /// seconds per iteration as one sample.
     pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
         let start = Instant::now();
         for _ in 0..self.iters_per_sample {
@@ -140,16 +263,69 @@ mod tests {
     fn bench_function_runs_and_reports() {
         let mut c = Criterion::new();
         let mut group = c.benchmark_group("test");
-        let mut runs = 0u64;
         group.sample_size(3).bench_function("counter", |b| {
+            let mut runs = 0u64;
             b.iter(|| {
                 runs += 1;
                 runs
             })
         });
         group.finish();
-        // Calibration pass + 3 samples, each at least one iteration.
-        assert!(runs >= 4);
+        let result = &c.results()[0];
+        assert_eq!(result.sample_count, 3);
+        assert!(result.iterations >= 1);
+        let stats = result.stats.as_ref().unwrap();
+        assert!(stats.p50 >= 0.0);
+    }
+
+    #[test]
+    fn pinned_iterations_skip_calibration_and_are_recorded() {
+        let calls = std::rc::Rc::new(std::cell::Cell::new(0u64));
+        let probe = std::rc::Rc::clone(&calls);
+        let mut c = Criterion::new();
+        let mut group = c.benchmark_group("test");
+        group
+            .sample_size(4)
+            .iterations(7)
+            .bench_function("pinned", move |b| b.iter(|| probe.set(probe.get() + 1)));
+        group.finish();
+        let result = &c.results()[0];
+        assert_eq!(result.iterations, 7);
+        assert_eq!(result.sample_count, 4);
+        // No calibration pass: exactly samples × iterations executions.
+        assert_eq!(calls.get(), 4 * 7);
+    }
+
+    #[test]
+    fn closure_without_iter_is_skipped_not_a_panic() {
+        let mut c = Criterion::new();
+        let mut group = c.benchmark_group("test");
+        // This closure never calls b.iter — the old shim indexed
+        // sorted[len/2] on an empty vector here and panicked.
+        group
+            .sample_size(3)
+            .iterations(1)
+            .bench_function("empty", |_b| {});
+        group.finish();
+        let result = &c.results()[0];
+        assert_eq!(result.sample_count, 0);
+        assert!(result.stats.is_none());
+    }
+
+    #[test]
+    fn clean_state_hook_runs_once_per_benchmark() {
+        let count = std::rc::Rc::new(std::cell::Cell::new(0u32));
+        let probe = std::rc::Rc::clone(&count);
+        let mut c = Criterion::new();
+        let mut group = c.benchmark_group("test");
+        group
+            .sample_size(5)
+            .iterations(1)
+            .clean_state(move || probe.set(probe.get() + 1));
+        group.bench_function("a", |b| b.iter(|| 1u32));
+        group.bench_function("b", |b| b.iter(|| 2u32));
+        group.finish();
+        assert_eq!(count.get(), 2);
     }
 
     #[test]

@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Chaos CLI gate — invoked by the `chaos` job in
+# .github/workflows/ci.yml (extracted from an inline blob so the logic
+# is reviewable, shellcheck-able, and runnable locally:
+# `bash scripts/chaos_gate.sh`).
+#
+# A degraded sweep (injected panics + stalls) must exit 0 with a
+# survivor CI line; the abort policy must journal the hole, then fail.
+set -euo pipefail
+
+cargo build --release -p pv-bench
+
+out=$(./target/release/repro sweep --quick --devices 12 \
+  --chaos-seed 3053 --chaos-panics 2 --chaos-stalls 1 --threads 4)
+echo "$out" | grep "fleet degraded: 3 device(s) quarantined"
+echo "$out" | grep "survivor score:"
+
+# Abort policy must journal the hole, then fail the process.
+if ./target/release/repro sweep --quick --devices 12 \
+  --chaos-seed 3053 --chaos-panics 2 --chaos-stalls 1 \
+  --on-failure abort --threads 4; then
+  echo "FAIL: abort policy exited 0"; exit 1
+fi
+
+echo "OK: chaos CLI gates passed"

@@ -1,0 +1,54 @@
+#!/usr/bin/env bash
+# Durability CLI gate — invoked by the `durability` job in
+# .github/workflows/ci.yml (extracted from an inline blob so the logic
+# is reviewable, shellcheck-able, and runnable locally:
+# `bash scripts/durability_gate.sh`).
+#
+# Exercises the storage-degradation, fsck, abort-escalation, and
+# export-verification paths end-to-end through the repro binary.
+set -euo pipefail
+
+cargo build --release -p pv-bench
+
+workdir=$(mktemp -d)
+trap 'rm -rf "$workdir"' EXIT
+
+# Persistent EIO from storage op 6 on: journaling dies mid-sweep, the
+# sweep must still complete with exit 0 and say so.
+cat > "$workdir/storage-plan.toml" <<'EOF'
+[[event]]
+kind = "storage-eio-persistent"
+at = 6.0
+duration = 1.0
+EOF
+out=$(./target/release/repro sweep --quick --devices 6 --threads 2 \
+  --journal "$workdir/degraded.journal" \
+  --storage-faults "$workdir/storage-plan.toml" 2>&1)
+echo "$out" | grep "storage degraded:"
+echo "$out" | grep "fleet verdict: storage-degraded"
+
+# The surviving journal prefix must be clean and fsck must say so.
+./target/release/repro fsck "$workdir/degraded.journal"
+
+# Same plan under abort escalation must fail the process.
+rm -f "$workdir/abort.journal"
+if ./target/release/repro sweep --quick --devices 6 --threads 2 \
+  --journal "$workdir/abort.journal" \
+  --storage-faults "$workdir/storage-plan.toml" \
+  --storage-escalation abort; then
+  echo "FAIL: abort escalation exited 0"; exit 1
+fi
+
+# Exporter self-check: tamper with an exported file and require
+# `repro verify` to fail naming the file and both checksums.
+./target/release/repro fig2 --quick --export "$workdir/figs" > /dev/null
+./target/release/repro verify "$workdir/figs"
+f=$(ls "$workdir"/figs/*.dat | head -1)
+printf 'tampered\n' >> "$f"
+if ./target/release/repro verify "$workdir/figs"; then
+  echo "FAIL: verify accepted a tampered export"; exit 1
+fi
+./target/release/repro verify "$workdir/figs" 2>&1 \
+  | grep "checksum mismatch" | grep "expected"
+
+echo "OK: durability CLI gates passed"
