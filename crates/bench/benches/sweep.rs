@@ -21,13 +21,21 @@
 //! common-mode drift cancels in the quotient, giving the ratio its own
 //! robust spread and noisy verdict.
 //!
+//! A second section measures **batched lockstep stepping** (DESIGN.md
+//! §15) on a *clean* (fault-free) fleet — the population batching
+//! accelerates; armed fault plans make devices batch-inadmissible, so
+//! they would only measure the scalar fallback. One worker thread, so
+//! the `batch_speedup/bN` ratios isolate the kernel win from pool
+//! scheduling; `benchdiff` holds the `batch_speedup/b8 ≥ 1.0×` floor
+//! on single-core hosts too (`min_host_parallelism: 0`).
+//!
 //! Flags: `--devices N` (fleet size, default 768), `--threads-list
 //! a,b,c` (default 1,2,4 plus the host's available parallelism),
 //! `--samples N` (sweeps per thread count, default 5), `--out PATH`
 //! (default `BENCH_sweep.json`), `--test` (libtest smoke mode: a tiny
 //! fleet, so `cargo bench -- --test` stays fast).
 
-use accubench::crowd::{populate_parallel, CrowdDatabase, SweepConfig};
+use accubench::crowd::{populate_batched, populate_parallel, CrowdDatabase, SweepConfig};
 use accubench::executor;
 use accubench::journal::CancelToken;
 use accubench::protocol::Protocol;
@@ -250,9 +258,119 @@ fn main() {
             1,
         ));
     }
+    // --- Batched lockstep section (clean fleet, one worker) ---
+    //
+    // The faulted config above leaves almost every device inadmissible
+    // for lockstep (its point is uneven per-device cost), so batching is
+    // measured on the clean config it targets, on the exponential
+    // integrator — the only scheme whose propagator can be hoisted into
+    // the shared mat-mat (Euler/RK4 lanes run the per-lane fallback).
+    // Width 1 routes through the same chunked engine as the scalar
+    // per-device path and is the ratio's denominator; per-round
+    // quotients cancel host drift exactly as the thread-speedup ratios
+    // do.
+    const BATCH_WIDTHS: [usize; 3] = [1, 8, 64];
+    let clean_cfg = SweepConfig::clean(
+        protocol.with_integrator(pv_thermal::network::Integrator::Exponential),
+        opts.iterations,
+    );
+    let mut batch_runs: Vec<(usize, Vec<f64>)> = BATCH_WIDTHS
+        .iter()
+        .map(|&b| (b, Vec::with_capacity(opts.samples)))
+        .collect();
+    let mut batch_reports_identical = true;
+    let mut batch_reference: Option<String> = None;
+    for _ in 0..opts.samples {
+        for (batch, secs_samples) in &mut batch_runs {
+            let devices = fleet(opts.devices);
+            let mut db = CrowdDatabase::new(5.0).unwrap();
+            let start = Instant::now();
+            let sweep = populate_batched(
+                &mut db,
+                "Pixel",
+                devices,
+                &clean_cfg,
+                None,
+                &CancelToken::new(),
+                1,
+                *batch,
+            )
+            .expect("batched sweep failed");
+            secs_samples.push(start.elapsed().as_secs_f64());
+            assert!(sweep.complete);
+            let fingerprint = sweep.report.to_json().to_string_compact();
+            match &batch_reference {
+                None => batch_reference = Some(fingerprint),
+                Some(reference) => {
+                    if *reference != fingerprint {
+                        batch_reports_identical = false;
+                    }
+                }
+            }
+        }
+    }
+    let batch_stats: Vec<(usize, pv_bench::stats::RobustStats)> = batch_runs
+        .iter()
+        .map(|(batch, secs)| {
+            let rates: Vec<f64> = secs.iter().map(|s| opts.devices as f64 / s).collect();
+            let stats = robust(&rates, DEFAULT_NOISE_THRESHOLD)
+                .expect("at least one sample per batch width");
+            (*batch, stats)
+        })
+        .collect();
+    for (batch, stats) in &batch_stats {
+        report.metrics.push(Metric::from_stats(
+            format!("devices_per_sec/b{batch}"),
+            "devices/s",
+            true,
+            stats,
+            1,
+        ));
+    }
+    let scalar_secs = batch_runs
+        .iter()
+        .find(|(b, _)| *b == 1)
+        .map(|(_, secs)| secs.clone())
+        .expect("width-1 baseline always present");
+    for (batch, secs) in &batch_runs {
+        if *batch == 1 {
+            continue;
+        }
+        let per_round: Vec<f64> = scalar_secs.iter().zip(secs).map(|(b1, bn)| b1 / bn).collect();
+        let stats = robust(&per_round, DEFAULT_NOISE_THRESHOLD)
+            .expect("at least one sample per batch width");
+        report.metrics.push(Metric::from_stats(
+            format!("batch_speedup/b{batch}"),
+            "x",
+            true,
+            &stats,
+            1,
+        ));
+    }
+    let scalar_rate = batch_stats
+        .iter()
+        .find(|(b, _)| *b == 1)
+        .map(|(_, s)| s.p50)
+        .expect("width-1 baseline always present");
+    for (batch, stats) in &batch_stats {
+        println!(
+            "sweep/clean {} devices/batch={batch}: {:.1} devices/s p50 \
+             ({:.2}x vs scalar, spread {:.1}%{})",
+            opts.devices,
+            stats.p50,
+            stats.p50 / scalar_rate,
+            stats.rel_spread * 100.0,
+            if stats.noisy { " NOISY" } else { "" }
+        );
+    }
+
     report.checks.push(Check {
         name: "reports_identical".to_owned(),
         ok: reports_identical,
+    });
+    report.checks.push(Check {
+        name: "batch_reports_identical".to_owned(),
+        ok: batch_reports_identical,
     });
     report.write(&opts.out).expect("write BENCH_sweep.json");
 
@@ -270,6 +388,10 @@ fn main() {
     println!("wrote {}", opts.out);
     if !reports_identical {
         eprintln!("FATAL: reports diverged across thread counts/samples");
+        std::process::exit(1);
+    }
+    if !batch_reports_identical {
+        eprintln!("FATAL: reports diverged across batch widths/samples");
         std::process::exit(1);
     }
 }

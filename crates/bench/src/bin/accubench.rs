@@ -26,6 +26,9 @@
 //!   --threads <n>               accepted for symmetry with `repro sweep`;
 //!                               a single-device session is one unit of
 //!                               work, so it always runs on one worker
+//!   --batch <n>                 accepted for symmetry with `repro sweep`;
+//!                               a single device is a width-1 batch, so
+//!                               lockstep stepping cannot help here
 //!   --max-task-seconds <w>      arm a wall-clock watchdog: a session that
 //!                               runs longer than w seconds is stopped at
 //!                               the next cooperative checkpoint and
@@ -79,6 +82,7 @@ struct Options {
     journal: Option<String>,
     resume: bool,
     threads: usize,
+    batch: usize,
     max_task_seconds: Option<f64>,
     on_failure: OnFailure,
 }
@@ -97,6 +101,7 @@ fn parse_args() -> Result<Options, String> {
         journal: None,
         resume: false,
         threads: 1,
+        batch: 1,
         max_task_seconds: None,
         // A lone session has no fleet to degrade into, so failures abort
         // (non-zero exit) unless the caller opts into quarantine.
@@ -143,6 +148,11 @@ fn parse_args() -> Result<Options, String> {
                     .parse()
                     .map_err(|_| "--threads must be a positive integer".to_owned())?
             }
+            "--batch" => {
+                opts.batch = value("--batch")?
+                    .parse()
+                    .map_err(|_| "--batch must be a positive integer".to_owned())?
+            }
             "--max-task-seconds" => {
                 let w: f64 = value("--max-task-seconds")?
                     .parse()
@@ -182,6 +192,17 @@ fn parse_args() -> Result<Options, String> {
              --threads {} runs it on one worker (use `repro sweep --threads` \
              to parallelise a fleet)",
             opts.threads
+        );
+    }
+    if opts.batch == 0 {
+        return Err("--batch must be at least 1".to_owned());
+    }
+    if opts.batch > 1 {
+        eprintln!(
+            "note: a single device is a width-1 batch; --batch {} has no \
+             effect here (use `repro sweep --batch` to step a fleet in \
+             lockstep)",
+            opts.batch
         );
     }
     Ok(opts)
@@ -265,7 +286,7 @@ fn main() -> ExitCode {
                  [--iterations N] [--ambient °C] [--scale F] \
                  [--integrator euler|rk4|exponential] [--trace out.csv] \
                  [--faults plan.toml] [--json] [--journal file] [--resume] [--threads N] \
-                 [--max-task-seconds W] [--on-failure abort|quarantine]"
+                 [--batch B] [--max-task-seconds W] [--on-failure abort|quarantine]"
             );
             return ExitCode::FAILURE;
         }

@@ -34,7 +34,7 @@
 //!
 //! ```text
 //! repro sweep [--quick] [--devices N] [--seed S] [--threads T] \
-//!             [--journal run.journal] [--resume] [--json] \
+//!             [--batch B] [--journal run.journal] [--resume] [--json] \
 //!             [--max-task-seconds W] [--on-failure abort|quarantine] \
 //!             [--chaos-seed S] [--chaos-panics N] [--chaos-stalls N] \
 //!             [--storage-faults plan.toml] \
@@ -51,7 +51,12 @@
 //! per-device pseudo-random fault injection to exercise the resilient
 //! path. `--threads` (default: the host's available parallelism) fans
 //! device sessions out across a work-stealing pool; the report, database
-//! and journal stay bit-identical to `--threads 1`.
+//! and journal stay bit-identical to `--threads 1`. `--batch` (default 1)
+//! runs each worker's chunk of clean devices in SIMD-friendly lockstep
+//! through the shared-propagator mat-mat kernel (DESIGN.md §15); faulted,
+//! chaos-struck, traced, and deadline-supervised devices fall back to the
+//! scalar supervised path, so every byte of output stays identical at any
+//! `--batch` × `--threads` combination.
 //!
 //! The sweep runs under the supervision layer (DESIGN.md §12):
 //! `--max-task-seconds` arms a per-session wall-clock watchdog on top of
@@ -80,7 +85,7 @@
 //! against its manifest, naming each mismatched file with both checksums;
 //! exit is non-zero on any mismatch.
 
-use accubench::crowd::{populate_parallel, CrowdDatabase, FleetVerdict, SweepConfig};
+use accubench::crowd::{populate_batched, CrowdDatabase, FleetVerdict, SweepConfig};
 use accubench::executor;
 use accubench::experiments::{self, study, ExperimentConfig};
 use accubench::journal::Journal;
@@ -133,7 +138,7 @@ fn usage() -> ExitCode {
     );
     eprintln!(
         "       repro sweep [--quick] [--json] [--devices N] [--seed S] \
-         [--threads T] [--journal run.journal] [--resume] \
+         [--threads T] [--batch B] [--journal run.journal] [--resume] \
          [--integrator euler|rk4|exponential] \
          [--max-task-seconds W] [--on-failure abort|quarantine] \
          [--chaos-seed S] [--chaos-panics N] [--chaos-stalls N] \
@@ -161,6 +166,7 @@ fn main() -> ExitCode {
     let seed_arg = value_of("--seed");
     let journal_path = value_of("--journal");
     let threads_arg = value_of("--threads");
+    let batch_arg = value_of("--batch");
     let integrator_arg = value_of("--integrator");
     let max_task_seconds_arg = value_of("--max-task-seconds");
     let on_failure_arg = value_of("--on-failure");
@@ -180,6 +186,7 @@ fn main() -> ExitCode {
         "--seed",
         "--journal",
         "--threads",
+        "--batch",
         "--integrator",
         "--max-task-seconds",
         "--on-failure",
@@ -293,6 +300,7 @@ fn main() -> ExitCode {
             devices_arg.as_deref(),
             seed_arg.as_deref(),
             threads_arg.as_deref(),
+            batch_arg.as_deref(),
             journal_path.as_deref(),
             resume,
             json,
@@ -637,6 +645,7 @@ fn run_sweep(
     devices_arg: Option<&str>,
     seed_arg: Option<&str>,
     threads_arg: Option<&str>,
+    batch_arg: Option<&str>,
     journal_path: Option<&str>,
     resume: bool,
     json: bool,
@@ -663,6 +672,13 @@ fn run_sweep(
         Ok(t) if t > 0 => t,
         _ => {
             eprintln!("--threads must be a positive integer");
+            return ExitCode::FAILURE;
+        }
+    };
+    let batch: usize = match batch_arg.map_or(Ok(1), str::parse) {
+        Ok(b) if b > 0 => b,
+        _ => {
+            eprintln!("--batch must be a positive integer");
             return ExitCode::FAILURE;
         }
     };
@@ -748,7 +764,7 @@ fn run_sweep(
         cfg.iterations,
         journal_path.map_or_else(String::new, |p| format!(", journal {p}")),
     );
-    let sweep = match populate_parallel(
+    let sweep = match populate_batched(
         &mut db,
         "Pixel",
         devices,
@@ -756,6 +772,7 @@ fn run_sweep(
         journal.as_mut(),
         &cancel,
         threads,
+        batch,
     ) {
         Ok(s) => s,
         Err(e) => {

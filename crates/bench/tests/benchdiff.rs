@@ -54,6 +54,7 @@ fn sweep_report() -> BenchReport {
             Metric::scalar("devices_per_sec/t1", "devices/s", true, 1000.0, 0.01, false),
             Metric::scalar("devices_per_sec/t4", "devices/s", true, 2600.0, 0.02, false),
             Metric::scalar("speedup/t4", "x", true, 2.6, 0.02, false),
+            Metric::scalar("batch_speedup/b8", "x", true, 1.1, 0.02, false),
         ],
         checks: vec![Check {
             name: "reports_identical".to_owned(),
@@ -151,6 +152,26 @@ fn golden_floor_backstop_fails_even_without_drift() {
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert_eq!(out.status.code(), Some(1), "{stdout}");
     assert!(stdout.contains("FLOOR FAIL"), "{stdout}");
+}
+
+#[test]
+fn golden_batch_floor_backstop_fails_even_without_drift() {
+    let dir = Scratch::new("batchfloor");
+    let baseline = dir.path("baseline.json");
+    let current = dir.path("current.json");
+    // Batched stepping slipping below scalar throughput (0.9×): zero
+    // drift against an equally-bad baseline, yet the ≥1.0× backstop fails
+    // the run — and it applies even on a single-CPU host.
+    let mut report = sweep_report();
+    report.env.host_parallelism = 1;
+    report.metrics[3] = Metric::scalar("batch_speedup/b8", "x", true, 0.9, 0.02, false);
+    report.write(&baseline).unwrap();
+    report.write(&current).unwrap();
+    let out = diff_files(&baseline, &current);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(1), "{stdout}");
+    assert!(stdout.contains("FLOOR FAIL"), "{stdout}");
+    assert!(stdout.contains("batch_speedup/b8"), "{stdout}");
 }
 
 #[test]

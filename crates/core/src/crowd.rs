@@ -317,7 +317,7 @@ impl SweepConfig {
 
     /// Simulated-time horizon fault plans must cover: every requested
     /// iteration at full length, times the retry budget, with slack.
-    fn fault_horizon(&self) -> f64 {
+    pub(crate) fn fault_horizon(&self) -> f64 {
         let per_iteration = self.protocol.warmup.value()
             + self.protocol.cooldown_timeout.value()
             + self.protocol.workload.value();
@@ -330,7 +330,7 @@ impl SweepConfig {
     /// approaches, so arming it by default costs nothing while
     /// guaranteeing that even an infinitely wedged session terminates
     /// deterministically.
-    fn sim_budget(&self) -> f64 {
+    pub(crate) fn sim_budget(&self) -> f64 {
         self.supervision
             .max_sim_seconds
             .unwrap_or_else(|| self.fault_horizon())
@@ -711,32 +711,32 @@ pub fn populate_journaled(
 
 /// Result of simulating one device, before the canonical-order merge step
 /// submits it to the database and journals it.
-struct DeviceRun {
-    outcome: SweepOutcome,
-    score: Option<f64>,
-    rsd: Option<f64>,
+pub(crate) struct DeviceRun {
+    pub(crate) outcome: SweepOutcome,
+    pub(crate) score: Option<f64>,
+    pub(crate) rsd: Option<f64>,
     /// `false` when the outcome was replayed from the journal instead of
     /// being re-simulated (replays are never re-journaled).
-    fresh: bool,
+    pub(crate) fresh: bool,
     /// Per-attempt supervision failures (including failed attempts that a
     /// later retry recovered from), journaled as `Record::Supervision`.
-    failures: Vec<AttemptFailure>,
+    pub(crate) failures: Vec<AttemptFailure>,
 }
 
 /// One failed supervised attempt, recorded for the journal and notes.
-struct AttemptFailure {
-    attempt: u32,
-    status: DeviceStatus,
+pub(crate) struct AttemptFailure {
+    pub(crate) attempt: u32,
+    pub(crate) status: DeviceStatus,
     /// Deterministic one-line description (panic headline or error text).
-    detail: String,
+    pub(crate) detail: String,
     /// Backtrace summary, present only when `RUST_BACKTRACE` enables
     /// capture. Goes into the free-form note, never into digested state.
-    backtrace: Option<String>,
+    pub(crate) backtrace: Option<String>,
 }
 
 /// Builds device `index`'s fault handle: the seeded instrument plan (when
 /// armed) spliced with any session-chaos events targeting this device.
-fn fault_handle_for(cfg: &SweepConfig, index: usize, fleet: usize) -> FaultHandle {
+pub(crate) fn fault_handle_for(cfg: &SweepConfig, index: usize, fleet: usize) -> FaultHandle {
     let mut plan = match cfg.fault_seed {
         Some(seed) => FaultPlan::generate(
             seed.wrapping_add(index as u64),
@@ -822,7 +822,12 @@ fn run_attempt(cfg: &SweepConfig, index: usize, fleet: usize, device: &Device) -
 /// outcome, and escalation beyond quarantine is the *sink's* decision.
 /// The returned outcome's `accepted` flag is a placeholder; the merge
 /// step sets it when it submits the score in canonical device order.
-fn supervise_device(cfg: &SweepConfig, index: usize, fleet: usize, device: &Device) -> DeviceRun {
+pub(crate) fn supervise_device(
+    cfg: &SweepConfig,
+    index: usize,
+    fleet: usize,
+    device: &Device,
+) -> DeviceRun {
     let label = device.label().to_owned();
     let max_attempts = cfg.supervision.max_attempts.max(1);
     let mut failures: Vec<AttemptFailure> = Vec::new();
@@ -832,43 +837,7 @@ fn supervise_device(cfg: &SweepConfig, index: usize, fleet: usize, device: &Devi
         reports = fault_reports;
         match result {
             Attempt::Finished(session) => {
-                let mut score = None;
-                let mut rsd = None;
-                let mut verdict = Some(session.verdict);
-                let mut error = None;
-                if session.verdict != Verdict::Invalid {
-                    match session.performance_summary() {
-                        Ok(perf) => {
-                            score = Some(perf.mean());
-                            rsd = Some(perf.rsd_percent());
-                        }
-                        Err(e) => {
-                            verdict = None;
-                            error = Some(e.to_string());
-                        }
-                    }
-                }
-                let completed = verdict.is_some();
-                return DeviceRun {
-                    outcome: SweepOutcome {
-                        device: label,
-                        verdict,
-                        accepted: false,
-                        quarantined: session.quarantined_count(),
-                        fault_reports: reports,
-                        error,
-                        status: if completed {
-                            DeviceStatus::Completed
-                        } else {
-                            DeviceStatus::Failed
-                        },
-                        attempts: attempt,
-                    },
-                    score,
-                    rsd,
-                    fresh: true,
-                    failures,
-                };
+                return run_from_session(label, session, reports, attempt, failures);
             }
             Attempt::Failed {
                 status,
@@ -902,6 +871,55 @@ fn supervise_device(cfg: &SweepConfig, index: usize, fleet: usize, device: &Devi
         },
         score: None,
         rsd: None,
+        fresh: true,
+        failures,
+    }
+}
+
+/// Folds a finished session into a [`DeviceRun`] — shared by the scalar
+/// supervised path and the batched lockstep driver, so the translation
+/// from session to outcome/score/verdict is one piece of code.
+pub(crate) fn run_from_session(
+    label: String,
+    session: Session,
+    fault_reports: usize,
+    attempts: u32,
+    failures: Vec<AttemptFailure>,
+) -> DeviceRun {
+    let mut score = None;
+    let mut rsd = None;
+    let mut verdict = Some(session.verdict);
+    let mut error = None;
+    if session.verdict != Verdict::Invalid {
+        match session.performance_summary() {
+            Ok(perf) => {
+                score = Some(perf.mean());
+                rsd = Some(perf.rsd_percent());
+            }
+            Err(e) => {
+                verdict = None;
+                error = Some(e.to_string());
+            }
+        }
+    }
+    let completed = verdict.is_some();
+    DeviceRun {
+        outcome: SweepOutcome {
+            device: label,
+            verdict,
+            accepted: false,
+            quarantined: session.quarantined_count(),
+            fault_reports,
+            error,
+            status: if completed {
+                DeviceStatus::Completed
+            } else {
+                DeviceStatus::Failed
+            },
+            attempts,
+        },
+        score,
+        rsd,
         fresh: true,
         failures,
     }
@@ -1000,9 +1018,43 @@ pub fn populate_parallel(
     model: &str,
     devices: Vec<Device>,
     cfg: &SweepConfig,
+    journal: Option<&mut Journal>,
+    cancel: &CancelToken,
+    threads: usize,
+) -> Result<JournaledSweep, BenchError> {
+    populate_batched(db, model, devices, cfg, journal, cancel, threads, 1)
+}
+
+/// [`populate_parallel`] with **batched lockstep stepping**: each worker
+/// task owns a contiguous chunk of up to `batch` devices and steps the
+/// chunk's *batch-admissible* devices (clean fault plan, no chaos, no
+/// tracing, default watchdog budgets — see the `batch` module) in
+/// lockstep through one shared-propagator mat-mat thermal kernel.
+/// Inadmissible or mid-run-evicted devices fall back to the scalar
+/// supervised path inside the same chunk. Reports, crowd databases, and
+/// journal bytes are **bit-identical** to the scalar path at every
+/// `batch` width and thread count; `batch <= 1` *is* the scalar path
+/// (one device per task through the supervised-device engine behind
+/// every pre-batching caller).
+///
+/// `batch` does not enter [`SweepConfig::digest`]: it can never change
+/// simulated outcomes, so a journal written at one width resumes cleanly
+/// at another. Cancellation granularity widens to a chunk — in-flight
+/// chunks finish and journal before the sweep returns incomplete.
+///
+/// # Errors
+///
+/// As [`populate_parallel`].
+#[allow(clippy::too_many_arguments)]
+pub fn populate_batched(
+    db: &mut CrowdDatabase,
+    model: &str,
+    devices: Vec<Device>,
+    cfg: &SweepConfig,
     mut journal: Option<&mut Journal>,
     cancel: &CancelToken,
     threads: usize,
+    batch: usize,
 ) -> Result<JournaledSweep, BenchError> {
     cfg.protocol.validate()?;
     if cfg.iterations == 0 {
@@ -1103,7 +1155,21 @@ pub fn populate_parallel(
     // defense-in-depth against bugs in the supervision machinery itself;
     // it synthesizes a quarantined outcome instead of tearing the sweep
     // down.
+    // Group the tail into contiguous chunks of `batch` devices; chunk `c`
+    // starts at device index `prefix + c·width`, so the sink can recover
+    // every device index from the chunk index alone (needed to synthesize
+    // outcomes when a whole chunk task panics).
+    let width = batch.max(1);
     let tail: Vec<(usize, Device)> = devices.into_iter().enumerate().skip(prefix).collect();
+    let mut chunks: Vec<Vec<(usize, Device)>> = Vec::with_capacity(tail.len().div_ceil(width));
+    let mut feed = tail.into_iter();
+    loop {
+        let chunk: Vec<(usize, Device)> = feed.by_ref().take(width).collect();
+        if chunk.is_empty() {
+            break;
+        }
+        chunks.push(chunk);
+    }
     let restored = &restored;
     // Armed the first time a journal append fails past the journal's own
     // retry/rotation budgets under `StorageEscalation::Degrade`: journaling
@@ -1111,101 +1177,130 @@ pub fn populate_parallel(
     // the verdict downgrades to storage-degraded. The sink runs on the
     // caller thread only, so plain mutable capture is safe.
     let mut storage_degraded: Option<String> = None;
-    let done = executor::map_supervised(
-        tail,
+    // Devices (not chunks) the sink processed past the restored prefix.
+    let mut sunk = 0usize;
+    executor::map_supervised(
+        chunks,
         threads,
         cancel,
-        |_, (index, device)| -> DeviceRun {
-            // A restored outcome beyond the contiguous prefix (possible
-            // only in a hand-assembled journal) is replayed, not re-run.
-            if let Some((outcome, score, rsd)) = restored.get(&index) {
-                return DeviceRun {
-                    outcome: outcome.clone(),
-                    score: *score,
-                    rsd: *rsd,
-                    fresh: false,
-                    failures: Vec::new(),
-                };
+        |_, chunk: Vec<(usize, Device)>| -> Vec<DeviceRun> {
+            if width == 1 {
+                // The scalar reference path: one device per task, exactly
+                // the pre-batching engine.
+                chunk
+                    .into_iter()
+                    .map(|(index, device)| {
+                        // A restored outcome beyond the contiguous prefix
+                        // (possible only in a hand-assembled journal) is
+                        // replayed, not re-run.
+                        if let Some((outcome, score, rsd)) = restored.get(&index) {
+                            return DeviceRun {
+                                outcome: outcome.clone(),
+                                score: *score,
+                                rsd: *rsd,
+                                fresh: false,
+                                failures: Vec::new(),
+                            };
+                        }
+                        supervise_device(cfg, index, total, &device)
+                    })
+                    .collect()
+            } else {
+                crate::batch::supervise_chunk(cfg, total, chunk, restored)
             }
-            supervise_device(cfg, index, total, &device)
         },
-        |tail_index, caught: TaskOutcome<DeviceRun>| -> Result<(), BenchError> {
-            let index = prefix + tail_index;
-            let run = match caught {
-                TaskOutcome::Completed(run) => run,
+        |chunk_index, caught: TaskOutcome<Vec<DeviceRun>>| -> Result<(), BenchError> {
+            let start = prefix + chunk_index * width;
+            let runs: Vec<DeviceRun> = match caught {
+                TaskOutcome::Completed(runs) => runs,
                 TaskOutcome::Panicked(panic) => {
+                    // Defense-in-depth: the supervision machinery itself
+                    // crashed. Every device of the chunk becomes a
+                    // quarantined hole carrying the same headline.
                     let detail = panic.headline();
-                    DeviceRun {
-                        outcome: SweepOutcome {
-                            device: labels[index].clone(),
-                            verdict: None,
-                            accepted: false,
-                            quarantined: 0,
-                            fault_reports: 0,
-                            error: Some(detail.clone()),
-                            status: DeviceStatus::Panicked,
-                            attempts: 1,
-                        },
-                        score: None,
-                        rsd: None,
-                        fresh: true,
-                        failures: vec![AttemptFailure {
-                            attempt: 1,
-                            status: DeviceStatus::Panicked,
-                            detail,
-                            backtrace: panic.backtrace,
-                        }],
-                    }
+                    let chunk_len = labels.len().saturating_sub(start).min(width);
+                    (0..chunk_len)
+                        .map(|k| DeviceRun {
+                            outcome: SweepOutcome {
+                                device: labels[start + k].clone(),
+                                verdict: None,
+                                accepted: false,
+                                quarantined: 0,
+                                fault_reports: 0,
+                                error: Some(detail.clone()),
+                                status: DeviceStatus::Panicked,
+                                attempts: 1,
+                            },
+                            score: None,
+                            rsd: None,
+                            fresh: true,
+                            failures: vec![AttemptFailure {
+                                attempt: 1,
+                                status: DeviceStatus::Panicked,
+                                detail: detail.clone(),
+                                backtrace: panic.backtrace.clone(),
+                            }],
+                        })
+                        .collect()
                 }
             };
-            let mut outcome = run.outcome;
-            if let (Some(score), Some(rsd)) = (run.score, run.rsd) {
-                outcome.accepted = db.submit(CrowdScore {
-                    model: model.to_owned(),
-                    device: outcome.device.clone(),
-                    score,
-                    rsd,
-                });
-            }
-            if run.fresh {
-                if storage_degraded.is_none() {
-                    if let Some(j) = journal.as_deref_mut() {
-                        if let Err(e) =
-                            journal_outcome(j, index, &outcome, run.score, run.rsd, &run.failures)
-                        {
-                            if cfg.storage_escalation == StorageEscalation::Abort {
-                                return Err(e);
+            for (k, run) in runs.into_iter().enumerate() {
+                let index = start + k;
+                let mut outcome = run.outcome;
+                if let (Some(score), Some(rsd)) = (run.score, run.rsd) {
+                    outcome.accepted = db.submit(CrowdScore {
+                        model: model.to_owned(),
+                        device: outcome.device.clone(),
+                        score,
+                        rsd,
+                    });
+                }
+                if run.fresh {
+                    if storage_degraded.is_none() {
+                        if let Some(j) = journal.as_deref_mut() {
+                            if let Err(e) = journal_outcome(
+                                j,
+                                index,
+                                &outcome,
+                                run.score,
+                                run.rsd,
+                                &run.failures,
+                            ) {
+                                if cfg.storage_escalation == StorageEscalation::Abort {
+                                    return Err(e);
+                                }
+                                storage_degraded =
+                                    Some(format!("journaling stopped at device {index}: {e}"));
                             }
-                            storage_degraded =
-                                Some(format!("journaling stopped at device {index}: {e}"));
                         }
                     }
+                } else {
+                    resumed += 1;
                 }
-            } else {
-                resumed += 1;
-            }
-            // Escalation: under `abort`, a supervision hole fails the
-            // whole sweep — but only *after* its outcome is journaled, so
-            // a later `--resume` under `quarantine` can pick up from the
-            // exact device that tripped the policy.
-            let hole = outcome.is_hole();
-            let attempts = outcome.attempts;
-            let detail = outcome.error.clone().unwrap_or_else(|| "unknown".into());
-            let device = outcome.device.clone();
-            outcomes.push(outcome);
-            if hole && cfg.supervision.on_failure == OnFailure::Abort {
-                return Err(SupervisionError::FleetAborted {
-                    device,
-                    attempts,
-                    detail,
+                sunk += 1;
+                // Escalation: under `abort`, a supervision hole fails the
+                // whole sweep — but only *after* its outcome is journaled,
+                // so a later `--resume` under `quarantine` can pick up from
+                // the exact device that tripped the policy.
+                let hole = outcome.is_hole();
+                let attempts = outcome.attempts;
+                let detail = outcome.error.clone().unwrap_or_else(|| "unknown".into());
+                let device = outcome.device.clone();
+                outcomes.push(outcome);
+                if hole && cfg.supervision.on_failure == OnFailure::Abort {
+                    return Err(SupervisionError::FleetAborted {
+                        device,
+                        attempts,
+                        detail,
+                    }
+                    .into());
                 }
-                .into());
             }
             Ok(())
         },
     )?;
 
-    let complete = prefix + done == total;
+    let complete = prefix + sunk == total;
     if complete && !already_complete && storage_degraded.is_none() {
         if let Some(j) = journal {
             if let Err(e) = j.append(&Record::Complete { devices: total }) {

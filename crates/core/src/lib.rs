@@ -45,6 +45,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub(crate) mod batch;
 pub mod crowd;
 pub mod executor;
 pub mod experiments;

@@ -9,8 +9,10 @@
 //! ThreadSanitizer run.
 
 use accubench::crowd::{
-    populate_journaled, populate_parallel, CrowdDatabase, SweepConfig, SweepReport,
+    populate_batched, populate_journaled, populate_parallel, CrowdDatabase, SweepConfig,
+    SweepReport,
 };
+use accubench::supervise::SessionChaos;
 use accubench::journal::{CancelToken, Journal};
 use accubench::protocol::Protocol;
 use pv_faults::ALL_KINDS;
@@ -284,6 +286,171 @@ fn cancelled_parallel_sweep_is_resumable() {
         let _ = std::fs::remove_file(p);
     }
     let _ = std::fs::remove_file(&full_path);
+}
+
+/// A clean sweep (every device batch-admissible) across the full
+/// `--batch` × `--threads` grid — including a width that doesn't divide
+/// the fleet and one larger than it — produces byte-identical report,
+/// database, and journal output.
+#[test]
+fn batched_sweep_bit_identical_across_widths_and_threads() {
+    let cfg = SweepConfig::clean(quick(), 2);
+
+    let serial_path = tmp_path("batch-serial");
+    let _ = std::fs::remove_file(&serial_path);
+    let mut serial_db = db();
+    let mut journal = Journal::open(&serial_path).unwrap();
+    let serial = populate_journaled(
+        &mut serial_db,
+        "Pixel",
+        fleet(DEVICES),
+        &cfg,
+        Some(&mut journal),
+        &CancelToken::new(),
+    )
+    .unwrap();
+    assert!(serial.complete);
+    drop(journal);
+    let serial_bytes = std::fs::read(&serial_path).unwrap();
+    let serial_print = fingerprint(&serial.report, &serial_db);
+
+    for batch in [1usize, 3, 8, 64] {
+        for threads in [1usize, 4] {
+            let path = tmp_path(&format!("batch{batch}t{threads}"));
+            let _ = std::fs::remove_file(&path);
+            let mut bdb = db();
+            let mut journal = Journal::open(&path).unwrap();
+            let batched = populate_batched(
+                &mut bdb,
+                "Pixel",
+                fleet(DEVICES),
+                &cfg,
+                Some(&mut journal),
+                &CancelToken::new(),
+                threads,
+                batch,
+            )
+            .unwrap();
+            assert!(batched.complete, "batch={batch} threads={threads}");
+            drop(journal);
+            assert_eq!(
+                fingerprint(&batched.report, &bdb),
+                serial_print,
+                "batch={batch} threads={threads}: report/database diverged"
+            );
+            assert_eq!(
+                std::fs::read(&path).unwrap(),
+                serial_bytes,
+                "batch={batch} threads={threads}: journal bytes diverged"
+            );
+            let _ = std::fs::remove_file(&path);
+        }
+    }
+    let _ = std::fs::remove_file(&serial_path);
+}
+
+/// Mixed fleets — injected faults quarantining some devices and chaos
+/// panicking another — must resolve identically whether the chunk width
+/// is 1 (pure scalar) or covers several devices (lockstep + scalar
+/// fallback inside one chunk).
+#[test]
+fn batched_faulted_chaos_sweep_matches_scalar() {
+    let cfg = faulty_cfg().with_chaos(SessionChaos::new(3, 1, 0).striking_at(30.0));
+
+    let mut serial_db = db();
+    let serial = populate_parallel(
+        &mut serial_db,
+        "Pixel",
+        fleet(DEVICES),
+        &cfg,
+        None,
+        &CancelToken::new(),
+        1,
+    )
+    .unwrap();
+    let serial_print = fingerprint(&serial.report, &serial_db);
+
+    for batch in [3usize, 8] {
+        for threads in [1usize, 4] {
+            let mut bdb = db();
+            let batched = populate_batched(
+                &mut bdb,
+                "Pixel",
+                fleet(DEVICES),
+                &cfg,
+                None,
+                &CancelToken::new(),
+                threads,
+                batch,
+            )
+            .unwrap();
+            assert_eq!(
+                fingerprint(&batched.report, &bdb),
+                serial_print,
+                "batch={batch} threads={threads}"
+            );
+        }
+    }
+}
+
+/// Batch width is a scheduling knob, not a configuration: a journal
+/// written at one width must resume at any other (the config digest —
+/// still v3 — does not cover it), killing a batched sweep at arbitrary
+/// byte offsets included.
+#[test]
+fn batched_kill_resume_across_widths_is_deterministic() {
+    let cfg = faulty_cfg();
+
+    let full_path = tmp_path("batch-kill-full");
+    let _ = std::fs::remove_file(&full_path);
+    let mut base_db = db();
+    let mut journal = Journal::open(&full_path).unwrap();
+    let baseline = populate_batched(
+        &mut base_db,
+        "Pixel",
+        fleet(DEVICES),
+        &cfg,
+        Some(&mut journal),
+        &CancelToken::new(),
+        1,
+        64,
+    )
+    .unwrap();
+    assert!(baseline.complete);
+    drop(journal);
+    let full_bytes = std::fs::read(&full_path).unwrap();
+
+    let mut rng = StdRng::seed_from_u64(0xBA7C4);
+    let resume_path = tmp_path("batch-kill-resume");
+    for (round, resume_batch) in [1usize, 8, 64, 8].into_iter().enumerate() {
+        let cut = rng.gen_range(1..full_bytes.len());
+        std::fs::write(&resume_path, &full_bytes[..cut]).unwrap();
+
+        let mut rdb = db();
+        let mut journal = Journal::open(&resume_path).unwrap();
+        let resumed = populate_batched(
+            &mut rdb,
+            "Pixel",
+            fleet(DEVICES),
+            &cfg,
+            Some(&mut journal),
+            &CancelToken::new(),
+            4,
+            resume_batch,
+        )
+        .unwrap();
+        assert!(resumed.complete, "round {round} (cut {cut})");
+        assert_eq!(resumed.report, baseline.report, "round {round} (cut {cut})");
+        assert_eq!(rdb.scores(), base_db.scores(), "round {round} (cut {cut})");
+        drop(journal);
+        assert_eq!(
+            std::fs::read(&resume_path).unwrap(),
+            full_bytes,
+            "round {round} (cut {cut}, batch {resume_batch}): journal bytes diverged"
+        );
+    }
+    let _ = std::fs::remove_file(&full_path);
+    let _ = std::fs::remove_file(&resume_path);
 }
 
 /// Small, fast serial-vs-parallel check — the target of CI's 100-iteration

@@ -23,11 +23,17 @@
 use crate::ThermalError;
 use core::fmt;
 use pv_units::{Celsius, Seconds, ThermalCapacitance, ThermalResistance, Watts};
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// Entries kept in the per-step-size propagator cache. Sessions alternate
 /// between a busy and an idle step size (plus occasional tail steps), so a
 /// handful of slots covers every realistic protocol without ever growing.
 const PROPAGATOR_CACHE_CAP: usize = 8;
+
+/// Entries kept in the process-wide archetype-keyed propagator cache. A
+/// fleet sweep uses one topology and two step sizes; the headroom covers
+/// mixed-model fleets and test suites without unbounded growth.
+const SHARED_PROPAGATOR_CACHE_CAP: usize = 32;
 
 /// Handle to a node of a [`ThermalNetwork`].
 ///
@@ -246,6 +252,7 @@ impl ThermalNetworkBuilder {
             }
         }
         let n = self.nodes.len();
+        let signature = structural_signature(&self.nodes, &self.edges);
         Ok(ThermalNetwork {
             nodes: self.nodes,
             edges: self.edges,
@@ -258,8 +265,39 @@ impl ThermalNetworkBuilder {
             heat_scratch: vec![0.0; n],
             scratch: StepScratch::sized(n),
             propagators: Vec::new(),
+            signature,
         })
     }
+}
+
+/// Canonical encoding of everything [`ThermalNetwork::build_propagator`]
+/// reads: node kinds and capacitance bit patterns plus the ordered edge
+/// list (edge order matters — conductances accumulate into the system
+/// matrix in list order, and float addition is not associative). Two
+/// networks with equal signatures build bit-identical propagators for any
+/// step size, which is the invariant the shared cache rests on.
+fn structural_signature(nodes: &[Node], edges: &[Edge]) -> Vec<u64> {
+    let mut sig = Vec::with_capacity(2 + 2 * nodes.len() + 3 * edges.len());
+    sig.push(nodes.len() as u64);
+    sig.push(edges.len() as u64);
+    for node in nodes {
+        match node.kind {
+            NodeKind::Capacitive(c) => {
+                sig.push(1);
+                sig.push(c.value().to_bits());
+            }
+            NodeKind::Boundary => {
+                sig.push(0);
+                sig.push(0);
+            }
+        }
+    }
+    for e in edges {
+        sig.push(e.a as u64);
+        sig.push(e.b as u64);
+        sig.push(e.conductance.to_bits());
+    }
+    sig
 }
 
 /// Struct-owned per-step work buffers, sized once at build so the step
@@ -292,11 +330,57 @@ impl StepScratch {
 /// A cached discrete-time propagator for one step size: `T' = Φ·T + B·q`
 /// with `Φ = exp(M·dt)` and `B = (∫₀^dt exp(M·τ) dτ)·diag(1/Cᵢ)`, both
 /// dense `n×n` row-major. Exact for heat held constant over the step.
+///
+/// Opaque outside the crate: obtained from
+/// [`ThermalNetwork::exponential_propagator`] and consumed by
+/// [`crate::batch::ThermalBatch`]. Propagators are pure functions of the
+/// network's [structural signature](ThermalNetwork::structural_signature)
+/// and the step size, so one `Arc` can be shared across every device of an
+/// archetype (and across threads) without affecting a single bit of the
+/// trajectory.
 #[derive(Debug, Clone)]
-struct Propagator {
+pub struct Propagator {
     dt_bits: u64,
+    n: usize,
     phi: Vec<f64>,
     b: Vec<f64>,
+}
+
+impl Propagator {
+    /// Number of network nodes this propagator was built for.
+    pub fn node_count(&self) -> usize {
+        self.n
+    }
+
+    /// Step size the propagator was built for.
+    pub fn dt(&self) -> Seconds {
+        Seconds(f64::from_bits(self.dt_bits))
+    }
+
+    /// Row-major `n×n` state-transition matrix Φ.
+    pub(crate) fn phi(&self) -> &[f64] {
+        &self.phi
+    }
+
+    /// Row-major `n×n` heat-input matrix B.
+    pub(crate) fn b(&self) -> &[f64] {
+        &self.b
+    }
+}
+
+/// One entry of the process-wide archetype-keyed propagator cache.
+struct SharedPropagator {
+    signature: Vec<u64>,
+    dt_bits: u64,
+    propagator: Arc<Propagator>,
+}
+
+/// Process-wide propagator cache keyed by (structural signature, dt bits).
+/// Guards cold-start sweeps: the first device of an archetype to see a step
+/// size builds the matrix exponential, every other device clones the `Arc`.
+fn shared_propagators() -> &'static Mutex<Vec<SharedPropagator>> {
+    static CACHE: OnceLock<Mutex<Vec<SharedPropagator>>> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(Vec::new()))
 }
 
 /// A built thermal network. Step it with [`ThermalNetwork::step`], read
@@ -314,7 +398,8 @@ pub struct ThermalNetwork {
     integrator: Integrator,
     heat_scratch: Vec<f64>,
     scratch: StepScratch,
-    propagators: Vec<Propagator>,
+    propagators: Vec<Arc<Propagator>>,
+    signature: Vec<u64>,
 }
 
 /// Equality is semantic: two networks are equal when they would produce
@@ -579,10 +664,11 @@ impl ThermalNetwork {
         }
     }
 
-    /// Index of the propagator for `dt` in the cache, building it on miss.
-    /// Hits are moved to the front so the two protocol step sizes stay in
-    /// the first slots; the cache is capped at [`PROPAGATOR_CACHE_CAP`]
-    /// entries (oldest evicted) so pathological dt sequences cannot grow it.
+    /// Index of the propagator for `dt` in the local cache, consulting the
+    /// process-wide archetype cache on miss. Hits are moved to the front so
+    /// the two protocol step sizes stay in the first slots; the cache is
+    /// capped at [`PROPAGATOR_CACHE_CAP`] entries (oldest evicted) so
+    /// pathological dt sequences cannot grow it.
     fn propagator_index(&mut self, dt: f64) -> usize {
         let dt_bits = dt.to_bits();
         if let Some(pos) = self.propagators.iter().position(|p| p.dt_bits == dt_bits) {
@@ -592,10 +678,99 @@ impl ThermalNetwork {
             }
             return 0;
         }
-        let p = self.build_propagator(dt);
+        let p = self.shared_propagator(dt);
         self.propagators.truncate(PROPAGATOR_CACHE_CAP - 1);
         self.propagators.insert(0, p);
         0
+    }
+
+    /// Looks up `dt` in the process-wide archetype-keyed cache, building
+    /// and publishing the propagator on miss. The build happens under the
+    /// lock: it is microseconds for phone-scale networks, and holding the
+    /// lock means concurrent workers of one archetype never race to build
+    /// the same matrix (they all leave with the same `Arc`). Either way the
+    /// result is bit-identical to a per-device build — `build_propagator`
+    /// is a pure function of the structural signature and `dt`.
+    fn shared_propagator(&self, dt: f64) -> Arc<Propagator> {
+        let dt_bits = dt.to_bits();
+        let mut cache = match shared_propagators().lock() {
+            Ok(guard) => guard,
+            // A poisoned lock only means another thread panicked mid-scan;
+            // the entries themselves are immutable Arcs, so keep going.
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        if let Some(pos) = cache
+            .iter()
+            .position(|e| e.dt_bits == dt_bits && e.signature == self.signature)
+        {
+            // Gradual move-to-front, mirroring the local cache policy.
+            let hit = cache[pos].propagator.clone();
+            if pos != 0 {
+                cache.swap(pos, pos - 1);
+            }
+            return hit;
+        }
+        let built = Arc::new(self.build_propagator(dt));
+        cache.truncate(SHARED_PROPAGATOR_CACHE_CAP - 1);
+        cache.insert(
+            0,
+            SharedPropagator {
+                signature: self.signature.clone(),
+                dt_bits,
+                propagator: built.clone(),
+            },
+        );
+        built
+    }
+
+    /// The discrete-time propagator for step size `dt`, as a shareable
+    /// handle. Populates the same local and process-wide caches the
+    /// [`Integrator::Exponential`] step path uses, so fetching it here and
+    /// stepping through [`crate::batch::ThermalBatch`] leaves the caches in
+    /// the same state a scalar step would.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ThermalError::InvalidParameter`] for a non-positive or
+    /// non-finite `dt`.
+    pub fn exponential_propagator(&mut self, dt: Seconds) -> Result<Arc<Propagator>, ThermalError> {
+        if !(dt.value() > 0.0 && dt.is_finite()) {
+            return Err(ThermalError::InvalidParameter("dt must be > 0"));
+        }
+        let idx = self.propagator_index(dt.value());
+        Ok(self.propagators[idx].clone())
+    }
+
+    /// Canonical encoding of the sealed topology (node kinds, capacitance
+    /// bit patterns, ordered edges). Networks with equal signatures are the
+    /// same *archetype*: they build bit-identical propagators and may share
+    /// one [`crate::batch::ThermalBatch`] kernel invocation.
+    pub fn structural_signature(&self) -> &[u64] {
+        &self.signature
+    }
+
+    /// Raw temperature of node `i` (°C), for the batch kernel's gather.
+    pub(crate) fn raw_temp(&self, i: usize) -> f64 {
+        self.nodes[i].temp.value()
+    }
+
+    /// Overwrites node `i`'s temperature, for the batch kernel's scatter.
+    /// Callers guarantee the value came from the same propagator arithmetic
+    /// the scalar path would have applied.
+    pub(crate) fn set_raw_temp(&mut self, i: usize, temp: f64) {
+        self.nodes[i].temp = Celsius(temp);
+    }
+
+    /// Whether node `i` is a boundary (for batch heat validation).
+    pub(crate) fn is_boundary(&self, i: usize) -> bool {
+        matches!(self.nodes[i].kind, NodeKind::Boundary)
+    }
+
+    /// Debug-build step accounting for an externally applied exponential
+    /// step (keeps `repro --verbose` counters honest for the batch path).
+    #[cfg(debug_assertions)]
+    pub(crate) fn record_external_step(&self) {
+        step_stats::record(1);
     }
 
     /// Computes `Φ = exp(M·dt)` and `B = S·diag(1/Cᵢ)` with
@@ -690,6 +865,7 @@ impl ThermalNetwork {
         }
         Propagator {
             dt_bits: dt.to_bits(),
+            n,
             phi,
             b,
         }
@@ -1110,6 +1286,69 @@ mod exponential_tests {
             net.step(Seconds(0.01 * i as f64), &[]).unwrap();
         }
         assert!(net.propagators.len() <= PROPAGATOR_CACHE_CAP);
+    }
+
+    #[test]
+    fn identical_topologies_share_one_propagator() {
+        // Two devices of the same archetype must end up holding the *same*
+        // allocation after seeing the same step size — the fleet-wide
+        // shared-cache contract.
+        let (mut a, _) = decay_pair(Integrator::Exponential);
+        let (mut b, _) = decay_pair(Integrator::Exponential);
+        assert_eq!(a.structural_signature(), b.structural_signature());
+        let pa = a.exponential_propagator(Seconds(0.125)).unwrap();
+        let pb = b.exponential_propagator(Seconds(0.125)).unwrap();
+        assert!(Arc::ptr_eq(&pa, &pb), "archetype cache must share the Arc");
+        assert_eq!(pa.node_count(), 2);
+        assert_eq!(pa.dt(), Seconds(0.125));
+    }
+
+    #[test]
+    fn distinct_topologies_do_not_share() {
+        let (mut a, _) = decay_pair(Integrator::Exponential);
+        let mut builder = ThermalNetworkBuilder::new();
+        builder.integrator(Integrator::Exponential);
+        let die = builder
+            .add_node("die", ThermalCapacitance(9.5), Celsius(80.0))
+            .unwrap();
+        let amb = builder.add_boundary("ambient", Celsius(26.0)).unwrap();
+        builder.connect(die, amb, ThermalResistance(5.0)).unwrap();
+        let mut other = builder.build().unwrap();
+        assert_ne!(a.structural_signature(), other.structural_signature());
+        let pa = a.exponential_propagator(Seconds(0.25)).unwrap();
+        let po = other.exponential_propagator(Seconds(0.25)).unwrap();
+        assert!(!Arc::ptr_eq(&pa, &po));
+    }
+
+    #[test]
+    fn shared_cache_hit_is_bit_identical_to_cold_build() {
+        // The second network's trajectory through a shared propagator must
+        // match a freshly built one bit for bit.
+        let (mut warm, _) = decay_pair(Integrator::Exponential);
+        warm.exponential_propagator(Seconds(0.37)).unwrap(); // publish
+        let (mut via_cache, die_c) = decay_pair(Integrator::Exponential);
+        let (mut rebuilt, die_r) = decay_pair(Integrator::Exponential);
+        // Force a private rebuild for comparison.
+        let fresh = rebuilt.build_propagator(0.37);
+        let shared = via_cache.exponential_propagator(Seconds(0.37)).unwrap();
+        assert_eq!(fresh.phi, shared.phi);
+        assert_eq!(fresh.b, shared.b);
+        for _ in 0..40 {
+            via_cache.step(Seconds(0.37), &[(die_c, Watts(2.0))]).unwrap();
+            rebuilt.step(Seconds(0.37), &[(die_r, Watts(2.0))]).unwrap();
+        }
+        assert_eq!(
+            via_cache.temperature(die_c).value().to_bits(),
+            rebuilt.temperature(die_r).value().to_bits()
+        );
+    }
+
+    #[test]
+    fn propagator_rejects_bad_dt() {
+        let (mut net, _) = decay_pair(Integrator::Exponential);
+        assert!(net.exponential_propagator(Seconds(0.0)).is_err());
+        assert!(net.exponential_propagator(Seconds(-1.0)).is_err());
+        assert!(net.exponential_propagator(Seconds(f64::NAN)).is_err());
     }
 
     #[test]
