@@ -29,13 +29,29 @@
 //! scheduling; `benchdiff` holds the `batch_speedup/b8 ≥ 1.0×` floor
 //! on single-core hosts too (`min_host_parallelism: 0`).
 //!
+//! A third section measures **stratified subsampling** (DESIGN.md §16)
+//! on the streaming engine: a 100 000-device virtual population is
+//! sampled down to n = 2000 (strata from the silicon-grade bins) and
+//! only the selected devices are simulated. `sampled_devices_per_sec`
+//! is the realised simulation rate; `sample_speedup/n2000` is the
+//! per-round quotient of the *extrapolated* full-population cost (from
+//! the clean width-1 rate measured in the batch section, same config)
+//! over the measured sampled cost — `benchdiff` holds it ≥ 10× on any
+//! host. The `aggregate_memory_bounded` check asserts the streaming
+//! aggregate's footprint is identical for the n = 2000 sweep and a
+//! 32-device sweep: O(bins + K), not O(devices).
+//!
 //! Flags: `--devices N` (fleet size, default 768), `--threads-list
 //! a,b,c` (default 1,2,4 plus the host's available parallelism),
 //! `--samples N` (sweeps per thread count, default 5), `--out PATH`
 //! (default `BENCH_sweep.json`), `--test` (libtest smoke mode: a tiny
-//! fleet, so `cargo bench -- --test` stays fast).
+//! fleet and a shrunken sampled section, so `cargo bench -- --test`
+//! stays fast).
 
-use accubench::crowd::{populate_batched, populate_parallel, CrowdDatabase, SweepConfig};
+use accubench::aggregate::ScoreAggregate;
+use accubench::crowd::{
+    populate_batched, populate_parallel, populate_streamed, CrowdDatabase, SweepConfig,
+};
 use accubench::executor;
 use accubench::journal::CancelToken;
 use accubench::protocol::Protocol;
@@ -43,8 +59,10 @@ use pv_bench::report::{BenchReport, Check, Metric};
 use pv_bench::stats::{robust, DEFAULT_NOISE_THRESHOLD};
 use pv_faults::ALL_KINDS;
 use pv_json::ToJson;
+use pv_silicon::binning::nexus5::N_BINS;
 use pv_soc::catalog;
 use pv_soc::device::Device;
+use pv_stats::sampling::{self, Strategy};
 use pv_units::Seconds;
 use std::time::Instant;
 
@@ -54,6 +72,8 @@ struct Options {
     samples: usize,
     out: String,
     iterations: usize,
+    sample_pop: usize,
+    sample_n: usize,
 }
 
 fn usage() -> ! {
@@ -71,6 +91,8 @@ fn parse_args() -> Options {
         samples: 5,
         out: "BENCH_sweep.json".to_owned(),
         iterations: 2,
+        sample_pop: 100_000,
+        sample_n: 2000,
     };
     let mut smoke = false;
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -125,6 +147,8 @@ fn parse_args() -> Options {
     if smoke {
         opts.devices = opts.devices.min(16);
         opts.samples = opts.samples.min(2);
+        opts.sample_pop = 2048;
+        opts.sample_n = 64;
     }
     if opts.threads_list.is_empty() {
         opts.threads_list = vec![1, 2, 4, executor::default_threads()];
@@ -364,6 +388,121 @@ fn main() {
         );
     }
 
+    // --- Stratified subsampling section (streaming engine, DESIGN.md §16) ---
+    //
+    // Only the n selected devices of a pop-sized virtual population are
+    // simulated; the full-population cost is *extrapolated* from the
+    // clean width-1 rate measured above (same config, same engine
+    // family), so the per-round quotient
+    // `(pop · b1_secsᵢ / devices) / sampled_secsᵢ` cancels host drift
+    // like the other ratios. Per-device cost is grade-independent to
+    // first order, so the extrapolation is honest.
+    let aux: Vec<f64> = (0..opts.sample_pop)
+        .map(|i| 0.05 + 0.9 * (i as f64) / (opts.sample_pop.max(2) - 1) as f64)
+        .collect();
+    let selection = sampling::select(
+        Strategy::Stratified,
+        &aux,
+        opts.sample_n,
+        N_BINS as usize,
+        0x5EED_BE9C,
+    )
+    .expect("stratified selection");
+    let sampled_fleet = |indices: &[usize]| -> Vec<Device> {
+        indices
+            .iter()
+            .map(|&i| catalog::pixel(aux[i], format!("pixel-bench-{i:06}")).unwrap())
+            .collect()
+    };
+    let mut sampled_secs: Vec<f64> = Vec::with_capacity(opts.samples);
+    let mut sampled_reports_identical = true;
+    let mut sampled_reference: Option<String> = None;
+    let mut sampled_bytes = 0usize;
+    for _ in 0..opts.samples {
+        let devices = sampled_fleet(&selection.indices);
+        let mut agg = ScoreAggregate::new(5.0).unwrap();
+        let start = Instant::now();
+        let sweep = populate_streamed(
+            &mut agg,
+            "Pixel",
+            devices,
+            &clean_cfg,
+            None,
+            &CancelToken::new(),
+            1,
+            1,
+            false,
+        )
+        .expect("sampled sweep failed");
+        sampled_secs.push(start.elapsed().as_secs_f64());
+        assert!(sweep.complete);
+        let fingerprint = agg.to_json().to_string_compact();
+        match &sampled_reference {
+            None => sampled_reference = Some(fingerprint),
+            Some(reference) => {
+                if *reference != fingerprint {
+                    sampled_reports_identical = false;
+                }
+            }
+        }
+        sampled_bytes = agg.approx_bytes();
+    }
+    // O(bins + K) memory contract: a 32-device streamed sweep (enough to
+    // saturate the top-K leaderboard) must report exactly the same
+    // aggregate footprint as the n-device sampled sweep.
+    let mut small_agg = ScoreAggregate::new(5.0).unwrap();
+    populate_streamed(
+        &mut small_agg,
+        "Pixel",
+        sampled_fleet(&selection.indices[..32.min(selection.indices.len())]),
+        &clean_cfg,
+        None,
+        &CancelToken::new(),
+        1,
+        1,
+        false,
+    )
+    .expect("small streamed sweep failed");
+    let aggregate_memory_bounded = small_agg.approx_bytes() == sampled_bytes;
+
+    let sampled_rates: Vec<f64> = sampled_secs
+        .iter()
+        .map(|s| opts.sample_n as f64 / s)
+        .collect();
+    let sampled_stats =
+        robust(&sampled_rates, DEFAULT_NOISE_THRESHOLD).expect("at least one sampled sample");
+    report.metrics.push(Metric::from_stats(
+        "sampled_devices_per_sec".to_owned(),
+        "devices/s",
+        true,
+        &sampled_stats,
+        1,
+    ));
+    let per_round: Vec<f64> = scalar_secs
+        .iter()
+        .zip(&sampled_secs)
+        .map(|(b1, s)| (opts.sample_pop as f64 * b1 / opts.devices as f64) / s)
+        .collect();
+    let sample_speedup_stats =
+        robust(&per_round, DEFAULT_NOISE_THRESHOLD).expect("at least one sampled sample");
+    report.metrics.push(Metric::from_stats(
+        format!("sample_speedup/n{}", opts.sample_n),
+        "x",
+        true,
+        &sample_speedup_stats,
+        1,
+    ));
+    println!(
+        "sweep/sampled n={} of {}: {:.1} devices/s p50, {:.1}x vs extrapolated \
+         full population (spread {:.1}%{})",
+        opts.sample_n,
+        opts.sample_pop,
+        sampled_stats.p50,
+        sample_speedup_stats.p50,
+        sample_speedup_stats.rel_spread * 100.0,
+        if sample_speedup_stats.noisy { " NOISY" } else { "" }
+    );
+
     report.checks.push(Check {
         name: "reports_identical".to_owned(),
         ok: reports_identical,
@@ -371,6 +510,14 @@ fn main() {
     report.checks.push(Check {
         name: "batch_reports_identical".to_owned(),
         ok: batch_reports_identical,
+    });
+    report.checks.push(Check {
+        name: "sampled_reports_identical".to_owned(),
+        ok: sampled_reports_identical,
+    });
+    report.checks.push(Check {
+        name: "aggregate_memory_bounded".to_owned(),
+        ok: aggregate_memory_bounded,
     });
     report.write(&opts.out).expect("write BENCH_sweep.json");
 
@@ -392,6 +539,14 @@ fn main() {
     }
     if !batch_reports_identical {
         eprintln!("FATAL: reports diverged across batch widths/samples");
+        std::process::exit(1);
+    }
+    if !sampled_reports_identical {
+        eprintln!("FATAL: sampled aggregates diverged across samples");
+        std::process::exit(1);
+    }
+    if !aggregate_memory_bounded {
+        eprintln!("FATAL: streaming aggregate footprint grew with fleet size");
         std::process::exit(1);
     }
 }

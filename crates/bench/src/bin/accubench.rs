@@ -29,6 +29,17 @@
 //!   --batch <n>                 accepted for symmetry with `repro sweep`;
 //!                               a single device is a width-1 batch, so
 //!                               lockstep stepping cannot help here
+//!   --sample <k>                accepted for symmetry with `repro sweep`;
+//!                               a single-device session has a population
+//!                               of one, so it is always measured exactly
+//!   --sample-strategy <name>    srs|rss|stratified; validated, then
+//!                               ignored for the same reason
+//!   --sample-seed <u64>         validated, then ignored for the same
+//!                               reason
+//!   --oracle                    accepted for symmetry with `repro sweep`;
+//!                               a single session has no streaming
+//!                               aggregate to cross-check, so this is
+//!                               always the exact path
 //!   --max-task-seconds <w>      arm a wall-clock watchdog: a session that
 //!                               runs longer than w seconds is stopped at
 //!                               the next cooperative checkpoint and
@@ -62,6 +73,7 @@ use accubench::BenchError;
 use pv_faults::{FaultHandle, FaultPlan};
 use pv_soc::catalog;
 use pv_soc::faulty::FaultyDevice;
+use pv_stats::sampling::Strategy;
 use pv_units::{Celsius, MegaHertz, Seconds};
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -83,6 +95,10 @@ struct Options {
     resume: bool,
     threads: usize,
     batch: usize,
+    sample: Option<usize>,
+    sample_strategy: Option<String>,
+    sample_seed: Option<u64>,
+    oracle: bool,
     max_task_seconds: Option<f64>,
     on_failure: OnFailure,
 }
@@ -102,6 +118,10 @@ fn parse_args() -> Result<Options, String> {
         resume: false,
         threads: 1,
         batch: 1,
+        sample: None,
+        sample_strategy: None,
+        sample_seed: None,
+        oracle: false,
         max_task_seconds: None,
         // A lone session has no fleet to degrade into, so failures abort
         // (non-zero exit) unless the caller opts into quarantine.
@@ -153,6 +173,24 @@ fn parse_args() -> Result<Options, String> {
                     .parse()
                     .map_err(|_| "--batch must be a positive integer".to_owned())?
             }
+            "--sample" => {
+                let k: usize = value("--sample")?
+                    .parse()
+                    .map_err(|_| "--sample must be a positive integer".to_owned())?;
+                if k == 0 {
+                    return Err("--sample must be at least 1".to_owned());
+                }
+                opts.sample = Some(k)
+            }
+            "--sample-strategy" => opts.sample_strategy = Some(value("--sample-strategy")?),
+            "--sample-seed" => {
+                opts.sample_seed = Some(
+                    value("--sample-seed")?
+                        .parse()
+                        .map_err(|_| "--sample-seed must be an unsigned integer".to_owned())?,
+                )
+            }
+            "--oracle" => opts.oracle = true,
             "--max-task-seconds" => {
                 let w: f64 = value("--max-task-seconds")?
                     .parse()
@@ -203,6 +241,29 @@ fn parse_args() -> Result<Options, String> {
              effect here (use `repro sweep --batch` to step a fleet in \
              lockstep)",
             opts.batch
+        );
+    }
+    if let Some(name) = &opts.sample_strategy {
+        Strategy::parse(name).map_err(|e| format!("--sample-strategy: {e}"))?;
+        if opts.sample.is_none() {
+            return Err("--sample-strategy requires --sample <n>".to_owned());
+        }
+    }
+    if opts.sample_seed.is_some() && opts.sample.is_none() {
+        return Err("--sample-seed requires --sample <n>".to_owned());
+    }
+    if opts.sample.is_some() {
+        eprintln!(
+            "note: a single-device session has a population of one; --sample \
+             is measured exactly here (use `repro sweep --sample` to \
+             subsample a fleet)"
+        );
+    }
+    if opts.oracle {
+        eprintln!(
+            "note: a single session has no streaming aggregate to cross-check; \
+             --oracle has no effect here (use `repro sweep --oracle` for the \
+             exact full-fleet reference)"
         );
     }
     Ok(opts)
@@ -286,7 +347,9 @@ fn main() -> ExitCode {
                  [--iterations N] [--ambient °C] [--scale F] \
                  [--integrator euler|rk4|exponential] [--trace out.csv] \
                  [--faults plan.toml] [--json] [--journal file] [--resume] [--threads N] \
-                 [--batch B] [--max-task-seconds W] [--on-failure abort|quarantine]"
+                 [--batch B] [--sample K] [--sample-strategy srs|rss|stratified] \
+                 [--sample-seed S] [--oracle] [--max-task-seconds W] \
+                 [--on-failure abort|quarantine]"
             );
             return ExitCode::FAILURE;
         }

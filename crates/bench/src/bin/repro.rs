@@ -35,6 +35,8 @@
 //! ```text
 //! repro sweep [--quick] [--devices N] [--seed S] [--threads T] \
 //!             [--batch B] [--journal run.journal] [--resume] [--json] \
+//!             [--sample K] [--sample-strategy srs|rss|stratified] \
+//!             [--sample-seed S] [--oracle] \
 //!             [--max-task-seconds W] [--on-failure abort|quarantine] \
 //!             [--chaos-seed S] [--chaos-panics N] [--chaos-stalls N] \
 //!             [--storage-faults plan.toml] \
@@ -57,6 +59,27 @@
 //! chaos-struck, traced, and deadline-supervised devices fall back to the
 //! scalar supervised path, so every byte of output stays identical at any
 //! `--batch` × `--threads` combination.
+//!
+//! By default the sweep runs on the **streaming aggregation engine**
+//! (DESIGN.md §16): per-worker partial aggregates (count/mean/M2 moments, a
+//! fixed-bin score histogram, a bounded top-10 leaderboard) merged in a
+//! canonical order on an absolute 64-device grid, so memory stays
+//! O(bins + K + holes) however large the fleet, and the aggregate's bits —
+//! like the journal's — are identical at any `--threads`/`--batch` and
+//! across kill+resume. `--oracle` switches back to the exact full-fleet
+//! [`CrowdDatabase`] path (every score retained in memory), the reference
+//! the streaming engine is tested against.
+//!
+//! `--sample K` turns the sweep into a *subsampled census* of the
+//! `--devices N` virtual population: only K devices are simulated, chosen
+//! by `--sample-strategy` (default `stratified` — two-phase stratified over
+//! the silicon-grade bins; `rss` is ranked-set sampling on grade; `srs` is
+//! simple random sampling) under the deterministic `--sample-seed`. The
+//! report then quotes mean/RSD/p50/p90 *estimates with 95 % bootstrap
+//! confidence intervals* instead of exact fleet statistics (error bands:
+//! DESIGN.md §16). The sampling plan enters the config digest, so a
+//! sampled journal resumes only under the identical plan. `--sample`
+//! requires the streaming engine (it is incompatible with `--oracle`).
 //!
 //! The sweep runs under the supervision layer (DESIGN.md §12):
 //! `--max-task-seconds` arms a per-session wall-clock watchdog on top of
@@ -85,7 +108,10 @@
 //! against its manifest, naming each mismatched file with both checksums;
 //! exit is non-zero on any mismatch.
 
-use accubench::crowd::{populate_batched, CrowdDatabase, FleetVerdict, SweepConfig};
+use accubench::aggregate::ScoreAggregate;
+use accubench::crowd::{
+    populate_batched, populate_streamed, CrowdDatabase, FleetVerdict, SamplePlan, SweepConfig,
+};
 use accubench::executor;
 use accubench::experiments::{self, study, ExperimentConfig};
 use accubench::journal::Journal;
@@ -95,7 +121,9 @@ use accubench::supervise::{OnFailure, SessionChaos, SupervisionPolicy};
 use pv_faults::FaultPlan;
 use pv_soc::catalog;
 use pv_soc::device::Device;
+use pv_stats::sampling::{self, Strategy, StratumSample};
 use pv_units::Seconds;
+use std::collections::HashMap;
 use std::process::ExitCode;
 use std::sync::Arc;
 
@@ -139,6 +167,8 @@ fn usage() -> ExitCode {
     eprintln!(
         "       repro sweep [--quick] [--json] [--devices N] [--seed S] \
          [--threads T] [--batch B] [--journal run.journal] [--resume] \
+         [--sample K] [--sample-strategy srs|rss|stratified] \
+         [--sample-seed S] [--oracle] \
          [--integrator euler|rk4|exponential] \
          [--max-task-seconds W] [--on-failure abort|quarantine] \
          [--chaos-seed S] [--chaos-panics N] [--chaos-stalls N] \
@@ -175,6 +205,10 @@ fn main() -> ExitCode {
     let chaos_stalls_arg = value_of("--chaos-stalls");
     let storage_faults_path = value_of("--storage-faults");
     let storage_escalation_arg = value_of("--storage-escalation");
+    let sample_arg = value_of("--sample");
+    let sample_strategy_arg = value_of("--sample-strategy");
+    let sample_seed_arg = value_of("--sample-seed");
+    let oracle = args.iter().any(|a| a == "--oracle");
     let resume = args.iter().any(|a| a == "--resume");
     let verbose = args.iter().any(|a| a == "--verbose");
     let repair = args.iter().any(|a| a == "--repair");
@@ -195,6 +229,9 @@ fn main() -> ExitCode {
         "--chaos-stalls",
         "--storage-faults",
         "--storage-escalation",
+        "--sample",
+        "--sample-strategy",
+        "--sample-seed",
     ]
     .iter()
     .filter_map(|f| args.iter().position(|a| a == *f).map(|i| i + 1))
@@ -295,6 +332,18 @@ fn main() -> ExitCode {
             },
             None => None,
         };
+        let sampling = match parse_sampling(
+            sample_arg.as_deref(),
+            sample_strategy_arg.as_deref(),
+            sample_seed_arg.as_deref(),
+            oracle,
+        ) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        };
         return run_sweep(
             &cfg,
             devices_arg.as_deref(),
@@ -308,6 +357,8 @@ fn main() -> ExitCode {
             chaos,
             storage_faults.as_ref(),
             storage_escalation,
+            sampling,
+            oracle,
         );
     }
     let fault_plan = match &faults_path {
@@ -626,19 +677,85 @@ fn parse_chaos(
     Ok(Some(SessionChaos::new(seed, panics, stalls)))
 }
 
-/// Builds the `sweep` fleet: `n` Pixels with speed grades spread evenly
-/// across the binning range, labelled `pixel-crowd-NNN`.
-fn fleet(n: usize) -> Result<Vec<Device>, accubench::BenchError> {
-    (0..n)
+/// Parses the `--sample*` flags into an optional sampling plan.
+fn parse_sampling(
+    sample: Option<&str>,
+    strategy: Option<&str>,
+    seed: Option<&str>,
+    oracle: bool,
+) -> Result<Option<SamplePlan>, String> {
+    let Some(k) = sample else {
+        if strategy.is_some() || seed.is_some() {
+            return Err("--sample-strategy/--sample-seed need --sample <n>".into());
+        }
+        return Ok(None);
+    };
+    if oracle {
+        return Err("--sample needs the streaming engine; drop --oracle".into());
+    }
+    let n: usize = match k.parse() {
+        Ok(n) if n > 0 => n,
+        _ => return Err("--sample must be a positive integer".into()),
+    };
+    let strategy = match strategy {
+        None => Strategy::Stratified,
+        Some(s) => Strategy::parse(s)
+            .map_err(|_| format!("--sample-strategy: unknown design {s:?} (srs|rss|stratified)"))?,
+    };
+    let seed: u64 = match seed.map_or(Ok(0), str::parse) {
+        Ok(s) => s,
+        Err(_) => return Err("--sample-seed must be an unsigned integer".into()),
+    };
+    // `population` is filled in from --devices by run_sweep.
+    Ok(Some(SamplePlan {
+        population: 0,
+        n,
+        strategy,
+        seed,
+    }))
+}
+
+/// Speed grade of virtual device `i` in a population of `population`:
+/// spread evenly across the binning range.
+fn grade_of(i: usize, population: usize) -> f64 {
+    0.05 + 0.9 * (i as f64) / (population.max(2) - 1) as f64
+}
+
+/// Builds sweep devices for the given population indices: Pixels graded by
+/// [`grade_of`], labelled `pixel-crowd-NNN` by population index (so a
+/// sampled fleet keeps its population identities).
+fn fleet_of(
+    indices: impl Iterator<Item = usize>,
+    population: usize,
+) -> Result<Vec<Device>, accubench::BenchError> {
+    indices
         .map(|i| {
-            let grade = 0.05 + 0.9 * (i as f64) / (n.max(2) - 1) as f64;
-            catalog::pixel(grade, format!("pixel-crowd-{i:03}")).map_err(Into::into)
+            catalog::pixel(grade_of(i, population), format!("pixel-crowd-{i:03}"))
+                .map_err(Into::into)
         })
         .collect()
 }
 
+/// Prints journal storage-health details after a sweep.
+fn report_journal_health(journal: &Option<Journal>) {
+    if let Some(j) = journal {
+        let h = j.health();
+        if !h.is_clean() {
+            eprintln!(
+                "journal storage health: {} retried write(s), {} segment rotation(s), \
+                 {:.2}s simulated backoff",
+                h.retries, h.rotations, h.backoff_sim_s,
+            );
+            for event in &h.events {
+                eprintln!("  {event}");
+            }
+        }
+    }
+}
+
 /// The `sweep` target: a journaled, interruptible, parallel, supervised
-/// crowd-population sweep.
+/// crowd-population sweep — streaming by default, exact with `--oracle`,
+/// subsampled with `--sample`.
 #[allow(clippy::too_many_arguments)]
 fn run_sweep(
     cfg: &ExperimentConfig,
@@ -653,6 +770,8 @@ fn run_sweep(
     chaos: Option<SessionChaos>,
     storage_faults: Option<&FaultPlan>,
     storage_escalation: StorageEscalation,
+    sampling_plan: Option<SamplePlan>,
+    oracle: bool,
 ) -> ExitCode {
     let n: usize = match devices_arg.map_or(Ok(100), str::parse) {
         Ok(n) if n > 0 => n,
@@ -706,6 +825,32 @@ fn run_sweep(
         sweep_cfg = sweep_cfg.with_chaos(chaos);
     }
 
+    // Resolve the sampling plan against the population and select the
+    // simulated subset. The selection is deterministic for the plan, so a
+    // resumed run re-derives the identical device list (and the digest
+    // guards against resuming under a different plan).
+    let selection = match sampling_plan {
+        None => None,
+        Some(mut plan) => {
+            if plan.n > n {
+                eprintln!("--sample {} exceeds --devices {n}", plan.n);
+                return ExitCode::FAILURE;
+            }
+            plan.population = n;
+            let aux: Vec<f64> = (0..n).map(|i| grade_of(i, n)).collect();
+            let strata = pv_silicon::binning::nexus5::N_BINS as usize;
+            let sel = match sampling::select(plan.strategy, &aux, plan.n, strata, plan.seed) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("--sample: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            sweep_cfg = sweep_cfg.with_sampling(plan.clone());
+            Some((plan, sel))
+        }
+    };
+
     // The journal's filesystem, optionally wrapped in the deterministic
     // storage fault injector.
     let storage = match storage_faults {
@@ -716,7 +861,7 @@ fn run_sweep(
         }
         None => Storage::os(),
     };
-    let mut journal = match journal_path {
+    let journal = match journal_path {
         Some(path) => match Journal::open_with(storage, path) {
             Ok(j) => {
                 if j.dropped_bytes() > 0 {
@@ -743,15 +888,12 @@ fn run_sweep(
         None => None,
     };
 
-    let devices = match fleet(n) {
-        Ok(d) => d,
-        Err(e) => {
-            eprintln!("error: {e}");
-            return ExitCode::FAILURE;
-        }
+    let devices = match &selection {
+        Some((plan, sel)) => fleet_of(sel.indices.iter().copied(), plan.population),
+        None => fleet_of(0..n, n),
     };
-    let mut db = match CrowdDatabase::new(5.0) {
-        Ok(db) => db,
+    let devices = match devices {
+        Ok(d) => d,
         Err(e) => {
             eprintln!("error: {e}");
             return ExitCode::FAILURE;
@@ -759,18 +901,72 @@ fn run_sweep(
     };
 
     let cancel = sigint::install();
+    let sweeping = match &selection {
+        Some((plan, _)) => format!(
+            "sweeping {} sampled of {n} device(s) ({})",
+            plan.n,
+            plan.strategy.as_str()
+        ),
+        None => format!("sweeping {n} device(s)"),
+    };
     eprintln!(
-        "sweeping {n} device(s), {} iteration(s) each, {threads} thread(s){} ...",
+        "{sweeping}, {} iteration(s) each, {threads} thread(s){}{} ...",
         cfg.iterations,
+        if oracle { ", oracle engine" } else { "" },
         journal_path.map_or_else(String::new, |p| format!(", journal {p}")),
     );
+
+    if oracle {
+        return run_sweep_oracle(
+            devices,
+            &sweep_cfg,
+            journal,
+            &cancel,
+            threads,
+            batch,
+            json,
+            journal_path,
+        );
+    }
+    run_sweep_streamed(
+        devices,
+        &sweep_cfg,
+        journal,
+        &cancel,
+        threads,
+        batch,
+        json,
+        journal_path,
+        selection,
+    )
+}
+
+/// The exact reference path: every score retained in a [`CrowdDatabase`].
+#[allow(clippy::too_many_arguments)]
+fn run_sweep_oracle(
+    devices: Vec<Device>,
+    sweep_cfg: &SweepConfig,
+    mut journal: Option<Journal>,
+    cancel: &accubench::journal::CancelToken,
+    threads: usize,
+    batch: usize,
+    json: bool,
+    journal_path: Option<&str>,
+) -> ExitCode {
+    let mut db = match CrowdDatabase::new(5.0) {
+        Ok(db) => db,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
     let sweep = match populate_batched(
         &mut db,
         "Pixel",
         devices,
-        &sweep_cfg,
+        sweep_cfg,
         journal.as_mut(),
-        &cancel,
+        cancel,
         threads,
         batch,
     ) {
@@ -784,19 +980,7 @@ fn run_sweep(
     if sweep.resumed > 0 {
         eprintln!("resumed {} journaled device(s)", sweep.resumed);
     }
-    if let Some(j) = &journal {
-        let h = j.health();
-        if !h.is_clean() {
-            eprintln!(
-                "journal storage health: {} retried write(s), {} segment rotation(s), \
-                 {:.2}s simulated backoff",
-                h.retries, h.rotations, h.backoff_sim_s,
-            );
-            for event in &h.events {
-                eprintln!("  {event}");
-            }
-        }
-    }
+    report_journal_health(&journal);
     if let Some(detail) = &sweep.storage_degraded {
         // Degrade policy: the sweep itself is whole (exit 0 below), but
         // only the sealed journal prefix survives a crash from here on.
@@ -816,7 +1000,7 @@ fn run_sweep(
         if sweep.report.fleet_verdict() == FleetVerdict::Degraded {
             // Holes bias a plain mean, so a degraded fleet reports a
             // bootstrap interval computed over the survivors only.
-            if let Some(ci) = sweep.report.survivor_ci(&db, "Pixel") {
+            if let Ok(ci) = sweep.report.survivor_ci(&db, "Pixel") {
                 println!(
                     "survivor score: {:.1} (95% bootstrap CI {:.1}..{:.1} over {} device(s))",
                     ci.point,
@@ -836,6 +1020,194 @@ fn run_sweep(
         return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS
+}
+
+/// Histogram layout of the streaming sweep aggregate: wide enough for any
+/// protocol scaling the CLI offers, at ~10-point quantile resolution.
+const SWEEP_HIST_LO: f64 = 0.0;
+const SWEEP_HIST_HI: f64 = 2000.0;
+const SWEEP_HIST_BINS: usize = 200;
+
+/// The default streaming path: constant-memory mergeable aggregates, plus
+/// sampled estimation when a `--sample` selection rode along.
+#[allow(clippy::too_many_arguments)]
+fn run_sweep_streamed(
+    devices: Vec<Device>,
+    sweep_cfg: &SweepConfig,
+    mut journal: Option<Journal>,
+    cancel: &accubench::journal::CancelToken,
+    threads: usize,
+    batch: usize,
+    json: bool,
+    journal_path: Option<&str>,
+    selection: Option<(SamplePlan, sampling::Selection)>,
+) -> ExitCode {
+    let mut agg = match ScoreAggregate::with_layout(
+        5.0,
+        SWEEP_HIST_LO,
+        SWEEP_HIST_HI,
+        SWEEP_HIST_BINS,
+        accubench::aggregate::DEFAULT_TOP_K,
+    ) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let sweep = match populate_streamed(
+        &mut agg,
+        "Pixel",
+        devices,
+        sweep_cfg,
+        journal.as_mut(),
+        cancel,
+        threads,
+        batch,
+        selection.is_some(),
+    ) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("sweep failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if sweep.resumed > 0 {
+        eprintln!("resumed {} journaled device(s)", sweep.resumed);
+    }
+    report_journal_health(&journal);
+    if let Some(detail) = &sweep.storage_degraded {
+        eprintln!("storage degraded: {detail}");
+        eprintln!("fleet verdict: {}", sweep.fleet_verdict());
+    }
+
+    // Sampled estimation: group the retained scores back into the
+    // selection's weighted strata (devices that quarantined simply leave
+    // their stratum lighter) and bootstrap the population estimates.
+    let estimates = selection.as_ref().and_then(|(plan, sel)| {
+        let by_pop: HashMap<usize, f64> = sweep
+            .retained
+            .iter()
+            .map(|&(idx, score)| (sel.indices[idx], score))
+            .collect();
+        let groups: Vec<StratumSample> = sel
+            .groups
+            .iter()
+            .map(|g| StratumSample {
+                weight: g.weight,
+                values: g.indices.iter().filter_map(|i| by_pop.get(i).copied()).collect(),
+            })
+            .collect();
+        match sampling::estimate(&groups, 0.95, 1000, plan.seed) {
+            Ok(est) => Some(est),
+            Err(e) => {
+                eprintln!("sampled estimation failed: {e}");
+                None
+            }
+        }
+    });
+
+    if json {
+        let mut obj = pv_json::Json::object();
+        obj.insert("model", pv_json::ToJson::to_json(&sweep.model));
+        obj.insert("devices", pv_json::ToJson::to_json(&sweep.devices));
+        obj.insert("completed", pv_json::ToJson::to_json(&sweep.completed));
+        obj.insert("holes", pv_json::ToJson::to_json(&sweep.holes.len()));
+        obj.insert("complete", pv_json::ToJson::to_json(&sweep.complete));
+        obj.insert("resumed", pv_json::ToJson::to_json(&sweep.resumed));
+        obj.insert(
+            "verdict",
+            pv_json::Json::String(sweep.fleet_verdict().to_string()),
+        );
+        obj.insert("aggregate", pv_json::ToJson::to_json(&agg));
+        if let Some((plan, _)) = &selection {
+            let mut p = pv_json::Json::object();
+            p.insert("population", pv_json::ToJson::to_json(&plan.population));
+            p.insert("n", pv_json::ToJson::to_json(&plan.n));
+            p.insert(
+                "strategy",
+                pv_json::Json::String(plan.strategy.as_str().to_owned()),
+            );
+            p.insert("seed", pv_json::ToJson::to_json(&plan.seed));
+            obj.insert("sampling", p);
+        }
+        if let Some(est) = &estimates {
+            obj.insert("estimates", pv_json::ToJson::to_json(est));
+        }
+        println!("{}", obj.to_string_pretty());
+    } else {
+        print!("{sweep}");
+        render_streamed_stats(&agg);
+        if sweep.fleet_verdict() == FleetVerdict::Degraded {
+            // Holes bias a plain mean; quote the survivors-only interval
+            // (normal approximation — the streaming path holds no raw
+            // scores to bootstrap).
+            if let Ok(ci) = sweep.survivor_ci() {
+                println!(
+                    "survivor score: {:.1} (95% CI {:.1}..{:.1} over {} device(s))",
+                    ci.point,
+                    ci.lo,
+                    ci.hi,
+                    agg.accepted(),
+                );
+            }
+        }
+        if let (Some((plan, _)), Some(est)) = (&selection, &estimates) {
+            println!(
+                "sampled estimates ({} n={} of {}; 95% bootstrap CI):",
+                plan.strategy.as_str(),
+                est.n,
+                plan.population
+            );
+            println!(
+                "  mean score: {:.1}  [{:.1}, {:.1}]",
+                est.mean.point, est.mean.lo, est.mean.hi
+            );
+            println!(
+                "  RSD:        {:.2}% [{:.2}%, {:.2}%]",
+                est.rsd_percent.point, est.rsd_percent.lo, est.rsd_percent.hi
+            );
+            println!(
+                "  p50:        {:.1}  [{:.1}, {:.1}]",
+                est.p50.point, est.p50.lo, est.p50.hi
+            );
+            println!(
+                "  p90:        {:.1}  [{:.1}, {:.1}]",
+                est.p90.point, est.p90.lo, est.p90.hi
+            );
+        }
+    }
+    if !sweep.complete {
+        eprintln!(
+            "interrupted after {} device(s); resume with: repro sweep --journal {} --resume",
+            sweep.processed,
+            journal_path.unwrap_or("<path>"),
+        );
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+/// Prints the streaming aggregate's fleet statistics.
+fn render_streamed_stats(agg: &ScoreAggregate) {
+    if let (Ok(mean), Ok(rsd)) = (agg.mean(), agg.rsd_percent()) {
+        println!("fleet mean score: {mean:.1} (RSD {rsd:.2}%)");
+    }
+    if let (Some(p50), Some(p90)) = (agg.approx_quantile(0.50), agg.approx_quantile(0.90)) {
+        println!(
+            "approx p50 {p50:.0}, p90 {p90:.0} (histogram resolution {:.0})",
+            (SWEEP_HIST_HI - SWEEP_HIST_LO) / SWEEP_HIST_BINS as f64
+        );
+    }
+    let oor = agg.out_of_range_fraction();
+    if oor > 0.01 {
+        eprintln!(
+            "warning: {:.1}% of scores outside the [{SWEEP_HIST_LO}, {SWEEP_HIST_HI}] \
+             histogram range; quantiles are clamped",
+            oor * 100.0
+        );
+    }
 }
 
 /// The `fsck` target: verify a run journal across all its segments, and

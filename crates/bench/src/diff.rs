@@ -172,6 +172,18 @@ pub const FLOORS: &[FloorRule] = &[
         floor: Floor::AtLeast(1.0),
         min_host_parallelism: 0,
     },
+    // Stratified subsampling (DESIGN.md §16) exists to make million-device
+    // sweeps affordable: simulating n = 2000 of a 100k population must beat
+    // exhaustively sweeping the population by a wide margin. The honest
+    // ratio is ≈ pop/n = 50× (selection and estimation overhead are
+    // negligible next to device simulation); ≥ 10× is the collapse
+    // backstop, and the ratio is host-independent, so no parallelism gate.
+    FloorRule {
+        bench: "sweep",
+        metric: "sample_speedup/n2000",
+        floor: Floor::AtLeast(10.0),
+        min_host_parallelism: 0,
+    },
 ];
 
 /// Full result of one diff run.
@@ -506,6 +518,16 @@ mod tests {
         if bench == "sweep" && !metrics.iter().any(|m| m.name == "batch_speedup/b8") {
             metrics.push(Metric::scalar("batch_speedup/b8", "x", true, 2.0, 0.01, false));
         }
+        if bench == "sweep" && !metrics.iter().any(|m| m.name == "sample_speedup/n2000") {
+            metrics.push(Metric::scalar(
+                "sample_speedup/n2000",
+                "x",
+                true,
+                50.0,
+                0.01,
+                false,
+            ));
+        }
         BenchReport {
             bench: bench.to_owned(),
             env: EnvFingerprint {
@@ -637,6 +659,29 @@ mod tests {
         assert!(!d.passed());
         assert!(
             d.failures.iter().any(|f| f.contains("missing")),
+            "{:?}",
+            d.failures
+        );
+    }
+
+    #[test]
+    fn sample_floor_gates_collapse() {
+        // A sampled sweep that only manages 6× over the extrapolated
+        // full-fleet cost has lost its reason to exist; the ≥10× backstop
+        // fires even with a matching (equally collapsed) baseline.
+        let base = report(
+            "sweep",
+            vec![
+                quiet("speedup/t4", 2.5, true),
+                Metric::scalar("sample_speedup/n2000", "x", true, 6.0, 0.01, false),
+            ],
+        );
+        let d = diff(&base, &base.clone(), &DiffConfig::default());
+        assert!(!d.passed());
+        assert!(
+            d.failures
+                .iter()
+                .any(|f| f.contains("sample_speedup/n2000") && f.contains("floor")),
             "{:?}",
             d.failures
         );

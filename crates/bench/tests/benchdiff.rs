@@ -55,6 +55,9 @@ fn sweep_report() -> BenchReport {
             Metric::scalar("devices_per_sec/t4", "devices/s", true, 2600.0, 0.02, false),
             Metric::scalar("speedup/t4", "x", true, 2.6, 0.02, false),
             Metric::scalar("batch_speedup/b8", "x", true, 1.1, 0.02, false),
+            // Appended last so the index-based fixture edits above stay
+            // stable; every floor metric must be present in a sweep report.
+            Metric::scalar("sample_speedup/n2000", "x", true, 50.0, 0.02, false),
         ],
         checks: vec![Check {
             name: "reports_identical".to_owned(),

@@ -55,11 +55,20 @@ pub struct CrowdScore {
 }
 
 /// A crowdsourced score database with admission filtering.
+///
+/// This is the exact, full-fleet **reference oracle**: it retains every
+/// accepted submission, so memory grows O(devices). Large sweeps use the
+/// streaming [`crate::aggregate::ScoreAggregate`] path instead (same
+/// admission rule, O(bins + K) memory) and keep this path behind
+/// `repro sweep --oracle` for cross-checking.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CrowdDatabase {
     max_rsd: f64,
     scores: Vec<CrowdScore>,
     rejected: usize,
+    /// Per-model accepted scores in submission order, maintained on
+    /// `submit` so statistics never re-scan the whole database.
+    index: BTreeMap<String, Vec<f64>>,
 }
 
 impl CrowdDatabase {
@@ -78,6 +87,7 @@ impl CrowdDatabase {
             max_rsd: max_rsd_percent,
             scores: Vec::new(),
             rejected: 0,
+            index: BTreeMap::new(),
         })
     }
 
@@ -102,6 +112,10 @@ impl CrowdDatabase {
             self.rejected += 1;
             return false;
         }
+        self.index
+            .entry(score.model.clone())
+            .or_default()
+            .push(score.score);
         self.scores.push(score);
         true
     }
@@ -116,13 +130,10 @@ impl CrowdDatabase {
         self.rejected
     }
 
-    /// All accepted scores for one model.
-    pub fn model_scores(&self, model: &str) -> Vec<f64> {
-        self.scores
-            .iter()
-            .filter(|s| s.model == model)
-            .map(|s| s.score)
-            .collect()
+    /// All accepted scores for one model, in submission order. Borrowed
+    /// from the per-model index — no per-call collection.
+    pub fn model_scores(&self, model: &str) -> &[f64] {
+        self.index.get(model).map_or(&[], Vec::as_slice)
     }
 
     /// Percentile (0–100) of `score` within its model's accepted scores:
@@ -145,7 +156,7 @@ impl CrowdDatabase {
         if scores.len() < 2 {
             return None;
         }
-        Summary::from_slice(&scores)
+        Summary::from_slice(scores)
             .ok()
             .map(|s| s.spread_percent_of_max())
     }
@@ -160,21 +171,40 @@ impl CrowdDatabase {
     }
 
     /// Renders a model's leaderboard.
+    ///
+    /// Percentiles come from a single walk over the descending ranking
+    /// (rows in a tie block share a percentile; each block beats exactly
+    /// the rows after it), replacing the per-row linear scan that made
+    /// rendering O(n²).
     pub fn render_model(&self, model: &str) -> String {
+        let ranked = self.ranking(model);
+        let n = ranked.len();
+        let mut pct = vec![0.0f64; n];
+        let mut i = 0;
+        while i < n {
+            let mut j = i;
+            while j + 1 < n && ranked[j + 1].score == ranked[i].score {
+                j += 1;
+            }
+            let beaten = (n - j - 1) as f64 / n as f64 * 100.0;
+            for p in &mut pct[i..=j] {
+                *p = beaten;
+            }
+            i = j + 1;
+        }
         let mut t = TextTable::new(vec!["rank", "device", "score", "RSD", "percentile"]);
-        for (i, s) in self.ranking(model).iter().enumerate() {
-            let pct = self.percentile(model, s.score).unwrap_or(0.0);
+        for (i, s) in ranked.iter().enumerate() {
             t.row(vec![
                 (i + 1).to_string(),
                 s.device.clone(),
                 format!("{:.1}", s.score),
                 format!("{:.2}%", s.rsd),
-                format!("{pct:.0}"),
+                format!("{:.0}", pct[i]),
             ]);
         }
         format!(
             "{model}: {} submissions ({} rejected), spread {}\n{}",
-            self.model_scores(model).len(),
+            n,
             self.rejected,
             self.model_spread_percent(model)
                 .map_or_else(|| "n/a".to_owned(), |s| format!("{s:.1}%")),
@@ -267,6 +297,27 @@ pub struct SweepConfig {
     /// simulated outcomes, so resuming under a different escalation is
     /// safe.
     pub storage_escalation: StorageEscalation,
+    /// When `Some`, this sweep runs a *subsample* of a larger virtual
+    /// population: the CLI selected the device list with
+    /// [`pv_stats::sampling::select`] under this plan. Sampling changes
+    /// the simulated outcome set, so the plan **is** digested — a journal
+    /// written for one subsample can never resume as another (or as a
+    /// full-fleet sweep).
+    pub sampling: Option<SamplePlan>,
+}
+
+/// The subsampling design a sampled sweep was selected under; carried in
+/// [`SweepConfig`] so it enters the config digest and the journal header.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SamplePlan {
+    /// Virtual population size the sample was drawn from.
+    pub population: usize,
+    /// Number of devices selected for simulation.
+    pub n: usize,
+    /// Sampling design.
+    pub strategy: pv_stats::sampling::Strategy,
+    /// Selection seed.
+    pub seed: u64,
 }
 
 impl SweepConfig {
@@ -282,6 +333,7 @@ impl SweepConfig {
             supervision: SupervisionPolicy::default(),
             chaos: None,
             storage_escalation: StorageEscalation::Degrade,
+            sampling: None,
         }
     }
 
@@ -312,6 +364,13 @@ impl SweepConfig {
     #[must_use]
     pub fn with_storage_escalation(mut self, escalation: StorageEscalation) -> Self {
         self.storage_escalation = escalation;
+        self
+    }
+
+    /// Records the sampling plan the device list was selected under.
+    #[must_use]
+    pub fn with_sampling(mut self, plan: SamplePlan) -> Self {
+        self.sampling = Some(plan);
         self
     }
 
@@ -347,11 +406,11 @@ impl SweepConfig {
         let bits = |s: &mut String, v: f64| {
             let _ = write!(s, "{:016x}/", v.to_bits());
         };
-        // v3: supervision policy and session chaos joined the digested
-        // fields (v2 added the integrator). Each version bump makes every
-        // pre-existing journal digest mismatch loudly instead of resuming
-        // under a silently different scheme.
-        let _ = write!(s, "v3|model={model}|");
+        // v4: the sampling plan joined the digested fields (v3 added
+        // supervision policy and session chaos). Each version bump makes
+        // every pre-existing journal digest mismatch loudly instead of
+        // resuming under a silently different scheme.
+        let _ = write!(s, "v4|model={model}|");
         s.push_str(self.protocol.integrator.as_str());
         s.push('|');
         bits(&mut s, self.protocol.warmup.value());
@@ -400,6 +459,23 @@ impl SweepConfig {
                 let _ = write!(s, "|chaos:{}", chaos.digest_string());
             }
             None => s.push_str("|no-chaos"),
+        }
+        // Sampling selects which devices exist at all, so it must be
+        // digested even though the selected labels are digested too — two
+        // plans can select the same subset yet imply different estimator
+        // weights.
+        match &self.sampling {
+            Some(plan) => {
+                let _ = write!(
+                    s,
+                    "|sampling:pop={},n={},strategy={},seed={:016x}",
+                    plan.population,
+                    plan.n,
+                    plan.strategy.as_str(),
+                    plan.seed
+                );
+            }
+            None => s.push_str("|unsampled"),
         }
         for label in device_labels {
             let _ = write!(s, "|{label}");
@@ -549,11 +625,24 @@ impl SweepReport {
     /// `model`'s *survivors* — what a degraded sweep quotes instead of
     /// pretending the holes never existed (ranked-set subsampling theory
     /// licenses survivor statistics, but only with honest uncertainty).
-    /// Deterministic: fixed resample count and seed. `None` when the model
-    /// has no accepted scores.
-    pub fn survivor_ci(&self, db: &CrowdDatabase, model: &str) -> Option<ConfidenceInterval> {
+    /// Deterministic: fixed resample count and seed. Reads the database's
+    /// per-model index — no per-call score collection.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BenchError::UnknownModel`] when the model has no accepted
+    /// scores (previously a silent `None`), and [`BenchError::Stats`] if
+    /// the bootstrap itself fails.
+    pub fn survivor_ci(
+        &self,
+        db: &CrowdDatabase,
+        model: &str,
+    ) -> Result<ConfidenceInterval, BenchError> {
         let scores = db.model_scores(model);
-        bootstrap_mean_ci(&scores, 0.95, 2000, SURVIVOR_CI_SEED).ok()
+        if scores.is_empty() {
+            return Err(BenchError::UnknownModel(model.to_owned()));
+        }
+        Ok(bootstrap_mean_ci(scores, 0.95, 2000, SURVIVOR_CI_SEED)?)
     }
 }
 
@@ -925,6 +1014,141 @@ pub(crate) fn run_from_session(
     }
 }
 
+/// Journal-restored device state, keyed by device index: the journaled
+/// outcome plus its raw `(score, rsd)` pair.
+type RestoredMap = BTreeMap<usize, (SweepOutcome, Option<f64>, Option<f64>)>;
+
+/// Shared sweep-engine preamble: validates the recovered journal (or
+/// writes the fresh header), heals an uncommitted record tail, and
+/// returns the restored `(outcome, score, rsd)` map plus whether a
+/// `Complete` seal was already journaled. Both the oracle
+/// ([`populate_batched`]) and streaming ([`populate_streamed`]) engines
+/// go through here, so their header, digest-check, and healing semantics
+/// cannot diverge.
+fn prepare_journal(
+    journal: &mut Option<&mut Journal>,
+    model: &str,
+    digest: String,
+    total: usize,
+) -> Result<(RestoredMap, bool), BenchError> {
+    let mut restored: RestoredMap = BTreeMap::new();
+    let mut already_complete = false;
+    if let Some(j) = journal.as_deref_mut() {
+        if j.recovered().is_empty() {
+            j.append(&Record::Header {
+                model: model.to_owned(),
+                digest,
+                devices: total,
+            })?;
+        } else {
+            match &j.recovered()[0] {
+                Record::Header {
+                    digest: journaled,
+                    devices: n,
+                    ..
+                } => {
+                    if *journaled != digest || *n != total {
+                        return Err(JournalError::DigestMismatch {
+                            journaled: journaled.clone(),
+                            requested: digest,
+                        }
+                        .into());
+                    }
+                }
+                _ => return Err(JournalError::MissingHeader.into()),
+            }
+            // A device commits at its Outcome record. A crash inside a
+            // device's batch can leave valid Supervision/Note lines with no
+            // sealing outcome; drop them so the re-run (which re-emits
+            // them) heals the journal to the uninterrupted bytes.
+            let committed = j
+                .recovered()
+                .iter()
+                .rposition(|r| !matches!(r, Record::Supervision { .. } | Record::Note { .. }))
+                .map_or(0, |i| i + 1);
+            j.truncate_recovered(committed)?;
+            for r in &j.recovered()[1..] {
+                match r {
+                    Record::Outcome {
+                        index,
+                        outcome,
+                        score,
+                        rsd,
+                    } => {
+                        restored.insert(*index, (outcome.clone(), *score, *rsd));
+                    }
+                    Record::Complete { .. } => already_complete = true,
+                    _ => {}
+                }
+            }
+        }
+    }
+    Ok((restored, already_complete))
+}
+
+/// Runs one execution chunk through the scalar supervised path: one device
+/// per task, exactly the pre-batching engine. Restored outcomes beyond the
+/// contiguous prefix (possible only in a hand-assembled journal) are
+/// replayed, not re-run.
+fn scalar_chunk(
+    cfg: &SweepConfig,
+    total: usize,
+    chunk: Vec<(usize, Device)>,
+    restored: &BTreeMap<usize, (SweepOutcome, Option<f64>, Option<f64>)>,
+) -> Vec<DeviceRun> {
+    chunk
+        .into_iter()
+        .map(|(index, device)| {
+            if let Some((outcome, score, rsd)) = restored.get(&index) {
+                return DeviceRun {
+                    outcome: outcome.clone(),
+                    score: *score,
+                    rsd: *rsd,
+                    fresh: false,
+                    failures: Vec::new(),
+                };
+            }
+            supervise_device(cfg, index, total, &device)
+        })
+        .collect()
+}
+
+/// Defense-in-depth when a whole chunk task panics (the supervision
+/// machinery itself crashed): every device of the chunk becomes a
+/// quarantined hole carrying the same headline.
+fn panicked_chunk_runs(
+    labels: &[String],
+    start: usize,
+    width: usize,
+    panic: &executor::PanicSummary,
+) -> Vec<DeviceRun> {
+    let detail = panic.headline();
+    let chunk_len = labels.len().saturating_sub(start).min(width);
+    (0..chunk_len)
+        .map(|k| DeviceRun {
+            outcome: SweepOutcome {
+                device: labels[start + k].clone(),
+                verdict: None,
+                accepted: false,
+                quarantined: 0,
+                fault_reports: 0,
+                error: Some(detail.clone()),
+                status: DeviceStatus::Panicked,
+                attempts: 1,
+            },
+            score: None,
+            rsd: None,
+            fresh: true,
+            failures: vec![AttemptFailure {
+                attempt: 1,
+                status: DeviceStatus::Panicked,
+                detail: detail.clone(),
+                backtrace: panic.backtrace.clone(),
+            }],
+        })
+        .collect()
+}
+
 /// Journals one freshly simulated outcome: its per-attempt supervision
 /// records, its fault/quarantine note (when warranted), and the outcome
 /// record, committed with a single fsync. Both the serial and the
@@ -1067,62 +1291,8 @@ pub fn populate_batched(
     }
     let labels: Vec<String> = devices.iter().map(|d| d.label().to_owned()).collect();
     let digest = cfg.digest(model, &labels);
-
-    // Restore journaled outcomes (resume path) or write the fresh header.
-    let mut restored: BTreeMap<usize, (SweepOutcome, Option<f64>, Option<f64>)> = BTreeMap::new();
-    let mut already_complete = false;
-    if let Some(j) = journal.as_deref_mut() {
-        if j.recovered().is_empty() {
-            j.append(&Record::Header {
-                model: model.to_owned(),
-                digest,
-                devices: devices.len(),
-            })?;
-        } else {
-            match &j.recovered()[0] {
-                Record::Header {
-                    digest: journaled,
-                    devices: n,
-                    ..
-                } => {
-                    if *journaled != digest || *n != devices.len() {
-                        return Err(JournalError::DigestMismatch {
-                            journaled: journaled.clone(),
-                            requested: digest,
-                        }
-                        .into());
-                    }
-                }
-                _ => return Err(JournalError::MissingHeader.into()),
-            }
-            // A device commits at its Outcome record. A crash inside a
-            // device's batch can leave valid Supervision/Note lines with no
-            // sealing outcome; drop them so the re-run (which re-emits
-            // them) heals the journal to the uninterrupted bytes.
-            let committed = j
-                .recovered()
-                .iter()
-                .rposition(|r| !matches!(r, Record::Supervision { .. } | Record::Note { .. }))
-                .map_or(0, |i| i + 1);
-            j.truncate_recovered(committed)?;
-            for r in &j.recovered()[1..] {
-                match r {
-                    Record::Outcome {
-                        index,
-                        outcome,
-                        score,
-                        rsd,
-                    } => {
-                        restored.insert(*index, (outcome.clone(), *score, *rsd));
-                    }
-                    Record::Complete { .. } => already_complete = true,
-                    _ => {}
-                }
-            }
-        }
-    }
-
     let total = devices.len();
+    let (restored, already_complete) = prepare_journal(&mut journal, model, digest, total)?;
     let mut outcomes: Vec<SweepOutcome> = Vec::with_capacity(total);
     let mut resumed = 0usize;
 
@@ -1187,24 +1357,7 @@ pub fn populate_batched(
             if width == 1 {
                 // The scalar reference path: one device per task, exactly
                 // the pre-batching engine.
-                chunk
-                    .into_iter()
-                    .map(|(index, device)| {
-                        // A restored outcome beyond the contiguous prefix
-                        // (possible only in a hand-assembled journal) is
-                        // replayed, not re-run.
-                        if let Some((outcome, score, rsd)) = restored.get(&index) {
-                            return DeviceRun {
-                                outcome: outcome.clone(),
-                                score: *score,
-                                rsd: *rsd,
-                                fresh: false,
-                                failures: Vec::new(),
-                            };
-                        }
-                        supervise_device(cfg, index, total, &device)
-                    })
-                    .collect()
+                scalar_chunk(cfg, total, chunk, restored)
             } else {
                 crate::batch::supervise_chunk(cfg, total, chunk, restored)
             }
@@ -1213,36 +1366,7 @@ pub fn populate_batched(
             let start = prefix + chunk_index * width;
             let runs: Vec<DeviceRun> = match caught {
                 TaskOutcome::Completed(runs) => runs,
-                TaskOutcome::Panicked(panic) => {
-                    // Defense-in-depth: the supervision machinery itself
-                    // crashed. Every device of the chunk becomes a
-                    // quarantined hole carrying the same headline.
-                    let detail = panic.headline();
-                    let chunk_len = labels.len().saturating_sub(start).min(width);
-                    (0..chunk_len)
-                        .map(|k| DeviceRun {
-                            outcome: SweepOutcome {
-                                device: labels[start + k].clone(),
-                                verdict: None,
-                                accepted: false,
-                                quarantined: 0,
-                                fault_reports: 0,
-                                error: Some(detail.clone()),
-                                status: DeviceStatus::Panicked,
-                                attempts: 1,
-                            },
-                            score: None,
-                            rsd: None,
-                            fresh: true,
-                            failures: vec![AttemptFailure {
-                                attempt: 1,
-                                status: DeviceStatus::Panicked,
-                                detail: detail.clone(),
-                                backtrace: panic.backtrace.clone(),
-                            }],
-                        })
-                        .collect()
-                }
+                TaskOutcome::Panicked(panic) => panicked_chunk_runs(&labels, start, width, &panic),
             };
             for (k, run) in runs.into_iter().enumerate() {
                 let index = start + k;
@@ -1316,6 +1440,407 @@ pub fn populate_batched(
         complete,
         resumed,
         storage_degraded,
+    })
+}
+
+/// The fixed streaming-aggregation grid: device scores are folded into
+/// per-group partial aggregates of this many consecutive devices, aligned
+/// to absolute device index 0, and the partials are merged in ascending
+/// group order. The grid is independent of `--threads`, `--batch` and the
+/// resume prefix, which is what makes a streamed sweep's aggregate
+/// byte-identical across thread counts and kill+resume (see
+/// `pv_stats::stream` for the underlying floating-point argument).
+pub const STREAM_GROUP: usize = 64;
+
+/// Result of a streaming ([`populate_streamed`]) sweep: constant-size
+/// aggregate statistics plus the exceptional per-device records (holes,
+/// and — when requested — the retained sampled scores). Healthy devices
+/// leave no per-device trace in memory.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamedSweep {
+    /// Model the sweep ran.
+    pub model: String,
+    /// The merged fleet aggregate (moments, histogram, leaderboard).
+    pub aggregate: crate::aggregate::ScoreAggregate,
+    /// Outcomes of quarantined devices only — the fleet's explicit holes.
+    pub holes: Vec<SweepOutcome>,
+    /// Fleet size the sweep was asked to run.
+    pub devices: usize,
+    /// Devices processed so far (restored prefix + freshly sunk).
+    pub processed: usize,
+    /// Devices whose session finished with a verdict.
+    pub completed: usize,
+    /// Whether every device ran; `false` means cancelled — re-run with the
+    /// same journal to resume.
+    pub complete: bool,
+    /// Devices replayed from the journal instead of re-simulated.
+    pub resumed: usize,
+    /// As [`JournaledSweep::storage_degraded`].
+    pub storage_degraded: Option<String>,
+    /// `(device index, accepted score)` pairs, retained only when the
+    /// caller asked (sampled sweeps need raw scores for the stratified
+    /// estimators; bounded by the sample size).
+    pub retained: Vec<(usize, f64)>,
+}
+
+impl StreamedSweep {
+    /// The fleet verdict, accounting for journal-storage loss.
+    pub fn fleet_verdict(&self) -> FleetVerdict {
+        if self.storage_degraded.is_some() {
+            FleetVerdict::StorageDegraded
+        } else if self.holes.is_empty() {
+            FleetVerdict::Clean
+        } else {
+            FleetVerdict::Degraded
+        }
+    }
+
+    /// Holes with the given status.
+    fn count_status(&self, status: DeviceStatus) -> usize {
+        self.holes.iter().filter(|o| o.status == status).count()
+    }
+
+    /// 95 % confidence interval for the survivors' mean score, from the
+    /// streaming moments (normal approximation `mean ± 1.96·se`). The
+    /// oracle path quotes a bootstrap interval instead — it has the raw
+    /// scores; the streaming path deliberately does not. Degenerate
+    /// (zero-width) with a single survivor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BenchError::UnknownModel`] when nothing was accepted.
+    pub fn survivor_ci(&self) -> Result<ConfidenceInterval, BenchError> {
+        let m = self.aggregate.moments();
+        if m.count() == 0 {
+            return Err(BenchError::UnknownModel(self.model.clone()));
+        }
+        let mean = m.mean()?;
+        let half = m.standard_error().map_or(0.0, |se| 1.96 * se);
+        Ok(ConfidenceInterval {
+            lo: mean - half,
+            hi: mean + half,
+            point: mean,
+            level: 0.95,
+        })
+    }
+}
+
+impl fmt::Display for StreamedSweep {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let failed = self
+            .holes
+            .iter()
+            .filter(|o| o.error.is_some() && o.status == DeviceStatus::Failed)
+            .count();
+        writeln!(
+            f,
+            "crowd sweep: {} devices, {} completed, {} accepted, {} failed",
+            self.devices,
+            self.completed,
+            self.aggregate.accepted(),
+            failed
+        )?;
+        if !self.holes.is_empty() {
+            writeln!(
+                f,
+                "  fleet degraded: {} device(s) quarantined ({} panicked, {} timed out, {} failed)",
+                self.holes.len(),
+                self.count_status(DeviceStatus::Panicked),
+                self.count_status(DeviceStatus::TimedOut),
+                self.count_status(DeviceStatus::Failed),
+            )?;
+        }
+        // Only the holes get per-device lines — a million healthy devices
+        // print nothing. Capped so a pathological fleet stays readable.
+        const MAX_HOLE_LINES: usize = 32;
+        for o in self.holes.iter().take(MAX_HOLE_LINES) {
+            write!(
+                f,
+                "  {}: {}, {} quarantined, {} faults",
+                o.device, o.status, o.quarantined, o.fault_reports
+            )?;
+            if o.attempts > 1 {
+                write!(f, ", {} attempts", o.attempts)?;
+            }
+            if let Some(e) = &o.error {
+                write!(f, " ({e})")?;
+            }
+            writeln!(f)?;
+        }
+        if self.holes.len() > MAX_HOLE_LINES {
+            writeln!(f, "  … {} more hole(s)", self.holes.len() - MAX_HOLE_LINES)?;
+        }
+        Ok(())
+    }
+}
+
+/// What a streaming worker hands the sink for one execution chunk.
+struct StreamChunk {
+    runs: Vec<DeviceRun>,
+    /// The chunk's pre-folded partial aggregate — `Some` iff the chunk
+    /// starts on the [`STREAM_GROUP`] grid (then the chunk *is* a whole
+    /// group and the worker folds it locally). The resume-straddle chunk
+    /// is `None`; the sink re-folds it device-by-device into the open
+    /// group partial.
+    partial: Option<crate::aggregate::ScoreAggregate>,
+}
+
+/// The streaming, memory-bounded sweep engine — `repro sweep`'s default
+/// path, and the only one that scales to 10⁶-device (sampled) fleets.
+///
+/// Semantics match [`populate_batched`] exactly — same validation, journal
+/// header/digest/healing, resume replay, supervision, chaos, storage
+/// escalation and cancellation, producing byte-identical journals — but
+/// instead of funneling every score through a [`CrowdDatabase`], workers
+/// fold their chunk into a partial [`crate::aggregate::ScoreAggregate`]
+/// and the single-writer sink merges O(workers) partials in canonical
+/// ascending order. Memory is O(bins + K + holes (+ retained sample)),
+/// independent of fleet size.
+///
+/// Execution chunks are aligned to the absolute [`STREAM_GROUP`] grid.
+/// `batch > 1` steps each chunk's admissible devices in lockstep through
+/// the shared-propagator kernel (`crate::batch`), which is outcome-
+/// invariant; `batch <= 1` runs the scalar engine. Either way the
+/// aggregate's fold/merge order — and hence its bits — depends only on
+/// the grid.
+///
+/// `agg` must be freshly constructed (it is the merge identity); pass
+/// `retain_scores = true` to also collect `(index, score)` for every
+/// accepted submission — sampled sweeps need the raw scores for their
+/// estimators, and the acceptance contract allows retention *within* the
+/// sampled set only.
+///
+/// # Errors
+///
+/// As [`populate_batched`].
+#[allow(clippy::too_many_arguments)]
+pub fn populate_streamed(
+    agg: &mut crate::aggregate::ScoreAggregate,
+    model: &str,
+    devices: Vec<Device>,
+    cfg: &SweepConfig,
+    mut journal: Option<&mut Journal>,
+    cancel: &CancelToken,
+    threads: usize,
+    batch: usize,
+    retain_scores: bool,
+) -> Result<StreamedSweep, BenchError> {
+    cfg.protocol.validate()?;
+    if cfg.iterations == 0 {
+        return Err(BenchError::InvalidProtocol("iterations must be >= 1"));
+    }
+    if cfg.supervision.max_attempts == 0 {
+        return Err(BenchError::InvalidProtocol(
+            "supervision.max_attempts must be >= 1",
+        ));
+    }
+    let labels: Vec<String> = devices.iter().map(|d| d.label().to_owned()).collect();
+    let digest = cfg.digest(model, &labels);
+    let total = devices.len();
+    let (restored, already_complete) = prepare_journal(&mut journal, model, digest, total)?;
+
+    let mut holes: Vec<SweepOutcome> = Vec::new();
+    let mut retained: Vec<(usize, f64)> = Vec::new();
+    let mut completed = 0usize;
+    let mut resumed = 0usize;
+
+    // The open partial of the group currently being filled; flushed into
+    // the global aggregate whenever the fold reaches a grid boundary.
+    let mut open = agg.fresh_partial();
+
+    // Replay the journal's contiguous restored prefix on the caller,
+    // folding grid-wise so the aggregate's operation sequence is identical
+    // to the uninterrupted run's.
+    let mut prefix = 0usize;
+    while let Some((outcome, score, rsd)) = restored.get(&prefix) {
+        if prefix > 0 && prefix.is_multiple_of(STREAM_GROUP) {
+            agg.merge(&open)?;
+            open = agg.fresh_partial();
+        }
+        if let (Some(score), Some(rsd)) = (score, rsd) {
+            if open.fold(&outcome.device, *score, *rsd) && retain_scores {
+                retained.push((prefix, *score));
+            }
+        }
+        if outcome.verdict.is_some() {
+            completed += 1;
+        }
+        if outcome.is_hole() {
+            holes.push(outcome.clone());
+        }
+        resumed += 1;
+        prefix += 1;
+    }
+    if prefix.is_multiple_of(STREAM_GROUP) {
+        // The prefix ends exactly on the grid: the open group is whole (or
+        // empty) — flush it so the first tail chunk starts a fresh group.
+        agg.merge(&open)?;
+        open = agg.fresh_partial();
+    }
+
+    // Chunk the tail on the absolute grid: the first chunk tops up the
+    // group the prefix left open; every later chunk is one whole group.
+    let tail: Vec<(usize, Device)> = devices.into_iter().enumerate().skip(prefix).collect();
+    let mut chunks: Vec<Vec<(usize, Device)>> = Vec::new();
+    let mut starts: Vec<usize> = Vec::new();
+    {
+        let mut feed = tail.into_iter().peekable();
+        while let Some(&(next, _)) = feed.peek() {
+            let group_end = (next / STREAM_GROUP + 1) * STREAM_GROUP;
+            let take = group_end - next;
+            let chunk: Vec<(usize, Device)> = feed.by_ref().take(take).collect();
+            starts.push(next);
+            chunks.push(chunk);
+        }
+    }
+
+    let restored = &restored;
+    // An owned empty aggregate with the caller's layout: the workers'
+    // fold/admission template. Owned (not a borrow of `agg`) so the sink
+    // below can merge into `agg` directly, preserving the strict
+    // left-to-right group order that started with the replayed prefix.
+    let template = agg.fresh_partial();
+    let scalar = batch.max(1) == 1;
+    let mut storage_degraded: Option<String> = None;
+    let mut sunk = 0usize;
+    let starts_ref = &starts;
+    executor::map_supervised(
+        chunks,
+        threads,
+        cancel,
+        |chunk_index, chunk: Vec<(usize, Device)>| -> StreamChunk {
+            let start = starts_ref[chunk_index];
+            let mut runs = if scalar {
+                scalar_chunk(cfg, total, chunk, restored)
+            } else {
+                crate::batch::supervise_chunk(cfg, total, chunk, restored)
+            };
+            // The admission decision is pure, so the worker can stamp the
+            // `accepted` flag (the oracle sink does this at submit time).
+            for run in &mut runs {
+                if run.fresh {
+                    run.outcome.accepted = matches!(
+                        (run.score, run.rsd),
+                        (Some(s), Some(r)) if template.admits(s, r)
+                    );
+                }
+            }
+            let partial = start.is_multiple_of(STREAM_GROUP).then(|| {
+                let mut p = template.fresh_partial();
+                for run in &runs {
+                    if let (Some(s), Some(r)) = (run.score, run.rsd) {
+                        p.fold(&run.outcome.device, s, r);
+                    }
+                }
+                p
+            });
+            StreamChunk { runs, partial }
+        },
+        |chunk_index, caught: TaskOutcome<StreamChunk>| -> Result<(), BenchError> {
+            let start = starts_ref[chunk_index];
+            let chunk = match caught {
+                TaskOutcome::Panicked(panic) => {
+                    // Group width bounds the synthesized chunk length.
+                    let width = STREAM_GROUP - start % STREAM_GROUP;
+                    StreamChunk {
+                        runs: panicked_chunk_runs(&labels, start, width, &panic),
+                        partial: start.is_multiple_of(STREAM_GROUP).then(|| agg.fresh_partial()),
+                    }
+                }
+                TaskOutcome::Completed(chunk) => chunk,
+            };
+            for (k, run) in chunk.runs.iter().enumerate() {
+                let index = start + k;
+                if run.fresh {
+                    if storage_degraded.is_none() {
+                        if let Some(j) = journal.as_deref_mut() {
+                            if let Err(e) = journal_outcome(
+                                j,
+                                index,
+                                &run.outcome,
+                                run.score,
+                                run.rsd,
+                                &run.failures,
+                            ) {
+                                if cfg.storage_escalation == StorageEscalation::Abort {
+                                    return Err(e);
+                                }
+                                storage_degraded =
+                                    Some(format!("journaling stopped at device {index}: {e}"));
+                            }
+                        }
+                    }
+                } else {
+                    resumed += 1;
+                }
+                if let (Some(s), Some(r)) = (run.score, run.rsd) {
+                    if chunk.partial.is_none() {
+                        // Straddle chunk: top up the open group partial.
+                        open.fold(&run.outcome.device, s, r);
+                    }
+                    if retain_scores && run.outcome.accepted {
+                        retained.push((index, s));
+                    }
+                }
+                if run.outcome.verdict.is_some() {
+                    completed += 1;
+                }
+                if run.outcome.is_hole() {
+                    holes.push(run.outcome.clone());
+                }
+                sunk += 1;
+                if run.outcome.is_hole() && cfg.supervision.on_failure == OnFailure::Abort {
+                    return Err(SupervisionError::FleetAborted {
+                        device: run.outcome.device.clone(),
+                        attempts: run.outcome.attempts,
+                        detail: run
+                            .outcome
+                            .error
+                            .clone()
+                            .unwrap_or_else(|| "unknown".into()),
+                    }
+                    .into());
+                }
+            }
+            match chunk.partial {
+                Some(partial) => agg.merge(&partial)?,
+                None => {
+                    // The straddle chunk always ends on the grid (or at the
+                    // fleet end): close and flush the open group.
+                    agg.merge(&open)?;
+                    open = agg.fresh_partial();
+                }
+            }
+            Ok(())
+        },
+    )?;
+    // Flush any still-open group (possible when the sweep was cancelled
+    // before the straddle chunk ran, or when the fleet was fully restored
+    // with an unaligned length).
+    agg.merge(&open)?;
+
+    let complete = prefix + sunk == total;
+    if complete && !already_complete && storage_degraded.is_none() {
+        if let Some(j) = journal {
+            if let Err(e) = j.append(&Record::Complete { devices: total }) {
+                if cfg.storage_escalation == StorageEscalation::Abort {
+                    return Err(e.into());
+                }
+                storage_degraded = Some(format!("journal seal failed: {e}"));
+            }
+        }
+    }
+    Ok(StreamedSweep {
+        model: model.to_owned(),
+        aggregate: agg.clone(),
+        holes,
+        devices: total,
+        processed: prefix + sunk,
+        completed,
+        complete,
+        resumed,
+        storage_degraded,
+        retained,
     })
 }
 

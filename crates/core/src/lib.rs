@@ -45,6 +45,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod aggregate;
 pub(crate) mod batch;
 pub mod crowd;
 pub mod executor;
@@ -82,6 +83,8 @@ pub enum BenchError {
     /// escalation policy aborted the fleet. Never transient — these bypass
     /// the iteration retry loop and surface at the device/sweep level.
     Supervision(supervise::SupervisionError),
+    /// A crowd statistic was requested for a model with no accepted scores.
+    UnknownModel(String),
 }
 
 impl BenchError {
@@ -125,6 +128,9 @@ impl fmt::Display for BenchError {
             BenchError::Io(e) => write!(f, "i/o: {e}"),
             BenchError::Journal(e) => write!(f, "{e}"),
             BenchError::Supervision(e) => write!(f, "{e}"),
+            BenchError::UnknownModel(m) => {
+                write!(f, "no accepted scores for model \"{m}\"")
+            }
         }
     }
 }
@@ -139,7 +145,7 @@ impl std::error::Error for BenchError {
             BenchError::Io(e) => Some(e),
             BenchError::Journal(e) => Some(e),
             BenchError::Supervision(e) => Some(e),
-            BenchError::InvalidProtocol(_) => None,
+            BenchError::InvalidProtocol(_) | BenchError::UnknownModel(_) => None,
         }
     }
 }

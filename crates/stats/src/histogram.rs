@@ -97,6 +97,34 @@ impl Histogram {
         }
     }
 
+    /// Merges another histogram over the *same* bin layout into this one.
+    ///
+    /// Bin counts are sums of unit (or sample-interval) weights, so for
+    /// unweighted use the merged counts are exact regardless of merge
+    /// order; `weighted_sum` is a float accumulation and is only
+    /// order-deterministic for a fixed merge order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidParameter`] when the bin layouts
+    /// (bounds or bin count) differ.
+    pub fn merge(&mut self, other: &Self) -> Result<(), StatsError> {
+        if self.lo.to_bits() != other.lo.to_bits()
+            || self.hi.to_bits() != other.hi.to_bits()
+            || self.counts.len() != other.counts.len()
+        {
+            return Err(StatsError::InvalidParameter("histogram layout mismatch"));
+        }
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.underflow += other.underflow;
+        self.overflow += other.overflow;
+        self.total_weight += other.total_weight;
+        self.weighted_sum += other.weighted_sum;
+        Ok(())
+    }
+
     /// Per-bin accumulated weights.
     pub fn counts(&self) -> &[f64] {
         &self.counts
@@ -307,6 +335,23 @@ mod tests {
         h.extend([1.0, 2.0, 3.0, 7.0, 8.0]);
         let total: f64 = h.fractions().iter().sum();
         assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_sums_bins_and_rejects_layout_mismatch() {
+        let mut a = Histogram::new(0.0, 10.0, 5).unwrap();
+        a.extend([1.0, -2.0]);
+        let mut b = Histogram::new(0.0, 10.0, 5).unwrap();
+        b.extend([1.5, 99.0]);
+        a.merge(&b).unwrap();
+        assert_eq!(a.counts()[0], 2.0);
+        assert_eq!(a.underflow(), 1.0);
+        assert_eq!(a.overflow(), 1.0);
+        assert_eq!(a.total_weight(), 4.0);
+        let c = Histogram::new(0.0, 10.0, 4).unwrap();
+        assert!(a.merge(&c).is_err());
+        let d = Histogram::new(0.0, 11.0, 5).unwrap();
+        assert!(a.merge(&d).is_err());
     }
 
     #[test]

@@ -15,6 +15,10 @@
 //!   future-work bin-clustering experiment.
 //! * [`bootstrap`] — bootstrap confidence intervals for means.
 //! * [`regression`] — ordinary least-squares line fits for trend analysis.
+//! * [`stream`] — mergeable count/mean/M2 accumulators for streaming,
+//!   memory-bounded crowd aggregation.
+//! * [`sampling`] — SRS / ranked-set / stratified subsampling designs with
+//!   bootstrap confidence intervals for million-device sweeps.
 //!
 //! # Examples
 //!
@@ -32,6 +36,8 @@ pub mod dist;
 pub mod histogram;
 pub mod kmeans;
 pub mod regression;
+pub mod sampling;
+pub mod stream;
 
 use core::fmt;
 

@@ -48,7 +48,8 @@ printf 'tampered\n' >> "$f"
 if ./target/release/repro verify "$workdir/figs"; then
   echo "FAIL: verify accepted a tampered export"; exit 1
 fi
-./target/release/repro verify "$workdir/figs" 2>&1 \
-  | grep "checksum mismatch" | grep "expected"
+# (the verify is expected to exit non-zero; don't let pipefail eat the grep)
+out=$(./target/release/repro verify "$workdir/figs" 2>&1 || true)
+echo "$out" | grep "checksum mismatch" | grep "expected"
 
 echo "OK: durability CLI gates passed"
